@@ -1,0 +1,147 @@
+//! End-to-end co-phase simulations, one per family of paper tables/figures.
+//!
+//! Each bench runs one representative workload of the corresponding
+//! experiment under its manager configuration, so the cost (and any
+//! performance regression) of regenerating each table is tracked:
+//!
+//! * `e1_combined_rma`      — Paper I energy-savings table (Combined RMA);
+//! * `e1_partitioning_only` — Paper I partitioning-only column;
+//! * `e2_perfect_models`    — Paper I perfect-model study;
+//! * `e3_relaxed_qos`       — Paper I QoS-relaxation figure (40 % point);
+//! * `e7_rm3_scenario1`     — Paper II per-scenario savings (RM3);
+//! * `e8_model1_rm3`        — Paper II model-accuracy comparison (Model 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qosrm_bench::build_db;
+use qosrm_core::{CoordinatedRma, ModelKind};
+use qosrm_types::{PlatformConfig, QosSpec, ResourceManager};
+use rma_sim::{CophaseSimulator, SimulationOptions};
+use std::hint::black_box;
+use workload::WorkloadMix;
+
+fn paper1_mix() -> WorkloadMix {
+    WorkloadMix::new(
+        "bench-e1",
+        vec!["mcf_like", "soplex_like", "libquantum_like", "gamess_like"],
+    )
+}
+
+fn scenario1_mix() -> WorkloadMix {
+    WorkloadMix::new(
+        "bench-s1",
+        vec!["soplex_like", "gems_fdtd_like", "mcf_like", "libquantum_like"],
+    )
+}
+
+fn run_workload(
+    simulator: &CophaseSimulator,
+    make_manager: impl Fn() -> Box<dyn ResourceManager>,
+) -> f64 {
+    let mut manager = make_manager();
+    let result = simulator.run(manager.as_mut());
+    result.system_energy_joules
+}
+
+fn bench_paper1_tables(c: &mut Criterion) {
+    let platform = PlatformConfig::paper1(4);
+    let mix = paper1_mix();
+    let db = build_db(&platform, &mix);
+    let qos = vec![QosSpec::STRICT; 4];
+
+    let analytic = CophaseSimulator::new(
+        &db,
+        &mix,
+        SimulationOptions {
+            provide_mlp_profiles: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let perfect = CophaseSimulator::new(
+        &db,
+        &mix,
+        SimulationOptions {
+            provide_mlp_profiles: false,
+            provide_perfect_tables: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("paper1_tables");
+    group.sample_size(10);
+    group.bench_function("e1_combined_rma", |b| {
+        b.iter(|| {
+            black_box(run_workload(&analytic, || {
+                Box::new(CoordinatedRma::paper1(&platform, qos.clone()))
+            }))
+        })
+    });
+    group.bench_function("e1_partitioning_only", |b| {
+        b.iter(|| {
+            black_box(run_workload(&analytic, || {
+                Box::new(CoordinatedRma::partitioning_only(&platform, qos.clone()))
+            }))
+        })
+    });
+    group.bench_function("e2_perfect_models", |b| {
+        b.iter(|| {
+            black_box(run_workload(&perfect, || {
+                Box::new(CoordinatedRma::with_model(
+                    &platform,
+                    qos.clone(),
+                    ModelKind::Perfect,
+                    false,
+                ))
+            }))
+        })
+    });
+    let relaxed_qos = vec![QosSpec::relaxed_by(0.4); 4];
+    group.bench_function("e3_relaxed_qos", |b| {
+        b.iter(|| {
+            black_box(run_workload(&perfect, || {
+                Box::new(CoordinatedRma::with_model(
+                    &platform,
+                    relaxed_qos.clone(),
+                    ModelKind::Perfect,
+                    false,
+                ))
+            }))
+        })
+    });
+    group.finish();
+}
+
+fn bench_paper2_tables(c: &mut Criterion) {
+    let platform = PlatformConfig::paper2(4);
+    let mix = scenario1_mix();
+    let db = build_db(&platform, &mix);
+    let qos = vec![QosSpec::STRICT; 4];
+    let simulator = CophaseSimulator::new(&db, &mix, SimulationOptions::default()).unwrap();
+
+    let mut group = c.benchmark_group("paper2_tables");
+    group.sample_size(10);
+    group.bench_function("e7_rm3_scenario1", |b| {
+        b.iter(|| {
+            black_box(run_workload(&simulator, || {
+                Box::new(CoordinatedRma::paper2(&platform, qos.clone()))
+            }))
+        })
+    });
+    group.bench_function("e8_model1_rm3", |b| {
+        b.iter(|| {
+            black_box(run_workload(&simulator, || {
+                Box::new(CoordinatedRma::with_model(
+                    &platform,
+                    qos.clone(),
+                    ModelKind::SimpleLatency,
+                    true,
+                ))
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper1_tables, bench_paper2_tables);
+criterion_main!(benches);

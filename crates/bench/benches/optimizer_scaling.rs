@@ -1,0 +1,82 @@
+//! Scaling of the optimization steps in isolation.
+//!
+//! The paper's overhead argument rests on two costs: the local optimization
+//! (one analytical-model evaluation per candidate configuration) and the
+//! global pairwise curve reduction, which is `O(cores · ways²)` and therefore
+//! grows linearly with the core count. This bench isolates both.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qosrm_bench::{build_db, default_mix, observation_for};
+use qosrm_core::{
+    optimize_partition, CurvePoint, EnergyCurve, LocalOptimizer, LocalOptimizerConfig, ModelKind,
+};
+use qosrm_types::{CoreSizeIdx, FreqLevel, PlatformConfig, QosSpec};
+use std::hint::black_box;
+
+fn synthetic_curve(seed: u64, max_ways: usize) -> EnergyCurve {
+    // A plausible downward-sloping curve with per-core variation.
+    let base = 8.0 + (seed % 5) as f64;
+    let slope = 0.2 + 0.07 * (seed % 7) as f64;
+    EnergyCurve::new(
+        (1..=max_ways)
+            .map(|w| {
+                Some(CurvePoint {
+                    energy_joules: (base - slope * w as f64).max(0.2),
+                    freq: FreqLevel((seed % 13) as usize),
+                    core_size: CoreSizeIdx((seed % 3) as usize),
+                    time_seconds: 0.08,
+                })
+            })
+            .collect(),
+    )
+}
+
+fn bench_local_optimizer(c: &mut Criterion) {
+    let platform = PlatformConfig::paper2(4);
+    let mix = default_mix();
+    let db = build_db(&platform, &mix);
+    let observation = observation_for(&db, &platform, "soplex_like", 0);
+
+    let mut group = c.benchmark_group("local_optimization");
+    group.sample_size(50);
+    for (label, model, core_size) in [
+        ("model2_dvfs_ways", ModelKind::ConstantMlp, false),
+        ("model3_full_space", ModelKind::MlpAware, true),
+    ] {
+        let optimizer = LocalOptimizer::new(
+            &platform,
+            LocalOptimizerConfig {
+                control_dvfs: true,
+                control_core_size: core_size,
+                model,
+                energy_params: power_model::EnergyParams::default(),
+            },
+        );
+        group.bench_function(label, |bencher| {
+            bencher.iter(|| {
+                black_box(optimizer.energy_curve(black_box(&observation), QosSpec::STRICT))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_global_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("global_reduction");
+    group.sample_size(60);
+    for &num_cores in &[2usize, 4, 8, 16] {
+        let ways = 16usize;
+        let curves: Vec<EnergyCurve> = (0..num_cores as u64)
+            .map(|i| synthetic_curve(i, ways))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("pairwise_reduction", num_cores),
+            &num_cores,
+            |bencher, _| bencher.iter(|| black_box(optimize_partition(black_box(&curves), ways))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_optimizer, bench_global_reduction);
+criterion_main!(benches);

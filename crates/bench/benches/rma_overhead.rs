@@ -1,0 +1,95 @@
+//! Cost of one resource-manager invocation (paper tables E5 and E9).
+//!
+//! The paper reports the overhead of its C implementation as executed
+//! instructions (< 40 K for the 4-core Combined RMA; 18 K / 40 K / 67 K for
+//! RM3 on 2 / 4 / 8 cores). This bench measures the wall-clock equivalent of
+//! one `on_interval` call — observation in hand, new system setting out —
+//! for both managers across core counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qosrm_bench::{build_db, observation_for};
+use qosrm_core::CoordinatedRma;
+use qosrm_types::{CoreId, PlatformConfig, QosSpec, ResourceManager, SystemSetting};
+use std::hint::black_box;
+use workload::WorkloadMix;
+
+fn mix_for(num_cores: usize) -> WorkloadMix {
+    let pool = [
+        "mcf_like",
+        "soplex_like",
+        "libquantum_like",
+        "gamess_like",
+        "lbm_like",
+        "omnetpp_like",
+        "povray_like",
+        "gcc_like",
+    ];
+    WorkloadMix::new(
+        format!("bench-{num_cores}"),
+        pool.iter().cycle().take(num_cores).copied().collect(),
+    )
+}
+
+fn bench_invocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rma_invocation");
+    group.sample_size(30);
+    for &num_cores in &[2usize, 4, 8] {
+        let platform = PlatformConfig::paper2(num_cores);
+        let mix = mix_for(num_cores);
+        let db = build_db(&platform, &mix);
+        let qos = vec![QosSpec::STRICT; num_cores];
+        let baseline = SystemSetting::baseline(&platform);
+        let observations: Vec<_> = mix
+            .benchmarks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| observation_for(&db, &platform, b, i))
+            .collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("paper1_combined_rma", num_cores),
+            &num_cores,
+            |bencher, _| {
+                let mut manager = CoordinatedRma::paper1(&platform, qos.clone());
+                manager.reset(num_cores);
+                // Warm the per-core curves so the measured call performs the
+                // full local + global optimization.
+                let mut setting = baseline.clone();
+                for (i, obs) in observations.iter().enumerate() {
+                    setting = manager.on_interval(CoreId(i), obs, &setting);
+                }
+                bencher.iter(|| {
+                    black_box(manager.on_interval(
+                        CoreId(0),
+                        black_box(&observations[0]),
+                        black_box(&setting),
+                    ))
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("paper2_rm3", num_cores),
+            &num_cores,
+            |bencher, _| {
+                let mut manager = CoordinatedRma::paper2(&platform, qos.clone());
+                manager.reset(num_cores);
+                let mut setting = baseline.clone();
+                for (i, obs) in observations.iter().enumerate() {
+                    setting = manager.on_interval(CoreId(i), obs, &setting);
+                }
+                bencher.iter(|| {
+                    black_box(manager.on_interval(
+                        CoreId(0),
+                        black_box(&observations[0]),
+                        black_box(&setting),
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_invocation);
+criterion_main!(benches);

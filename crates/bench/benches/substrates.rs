@@ -1,0 +1,92 @@
+//! Throughput of the evaluation substrates (the "Sniper + McPAT" equivalent
+//! of the reproduction): reference-stream generation, LRU stack-distance
+//! profiling, ATD interval observation, detailed partitioned-cache replay and
+//! whole-phase characterization.
+
+use cache_model::{Atd, AtdConfig, PartitionedCache, ReplacementPolicy, StackDistanceProfiler};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qosrm_types::{CoreId, LlcGeometry, PlatformConfig, WayPartition};
+use std::hint::black_box;
+use workload::{benchmark, CharacterizationConfig, PhaseCharacterizer, PhaseSpec, StreamGenerator};
+
+fn sim_llc() -> LlcGeometry {
+    LlcGeometry {
+        num_sets: 256,
+        associativity: 16,
+        line_bytes: 64,
+    }
+}
+
+fn bench_stream_generation(c: &mut Criterion) {
+    let spec = PhaseSpec::cache_sensitive_bursty("bench", 15.0, 2048);
+    let instructions = 2_000_000u64;
+    let mut group = c.benchmark_group("stream_generation");
+    group.throughput(Throughput::Elements(
+        (instructions as f64 * spec.apki / 1000.0) as u64,
+    ));
+    group.bench_function("cache_sensitive_bursty_2M_inst", |bencher| {
+        bencher.iter(|| {
+            let mut generator = StreamGenerator::new(7, 0);
+            black_box(generator.generate(black_box(&spec), instructions))
+        })
+    });
+    group.finish();
+}
+
+fn bench_profiling(c: &mut Criterion) {
+    let spec = PhaseSpec::cache_sensitive_bursty("bench", 15.0, 2048);
+    let trace = StreamGenerator::new(7, 0).generate(&spec, 2_000_000);
+    let llc = sim_llc();
+
+    let mut group = c.benchmark_group("cache_profiling");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("stack_distance_full", |bencher| {
+        bencher.iter(|| {
+            let mut profiler = StackDistanceProfiler::new(&llc);
+            black_box(profiler.replay(black_box(&trace)))
+        })
+    });
+    group.bench_function("atd_sampled_observe", |bencher| {
+        bencher.iter(|| {
+            let mut atd = Atd::new(llc, AtdConfig { set_sampling: 8, bits_per_entry: 28 });
+            black_box(atd.observe_interval(black_box(&trace)))
+        })
+    });
+    group.bench_function("partitioned_cache_replay", |bencher| {
+        bencher.iter(|| {
+            let partition = WayPartition::new(vec![8, 8]);
+            let mut cache =
+                PartitionedCache::new(llc, &partition, ReplacementPolicy::Lru).unwrap();
+            black_box(cache.replay(CoreId(0), black_box(trace.accesses())))
+        })
+    });
+    group.finish();
+}
+
+fn bench_characterization(c: &mut Criterion) {
+    let platform = PlatformConfig::paper2(4);
+    let characterizer = PhaseCharacterizer::new(
+        &platform,
+        CharacterizationConfig::quick_for_tests(&platform),
+    );
+    let bench_profile = benchmark("soplex_like").unwrap();
+    let mut group = c.benchmark_group("phase_characterization");
+    group.sample_size(20);
+    group.bench_function("soplex_like_phase0_quick", |bencher| {
+        bencher.iter(|| {
+            black_box(
+                characterizer
+                    .characterize(black_box(&bench_profile.phases[0]), bench_profile.phase_seed(0)),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stream_generation,
+    bench_profiling,
+    bench_characterization
+);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Memory reference stream representation.
+
+use serde::{Deserialize, Serialize};
+
+/// One LLC access of the synthetic reference stream.
+///
+/// Only the cache-line address matters for the cache models; the instruction
+/// index is carried along so the MLP models can decide whether two misses are
+/// close enough (within the re-order buffer window) to overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    /// Cache-line address (already divided by the line size).
+    pub line_addr: u64,
+    /// Index of the instruction that issued the access, counted from the
+    /// beginning of the interval/slice.
+    pub inst_index: u64,
+    /// Whether the access's address depends on the result of the previous
+    /// long-latency load (pointer chasing). A dependent miss can never
+    /// overlap with earlier misses, regardless of the core's window/MSHRs.
+    pub dependent: bool,
+}
+
+impl Access {
+    /// Creates an (address-)independent access.
+    #[inline]
+    pub fn new(line_addr: u64, inst_index: u64) -> Self {
+        Access {
+            line_addr,
+            inst_index,
+            dependent: false,
+        }
+    }
+
+    /// Creates a dependent (pointer-chasing) access.
+    #[inline]
+    pub fn dependent(line_addr: u64, inst_index: u64) -> Self {
+        Access {
+            line_addr,
+            inst_index,
+            dependent: true,
+        }
+    }
+
+    /// Set index of this access for a cache with `num_sets` sets
+    /// (`num_sets` must be a power of two).
+    #[inline]
+    pub fn set_index(&self, num_sets: usize) -> usize {
+        debug_assert!(num_sets.is_power_of_two());
+        (self.line_addr as usize) & (num_sets - 1)
+    }
+
+    /// Tag of this access for a cache with `num_sets` sets.
+    #[inline]
+    pub fn tag(&self, num_sets: usize) -> u64 {
+        self.line_addr >> num_sets.trailing_zeros()
+    }
+}
+
+/// A sequence of LLC accesses representing one representative slice of a
+/// program phase, plus the total number of instructions the slice covers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessTrace {
+    accesses: Vec<Access>,
+    instructions: u64,
+}
+
+impl AccessTrace {
+    /// Creates a trace from accesses (must be sorted by instruction index)
+    /// and the number of instructions the slice covers.
+    pub fn new(accesses: Vec<Access>, instructions: u64) -> Self {
+        debug_assert!(
+            accesses.windows(2).all(|w| w[0].inst_index <= w[1].inst_index),
+            "accesses must be ordered by instruction index"
+        );
+        AccessTrace {
+            accesses,
+            instructions,
+        }
+    }
+
+    /// The accesses in program order.
+    #[inline]
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// Number of LLC accesses in the trace.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether the trace contains no accesses.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Number of instructions the slice covers.
+    #[inline]
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// LLC accesses per kilo-instruction of the slice.
+    pub fn apki(&self) -> f64 {
+        self.accesses.len() as f64 / (self.instructions.max(1) as f64 / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_tag_decomposition() {
+        let a = Access::new(0b1011_0110, 10);
+        assert_eq!(a.set_index(16), 0b0110);
+        assert_eq!(a.tag(16), 0b1011);
+        // Recombining tag and set yields the original line address.
+        assert_eq!((a.tag(16) << 4) | a.set_index(16) as u64, a.line_addr);
+    }
+
+    #[test]
+    fn trace_metrics() {
+        let accesses = vec![Access::new(1, 0), Access::new(2, 50), Access::new(3, 900)];
+        let t = AccessTrace::new(accesses, 1_000);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.instructions(), 1_000);
+        assert!((t.apki() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = AccessTrace::new(vec![], 100);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Instruction-level-parallelism scaling of the execution CPI with the core
+//! micro-architecture size.
+
+use qosrm_types::{CoreSizeIdx, CoreSizeParams};
+use serde::{Deserialize, Serialize};
+
+/// ILP characteristics of a program phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IlpParams {
+    /// Execution (non-memory-stall) CPI on the baseline (medium) core.
+    pub exec_cpi_baseline: f64,
+    /// How strongly the execution CPI reacts to the issue width / window of
+    /// the core: 0.0 = completely insensitive (e.g. a long dependence chain),
+    /// 1.0 = scales with the full width ratio (abundant independent work).
+    pub ilp_sensitivity: f64,
+}
+
+impl IlpParams {
+    /// Creates ILP parameters, clamping the sensitivity into `[0, 1]`.
+    pub fn new(exec_cpi_baseline: f64, ilp_sensitivity: f64) -> Self {
+        IlpParams {
+            exec_cpi_baseline: exec_cpi_baseline.max(1e-3),
+            ilp_sensitivity: ilp_sensitivity.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// Computes the execution CPI of a phase for every core-size configuration.
+///
+/// The CPI scales with the issue-width ratio raised to the phase's ILP
+/// sensitivity and is bounded below by the theoretical minimum `1 / width`:
+///
+/// `CPI_exec(s) = max(1 / width_s, CPI_base · (width_base / width_s)^sens)`
+///
+/// ILP extraction shows diminishing returns: *shrinking* the core below the
+/// baseline exposes the full sensitivity (dependences that fit a 4-wide
+/// window now stall a 2-wide one), while *growing* it above the baseline only
+/// realizes half the exponent (the additional width mostly finds no extra
+/// independent work). A parallelism-insensitive phase keeps its CPI at every
+/// size.
+pub fn exec_cpi_curve(
+    ilp: &IlpParams,
+    core_sizes: &[CoreSizeParams],
+    baseline: CoreSizeIdx,
+) -> Vec<f64> {
+    let base_width = core_sizes[baseline.index()].issue_width as f64;
+    core_sizes
+        .iter()
+        .map(|size| {
+            let width = size.issue_width as f64;
+            let sensitivity = if width > base_width {
+                ilp.ilp_sensitivity * 0.5
+            } else {
+                ilp.ilp_sensitivity
+            };
+            let scaled = ilp.exec_cpi_baseline * (base_width / width).powf(sensitivity);
+            scaled.max(1.0 / width)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizes() -> Vec<CoreSizeParams> {
+        CoreSizeParams::default_three_sizes()
+    }
+
+    #[test]
+    fn insensitive_phase_is_flat() {
+        let ilp = IlpParams::new(1.2, 0.0);
+        let curve = exec_cpi_curve(&ilp, &sizes(), CoreSizeIdx(1));
+        assert!((curve[0] - 1.2).abs() < 1e-12);
+        assert!((curve[1] - 1.2).abs() < 1e-12);
+        assert!((curve[2] - 1.2).abs() < 1e-12);
+    }
+
+    /// Core sizes with distinct issue widths (2 / 4 / 8) to exercise the
+    /// width-scaling behaviour of the model directly.
+    fn wide_sizes() -> Vec<CoreSizeParams> {
+        let mut sizes = CoreSizeParams::default_three_sizes();
+        sizes[0].issue_width = 2;
+        sizes[1].issue_width = 4;
+        sizes[2].issue_width = 8;
+        sizes
+    }
+
+    #[test]
+    fn sensitive_phase_scales_with_width() {
+        let ilp = IlpParams::new(0.8, 1.0);
+        let curve = exec_cpi_curve(&ilp, &wide_sizes(), CoreSizeIdx(1));
+        // Small core (width 2 vs 4): CPI doubles. Large core (width 8):
+        // improves with the halved exponent (1/sqrt(2)).
+        assert!((curve[0] - 1.6).abs() < 1e-12);
+        assert!((curve[1] - 0.8).abs() < 1e-12);
+        assert!((curve[2] - 0.8 / 2f64.sqrt()).abs() < 1e-12);
+        // Monotone non-increasing with size.
+        assert!(curve[0] >= curve[1] && curve[1] >= curve[2]);
+    }
+
+    #[test]
+    fn default_large_core_keeps_width_and_cpi() {
+        // The default "large" configuration grows the window and MSHRs, not
+        // the pipeline width, so the execution CPI is unchanged.
+        let ilp = IlpParams::new(0.8, 0.6);
+        let curve = exec_cpi_curve(&ilp, &sizes(), CoreSizeIdx(1));
+        assert!((curve[2] - curve[1]).abs() < 1e-12);
+        assert!(curve[0] > curve[1]);
+    }
+
+    #[test]
+    fn cpi_is_bounded_by_issue_width() {
+        let ilp = IlpParams::new(0.3, 1.0);
+        let curve = exec_cpi_curve(&ilp, &sizes(), CoreSizeIdx(1));
+        // 0.3 * 2 = 0.6 > 1/2 on the small core, fine; on the large core
+        // 0.3 * 0.5 = 0.15 would exceed the width-8 bound of 0.125? No:
+        // 0.15 > 0.125 so it is kept; check the bound anyway.
+        for (i, &cpi) in curve.iter().enumerate() {
+            assert!(cpi >= 1.0 / sizes()[i].issue_width as f64 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn sensitivity_is_clamped() {
+        let ilp = IlpParams::new(1.0, 7.0);
+        assert!((ilp.ilp_sensitivity - 1.0).abs() < 1e-12);
+        let ilp = IlpParams::new(1.0, -3.0);
+        assert!((ilp.ilp_sensitivity - 0.0).abs() < 1e-12);
+        let ilp = IlpParams::new(-1.0, 0.5);
+        assert!(ilp.exec_cpi_baseline > 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # core-model
+//!
+//! Interval-based analytical processor-core model — the reproduction's
+//! equivalent of the Sniper mechanistic core model used by the paper.
+//!
+//! The model follows the interval / leading-loads methodology: the execution
+//! time of an interval is the sum of
+//!
+//! * a **compute component** `N · CPI_exec(core size) / f` that scales with
+//!   the clock frequency and with the ILP the core configuration can extract,
+//!   and
+//! * a **memory stall component** `leading_misses(core size, ways) · L_eff`
+//!   that is independent of the core frequency; only *leading* (non
+//!   overlapped) misses stall the core, and the effective memory latency
+//!   `L_eff` includes a bandwidth-queueing term.
+//!
+//! The crate also models the transition overheads charged when the resource
+//! manager changes a setting (DVFS relock, core re-configuration, cache
+//! refills after repartitioning).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ilp;
+pub mod interval;
+pub mod phase;
+pub mod transition;
+
+pub use ilp::{exec_cpi_curve, IlpParams};
+pub use interval::{IntervalModel, IntervalOutcome};
+pub use phase::PhaseCharacterization;
+pub use transition::{TransitionCosts, TransitionModel, TransitionOverhead};

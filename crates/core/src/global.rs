@@ -1,0 +1,315 @@
+//! Global optimization: distributing the LLC ways among the cores.
+//!
+//! Each core's local optimization produces an energy-versus-ways curve. The
+//! global step finds the partition `{w_j}` with `Σ w_j = associativity` that
+//! minimizes total predicted energy. Following the paper, the curves are
+//! reduced **pairwise**: two curves are combined into one curve over their
+//! joint way budget by a min-plus convolution that records the argmin split;
+//! the reduction is applied recursively until a single curve remains, and the
+//! chosen splits are then unwound to produce the per-core allocation. The
+//! cost is `O(cores · ways²)`, independent of the number of VF levels and
+//! core sizes already folded into the curves.
+
+use crate::curve::{CurvePoint, EnergyCurve};
+
+/// A node of the reduction tree.
+enum Node<'a> {
+    Leaf {
+        core: usize,
+        curve: &'a EnergyCurve,
+    },
+    Inner {
+        /// `energy[w - 1]` = minimum combined energy with `w` total ways.
+        energy: Vec<f64>,
+        /// `split[w - 1]` = ways given to the left child at the optimum.
+        split: Vec<usize>,
+        left: Box<Node<'a>>,
+        right: Box<Node<'a>>,
+    },
+}
+
+impl Node<'_> {
+    fn energy_at(&self, ways: usize) -> f64 {
+        match self {
+            Node::Leaf { curve, .. } => curve.energy(ways),
+            Node::Inner { energy, .. } => {
+                if ways == 0 || ways > energy.len() {
+                    f64::INFINITY
+                } else {
+                    energy[ways - 1]
+                }
+            }
+        }
+    }
+
+    fn max_ways(&self) -> usize {
+        match self {
+            Node::Leaf { curve, .. } => curve.max_ways(),
+            Node::Inner { energy, .. } => energy.len(),
+        }
+    }
+
+    fn num_leaves(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Inner { left, right, .. } => left.num_leaves() + right.num_leaves(),
+        }
+    }
+
+    /// Unwinds the recorded splits, writing each core's allocation.
+    fn assign(&self, ways: usize, out: &mut [Option<usize>]) {
+        match self {
+            Node::Leaf { core, .. } => out[*core] = Some(ways),
+            Node::Inner {
+                split, left, right, ..
+            } => {
+                let left_ways = split[ways - 1];
+                left.assign(left_ways, out);
+                right.assign(ways - left_ways, out);
+            }
+        }
+    }
+}
+
+/// Combines two nodes by min-plus convolution over the way budget, capping
+/// the combined curve at `cap` ways (the LLC associativity) since larger
+/// budgets can never be requested.
+fn combine<'a>(left: Node<'a>, right: Node<'a>, cap: usize) -> Node<'a> {
+    let left_leaves = left.num_leaves();
+    let right_leaves = right.num_leaves();
+    let max_total = (left.max_ways() + right.max_ways()).min(cap);
+    let mut energy = vec![f64::INFINITY; max_total];
+    let mut split = vec![0usize; max_total];
+    for total in 2..=max_total {
+        // Every child must receive at least one way per leaf beneath it.
+        let min_left = left_leaves;
+        let max_left = total.saturating_sub(right_leaves).min(left.max_ways());
+        for left_ways in min_left..=max_left {
+            let right_ways = total - left_ways;
+            if right_ways < right_leaves || right_ways > right.max_ways() {
+                continue;
+            }
+            let e = left.energy_at(left_ways) + right.energy_at(right_ways);
+            if e < energy[total - 1] {
+                energy[total - 1] = e;
+                split[total - 1] = left_ways;
+            }
+        }
+    }
+    Node::Inner {
+        energy,
+        split,
+        left: Box::new(left),
+        right: Box::new(right),
+    }
+}
+
+/// Finds the energy-minimal distribution of `total_ways` LLC ways among the
+/// cores described by `curves`.
+///
+/// Returns, per core, the allocated way count and the curve point (VF level,
+/// core size, predicted energy) at that allocation, or `None` when no
+/// feasible partition exists (some core cannot meet its QoS target at any
+/// share it could receive).
+pub fn optimize_partition(
+    curves: &[EnergyCurve],
+    total_ways: usize,
+) -> Option<Vec<(usize, CurvePoint)>> {
+    if curves.is_empty() || total_ways < curves.len() {
+        return None;
+    }
+    // Build the reduction tree: pair adjacent nodes until one remains.
+    let mut nodes: Vec<Node<'_>> = curves
+        .iter()
+        .enumerate()
+        .map(|(core, curve)| Node::Leaf { core, curve })
+        .collect();
+    while nodes.len() > 1 {
+        let mut next = Vec::with_capacity(nodes.len().div_ceil(2));
+        let mut iter = nodes.into_iter();
+        while let Some(left) = iter.next() {
+            match iter.next() {
+                Some(right) => next.push(combine(left, right, total_ways)),
+                None => next.push(left),
+            }
+        }
+        nodes = next;
+    }
+    let root = nodes.pop().expect("at least one node");
+    if !root.energy_at(total_ways).is_finite() {
+        return None;
+    }
+
+    let mut allocation: Vec<Option<usize>> = vec![None; curves.len()];
+    root.assign(total_ways, &mut allocation);
+
+    let mut result = Vec::with_capacity(curves.len());
+    for (core, ways) in allocation.into_iter().enumerate() {
+        let ways = ways?;
+        let point = curves[core].point(ways)?;
+        result.push((ways, point));
+    }
+    debug_assert_eq!(result.iter().map(|(w, _)| w).sum::<usize>(), total_ways);
+    Some(result)
+}
+
+/// Brute-force reference optimizer used to validate
+/// [`optimize_partition`] on small instances: enumerates every partition of
+/// `total_ways` into one share of at least one way per core.
+pub fn exhaustive_partition(
+    curves: &[EnergyCurve],
+    total_ways: usize,
+) -> Option<(f64, Vec<usize>)> {
+    fn recurse(
+        curves: &[EnergyCurve],
+        core: usize,
+        remaining: usize,
+        current: &mut Vec<usize>,
+        best: &mut Option<(f64, Vec<usize>)>,
+    ) {
+        if core == curves.len() {
+            if remaining != 0 {
+                return;
+            }
+            let energy: f64 = current
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| curves[i].energy(w))
+                .sum();
+            if energy.is_finite() && best.as_ref().map(|(e, _)| energy < *e).unwrap_or(true) {
+                *best = Some((energy, current.clone()));
+            }
+            return;
+        }
+        let cores_left = curves.len() - core - 1;
+        let max_here = remaining.saturating_sub(cores_left).min(curves[core].max_ways());
+        for w in 1..=max_here {
+            current.push(w);
+            recurse(curves, core + 1, remaining - w, current, best);
+            current.pop();
+        }
+    }
+    let mut best = None;
+    recurse(curves, 0, total_ways, &mut Vec::new(), &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosrm_types::{CoreSizeIdx, FreqLevel};
+
+    fn point(e: f64) -> Option<CurvePoint> {
+        Some(CurvePoint {
+            energy_joules: e,
+            freq: FreqLevel(0),
+            core_size: CoreSizeIdx(0),
+            time_seconds: 0.1,
+        })
+    }
+
+    /// Curve with energy `base - slope * w` (clamped at 0.1): a cache
+    /// sensitive application keeps benefiting from ways.
+    fn sloped_curve(base: f64, slope: f64, max_ways: usize) -> EnergyCurve {
+        EnergyCurve::new(
+            (1..=max_ways)
+                .map(|w| point((base - slope * w as f64).max(0.1)))
+                .collect(),
+        )
+    }
+
+    /// Flat curve: a cache-insensitive application.
+    fn flat_curve(energy: f64, max_ways: usize) -> EnergyCurve {
+        EnergyCurve::new((1..=max_ways).map(|_| point(energy)).collect())
+    }
+
+    #[test]
+    fn sensitive_app_receives_the_ways() {
+        let curves = vec![sloped_curve(10.0, 0.5, 16), flat_curve(5.0, 16)];
+        let result = optimize_partition(&curves, 16).unwrap();
+        assert_eq!(result.len(), 2);
+        assert_eq!(result[0].0 + result[1].0, 16);
+        assert_eq!(result[0].0, 15, "the sloped curve should take all but one way");
+        assert_eq!(result[1].0, 1);
+    }
+
+    #[test]
+    fn matches_exhaustive_search() {
+        // Mix of shapes, including an infeasible region.
+        let mut bumpy = vec![None, None];
+        bumpy.extend((3..=16).map(|w| point(8.0 - 0.3 * w as f64 + ((w % 3) as f64) * 0.2)));
+        let curves = vec![
+            sloped_curve(12.0, 0.7, 16),
+            flat_curve(4.0, 16),
+            EnergyCurve::new(bumpy),
+            sloped_curve(6.0, 0.2, 16),
+        ];
+        let fast = optimize_partition(&curves, 16).unwrap();
+        let (best_energy, best_alloc) = exhaustive_partition(&curves, 16).unwrap();
+        let fast_energy: f64 = fast.iter().map(|(_, p)| p.energy_joules).sum();
+        assert!(
+            (fast_energy - best_energy).abs() < 1e-9,
+            "pairwise reduction must be optimal: {fast_energy} vs {best_energy}"
+        );
+        assert_eq!(fast.iter().map(|(w, _)| *w).sum::<usize>(), 16);
+        // The allocation itself may differ when ties exist; energies must not.
+        let exhaustive_energy: f64 = best_alloc
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| curves[i].energy(w))
+            .sum();
+        assert!((exhaustive_energy - best_energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eight_core_reduction_is_optimal() {
+        let curves: Vec<EnergyCurve> = (0..8)
+            .map(|i| sloped_curve(8.0 + i as f64, 0.1 + 0.1 * i as f64, 16))
+            .collect();
+        let fast = optimize_partition(&curves, 16).unwrap();
+        let (best_energy, _) = exhaustive_partition(&curves, 16).unwrap();
+        let fast_energy: f64 = fast.iter().map(|(_, p)| p.energy_joules).sum();
+        assert!((fast_energy - best_energy).abs() < 1e-9);
+        assert_eq!(fast.iter().map(|(w, _)| *w).sum::<usize>(), 16);
+        for (w, _) in &fast {
+            assert!(*w >= 1);
+        }
+    }
+
+    #[test]
+    fn infeasible_cores_force_none() {
+        // One core cannot meet QoS with any allocation.
+        let curves = vec![flat_curve(3.0, 16), EnergyCurve::new(vec![None; 16])];
+        assert!(optimize_partition(&curves, 16).is_none());
+        assert!(exhaustive_partition(&curves, 16).is_none());
+    }
+
+    #[test]
+    fn partially_infeasible_curves_are_respected() {
+        // Core 1 needs at least 6 ways.
+        let mut needs_six = vec![None; 5];
+        needs_six.extend((6..=16).map(|w| point(10.0 - 0.1 * w as f64)));
+        let curves = vec![flat_curve(2.0, 16), EnergyCurve::new(needs_six)];
+        let result = optimize_partition(&curves, 16).unwrap();
+        assert!(result[1].0 >= 6);
+        assert_eq!(result[0].0 + result[1].0, 16);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(optimize_partition(&[], 16).is_none());
+        let one = vec![flat_curve(1.0, 16)];
+        let result = optimize_partition(&one, 16).unwrap();
+        assert_eq!(result[0].0, 16);
+        // Not enough ways for every core to get one.
+        let many: Vec<EnergyCurve> = (0..5).map(|_| flat_curve(1.0, 4)).collect();
+        assert!(optimize_partition(&many, 4).is_none());
+    }
+
+    #[test]
+    fn single_core_takes_everything() {
+        let curves = vec![sloped_curve(5.0, 0.3, 16)];
+        let result = optimize_partition(&curves, 16).unwrap();
+        assert_eq!(result[0].0, 16);
+    }
+}

@@ -1,0 +1,593 @@
+//! The coordinated resource manager.
+
+use crate::curve::EnergyCurve;
+use crate::global::optimize_partition;
+use crate::local::{LocalOptimizer, LocalOptimizerConfig};
+use crate::model::ModelKind;
+use crate::overhead::OverheadModel;
+use power_model::EnergyParams;
+use qosrm_types::{
+    CoreId, CoreObservation, CoreSetting, PlatformConfig, QosSpec, ResourceManager, SystemSetting,
+};
+
+/// Configuration of a [`CoordinatedRma`].
+#[derive(Debug, Clone)]
+pub struct RmaConfig {
+    /// Whether the manager may repartition the LLC.
+    pub control_partitioning: bool,
+    /// Whether the manager may change per-core VF levels.
+    pub control_dvfs: bool,
+    /// Whether the manager may change the core micro-architecture size
+    /// (Paper II).
+    pub control_core_size: bool,
+    /// Which analytical performance model to use.
+    pub model: ModelKind,
+    /// Per-application QoS specifications (indexed by core; applications
+    /// beyond the vector length get the strict default).
+    pub qos: Vec<QosSpec>,
+    /// Energy calibration shared with the platform.
+    pub energy_params: EnergyParams,
+    /// Minimum relative predicted-energy improvement required before the LLC
+    /// partition is changed. Repartitioning has a real cost (lines must be
+    /// refilled), so ties and negligible gains keep the current partition.
+    pub switch_threshold: f64,
+}
+
+impl RmaConfig {
+    /// Paper I's Combined RMA (RM2): per-core DVFS + LLC partitioning with
+    /// the constant-MLP model.
+    pub fn paper1(qos: Vec<QosSpec>) -> Self {
+        RmaConfig {
+            control_partitioning: true,
+            control_dvfs: true,
+            control_core_size: false,
+            model: ModelKind::ConstantMlp,
+            qos,
+            energy_params: EnergyParams::default(),
+            switch_threshold: 0.005,
+        }
+    }
+
+    /// Paper II's RM3: core size + DVFS + LLC partitioning with the
+    /// MLP-aware model.
+    pub fn paper2(qos: Vec<QosSpec>) -> Self {
+        RmaConfig {
+            control_partitioning: true,
+            control_dvfs: true,
+            control_core_size: true,
+            model: ModelKind::MlpAware,
+            qos,
+            energy_params: EnergyParams::default(),
+            switch_threshold: 0.005,
+        }
+    }
+}
+
+/// The coordinated QoS-driven resource manager.
+///
+/// One instance manages the whole system: it keeps the most recent energy
+/// curve of every core and, at each invocation, recomputes the invoking
+/// core's curve and re-runs the global optimization over all cores.
+#[derive(Debug, Clone)]
+pub struct CoordinatedRma {
+    platform: PlatformConfig,
+    config: RmaConfig,
+    optimizer: LocalOptimizer,
+    overhead: OverheadModel,
+    curves: Vec<Option<EnergyCurve>>,
+    name: String,
+}
+
+impl CoordinatedRma {
+    /// Creates a manager with an explicit configuration.
+    pub fn new(platform: &PlatformConfig, config: RmaConfig) -> Self {
+        let optimizer = LocalOptimizer::new(
+            platform,
+            LocalOptimizerConfig {
+                control_dvfs: config.control_dvfs,
+                control_core_size: config.control_core_size,
+                model: config.model,
+                energy_params: config.energy_params,
+            },
+        );
+        let name = Self::default_name(&config);
+        CoordinatedRma {
+            platform: platform.clone(),
+            curves: vec![None; platform.num_cores],
+            optimizer,
+            overhead: OverheadModel::default(),
+            config,
+            name,
+        }
+    }
+
+    fn default_name(config: &RmaConfig) -> String {
+        let scheme = match (
+            config.control_partitioning,
+            config.control_dvfs,
+            config.control_core_size,
+        ) {
+            (true, false, false) => "PartitioningRMA",
+            (false, true, false) => "DvfsRMA",
+            (true, true, false) => "CombinedRMA",
+            (true, true, true) => "CoordCoreRMA",
+            _ => "CustomRMA",
+        };
+        let model = match config.model {
+            ModelKind::SimpleLatency => "Model1",
+            ModelKind::ConstantMlp => "Model2",
+            ModelKind::MlpAware => "Model3",
+            ModelKind::Perfect => "Perfect",
+        };
+        format!("{scheme}-{model}")
+    }
+
+    /// RM1: LLC partitioning only (baseline VF and core size).
+    pub fn partitioning_only(platform: &PlatformConfig, qos: Vec<QosSpec>) -> Self {
+        CoordinatedRma::new(
+            platform,
+            RmaConfig {
+                control_partitioning: true,
+                control_dvfs: false,
+                control_core_size: false,
+                model: ModelKind::ConstantMlp,
+                qos,
+                energy_params: EnergyParams::default(),
+                switch_threshold: 0.005,
+            },
+        )
+    }
+
+    /// DVFS-only manager (no repartitioning). Under strict QoS it cannot
+    /// lower any frequency, which is exactly the paper's argument for
+    /// coordinated management.
+    pub fn dvfs_only(platform: &PlatformConfig, qos: Vec<QosSpec>) -> Self {
+        CoordinatedRma::new(
+            platform,
+            RmaConfig {
+                control_partitioning: false,
+                control_dvfs: true,
+                control_core_size: false,
+                model: ModelKind::ConstantMlp,
+                qos,
+                energy_params: EnergyParams::default(),
+                switch_threshold: 0.005,
+            },
+        )
+    }
+
+    /// RM2: the Paper I Combined RMA (DVFS + partitioning, Model 2).
+    pub fn paper1(platform: &PlatformConfig, qos: Vec<QosSpec>) -> Self {
+        CoordinatedRma::new(platform, RmaConfig::paper1(qos))
+    }
+
+    /// RM3: the Paper II manager (core size + DVFS + partitioning, Model 3).
+    pub fn paper2(platform: &PlatformConfig, qos: Vec<QosSpec>) -> Self {
+        CoordinatedRma::new(platform, RmaConfig::paper2(qos))
+    }
+
+    /// A manager with an explicit model choice (used by the model-accuracy
+    /// experiments, e.g. RM3 driven by Model 1 / 2 / 3 or the perfect
+    /// oracle).
+    pub fn with_model(
+        platform: &PlatformConfig,
+        qos: Vec<QosSpec>,
+        model: ModelKind,
+        control_core_size: bool,
+    ) -> Self {
+        CoordinatedRma::new(
+            platform,
+            RmaConfig {
+                control_partitioning: true,
+                control_dvfs: true,
+                control_core_size,
+                model,
+                qos,
+                energy_params: EnergyParams::default(),
+                switch_threshold: 0.005,
+            },
+        )
+    }
+
+    /// Overrides the display name (used when tables compare several variants
+    /// of the same scheme).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The QoS specification of `core`.
+    fn qos_of(&self, core: CoreId) -> QosSpec {
+        self.config
+            .qos
+            .get(core.index())
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// The manager's configuration.
+    pub fn config(&self) -> &RmaConfig {
+        &self.config
+    }
+
+    /// Number of analytical model evaluations one invocation performs.
+    pub fn evaluations_per_invocation(&self) -> usize {
+        self.optimizer.evaluations_per_invocation()
+    }
+}
+
+impl ResourceManager for CoordinatedRma {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn reset(&mut self, num_cores: usize) {
+        self.curves = vec![None; num_cores];
+    }
+
+    fn on_interval(
+        &mut self,
+        core: CoreId,
+        observation: &CoreObservation,
+        current: &SystemSetting,
+    ) -> SystemSetting {
+        if self.curves.len() != current.num_cores() {
+            self.curves = vec![None; current.num_cores()];
+        }
+
+        // Step 1-3: models + local optimization produce this core's curve.
+        let qos = self.qos_of(core);
+        let curve = self.optimizer.energy_curve(observation, qos);
+        if !curve.any_feasible() {
+            // Defensive: even the baseline allocation appears infeasible
+            // (can only happen through extreme modeling error); keep the
+            // current setting for this interval.
+            self.curves[core.index()] = None;
+            return current.clone();
+        }
+        self.curves[core.index()] = Some(curve);
+
+        if !self.config.control_partitioning {
+            // No coordination over the cache: apply this core's best setting
+            // at its current allocation and leave the others untouched.
+            let ways = current.core(core).ways;
+            let mut next = current.clone();
+            if let Some(point) = self.curves[core.index()].as_ref().unwrap().point(ways) {
+                *next.core_mut(core) = CoreSetting {
+                    core_size: point.core_size,
+                    freq: point.freq,
+                    ways,
+                };
+            }
+            return next;
+        }
+
+        // The paper's first-invocation rule: until every core has reported
+        // one interval of statistics, keep the baseline setting.
+        if self.curves.iter().any(Option::is_none) {
+            return current.clone();
+        }
+
+        // Step 4: global optimization over all cores' latest curves.
+        let curves: Vec<EnergyCurve> = self
+            .curves
+            .iter()
+            .map(|c| c.clone().expect("checked above"))
+            .collect();
+        let Some(allocation) = optimize_partition(&curves, self.platform.llc.associativity) else {
+            return current.clone();
+        };
+
+        // Repartitioning hysteresis: only move ways when the predicted gain
+        // over re-tuning VF/core-size on the *current* partition exceeds the
+        // switching threshold (repartitioning costs cache refills).
+        let new_energy: f64 = allocation.iter().map(|(_, p)| p.energy_joules).sum();
+        let current_partition_energy: Option<f64> = (0..curves.len())
+            .map(|i| {
+                curves[i]
+                    .point(current.core(CoreId(i)).ways)
+                    .map(|p| p.energy_joules)
+            })
+            .sum();
+        let keep_partition = match current_partition_energy {
+            Some(current_energy) => {
+                new_energy > current_energy * (1.0 - self.config.switch_threshold)
+            }
+            None => false,
+        };
+
+        let settings = if keep_partition {
+            (0..curves.len())
+                .map(|i| {
+                    let ways = current.core(CoreId(i)).ways;
+                    let point = curves[i].point(ways).expect("checked feasible above");
+                    CoreSetting {
+                        core_size: point.core_size,
+                        freq: point.freq,
+                        ways,
+                    }
+                })
+                .collect()
+        } else {
+            allocation
+                .into_iter()
+                .map(|(ways, point)| CoreSetting {
+                    core_size: point.core_size,
+                    freq: point.freq,
+                    ways,
+                })
+                .collect()
+        };
+        let next = SystemSetting::new(settings);
+        if next.validate(&self.platform).is_err() {
+            return current.clone();
+        }
+        next
+    }
+
+    fn invocation_overhead_instructions(&self, num_cores: usize) -> u64 {
+        let mut platform = self.platform.clone();
+        platform.num_cores = num_cores;
+        self.overhead
+            .invocation_instructions(&platform, self.optimizer.evaluations_per_invocation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosrm_types::{
+        AppId, CoreScalingProfile, CoreSizeIdx, IntervalStats, MissProfile, MlpProfile,
+    };
+
+    fn platform() -> PlatformConfig {
+        PlatformConfig::paper2(4)
+    }
+
+    /// A cache-sensitive observation (steep miss curve, dependent misses).
+    fn cache_sensitive_observation(app: usize) -> CoreObservation {
+        let p = platform();
+        let baseline_ways = p.baseline_ways_per_core();
+        let misses: Vec<u64> = (0..16)
+            .map(|w| (1_500_000.0 * (0.85f64).powi(w)) as u64)
+            .collect();
+        let leading = vec![
+            misses.iter().map(|&m| (m as f64 * 0.97) as u64).collect::<Vec<_>>(),
+            misses.iter().map(|&m| (m as f64 * 0.92) as u64).collect::<Vec<_>>(),
+            misses.iter().map(|&m| (m as f64 * 0.88) as u64).collect::<Vec<_>>(),
+        ];
+        observation_from(app, misses, leading, baseline_ways, vec![1.45, 1.2, 1.1])
+    }
+
+    /// A streaming observation (flat miss curve, bursty misses).
+    fn streaming_observation(app: usize) -> CoreObservation {
+        let p = platform();
+        let baseline_ways = p.baseline_ways_per_core();
+        let misses: Vec<u64> = (0..16).map(|_| 900_000u64).collect();
+        let leading = vec![
+            misses.iter().map(|&m| (m as f64 * 0.70) as u64).collect::<Vec<_>>(),
+            misses.iter().map(|&m| (m as f64 * 0.40) as u64).collect::<Vec<_>>(),
+            misses.iter().map(|&m| (m as f64 * 0.20) as u64).collect::<Vec<_>>(),
+        ];
+        observation_from(app, misses, leading, baseline_ways, vec![1.2, 0.9, 0.7])
+    }
+
+    /// A compute-bound observation (almost no misses).
+    fn compute_observation(app: usize) -> CoreObservation {
+        let p = platform();
+        let baseline_ways = p.baseline_ways_per_core();
+        let misses: Vec<u64> = (0..16).map(|_| 5_000u64).collect();
+        let leading = vec![misses.clone(), misses.clone(), misses.clone()];
+        observation_from(app, misses, leading, baseline_ways, vec![0.9, 0.6, 0.45])
+    }
+
+    fn observation_from(
+        app: usize,
+        misses: Vec<u64>,
+        leading: Vec<Vec<u64>>,
+        baseline_ways: usize,
+        exec_cpi: Vec<f64>,
+    ) -> CoreObservation {
+        let p = platform();
+        let freq = p.baseline_freq();
+        let freq_hz = p.vf.point(freq).freq_hz();
+        let instructions = 100_000_000u64;
+        let exec_cycles = (instructions as f64 * exec_cpi[1]) as u64;
+        let current_misses = misses[baseline_ways - 1];
+        let current_leading = leading[1][baseline_ways - 1];
+        let stall_seconds = current_leading as f64 * 70e-9;
+        let elapsed = exec_cycles as f64 / freq_hz + stall_seconds;
+        CoreObservation {
+            app: AppId(app),
+            stats: IntervalStats {
+                instructions,
+                cycles: (elapsed * freq_hz) as u64,
+                exec_cycles,
+                llc_accesses: 2_000_000,
+                llc_misses: current_misses,
+                leading_misses: current_leading,
+                elapsed_seconds: elapsed,
+                freq,
+                core_size: p.baseline_core_size,
+                ways: baseline_ways,
+            },
+            miss_profile: MissProfile::new(misses),
+            mlp_profile: Some(MlpProfile::new(leading)),
+            scaling_profile: Some(CoreScalingProfile::new(exec_cpi)),
+            perfect: None,
+        }
+    }
+
+    /// Feeds one observation per core and returns the setting decided at the
+    /// last invocation.
+    fn run_all_cores(manager: &mut CoordinatedRma, observations: Vec<CoreObservation>) -> SystemSetting {
+        let p = platform();
+        let mut setting = SystemSetting::baseline(&p);
+        manager.reset(p.num_cores);
+        for (i, obs) in observations.iter().enumerate() {
+            setting = manager.on_interval(CoreId(i), obs, &setting);
+        }
+        setting
+    }
+
+    #[test]
+    fn keeps_baseline_until_all_cores_reported() {
+        let p = platform();
+        let mut rma = CoordinatedRma::paper1(&p, vec![QosSpec::STRICT; 4]);
+        rma.reset(4);
+        let baseline = SystemSetting::baseline(&p);
+        let s1 = rma.on_interval(CoreId(0), &cache_sensitive_observation(0), &baseline);
+        assert_eq!(s1, baseline, "first invocation must keep the baseline");
+        let s2 = rma.on_interval(CoreId(1), &compute_observation(1), &s1);
+        assert_eq!(s2, baseline);
+    }
+
+    #[test]
+    fn combined_rma_moves_cache_to_sensitive_apps() {
+        let p = platform();
+        let mut rma = CoordinatedRma::paper1(&p, vec![QosSpec::STRICT; 4]);
+        let setting = run_all_cores(
+            &mut rma,
+            vec![
+                cache_sensitive_observation(0),
+                compute_observation(1),
+                streaming_observation(2),
+                compute_observation(3),
+            ],
+        );
+        assert!(setting.validate(&p).is_ok());
+        let ways0 = setting.core(CoreId(0)).ways;
+        assert!(
+            ways0 > p.baseline_ways_per_core(),
+            "cache-sensitive app should gain ways, got {ways0}"
+        );
+        // The cache-sensitive app can then afford a lower frequency.
+        assert!(setting.core(CoreId(0)).freq <= p.baseline_freq());
+        // Total ways preserved.
+        assert_eq!(
+            setting.cores().iter().map(|c| c.ways).sum::<usize>(),
+            p.llc.associativity
+        );
+    }
+
+    #[test]
+    fn compute_apps_keep_qos_by_staying_fast_enough() {
+        let p = platform();
+        let mut rma = CoordinatedRma::paper1(&p, vec![QosSpec::STRICT; 4]);
+        let setting = run_all_cores(
+            &mut rma,
+            vec![
+                cache_sensitive_observation(0),
+                compute_observation(1),
+                compute_observation(2),
+                compute_observation(3),
+            ],
+        );
+        // A compute-bound app is insensitive to the cache, so it may lose
+        // ways, but its frequency must not drop below the baseline (its
+        // execution time is frequency-bound and the QoS target is strict).
+        for i in 1..4 {
+            assert!(setting.core(CoreId(i)).freq >= p.baseline_freq());
+        }
+    }
+
+    #[test]
+    fn rm3_uses_smaller_or_equal_cores_for_compute_apps() {
+        let p = platform();
+        let mut rma = CoordinatedRma::paper2(&p, vec![QosSpec::STRICT; 4]);
+        let setting = run_all_cores(
+            &mut rma,
+            vec![
+                streaming_observation(0),
+                streaming_observation(1),
+                cache_sensitive_observation(2),
+                compute_observation(3),
+            ],
+        );
+        assert!(setting.validate(&p).is_ok());
+        // RM3 must produce a setting at least as good as keeping the
+        // baseline; in particular it exploits core sizing somewhere.
+        let sizes: Vec<CoreSizeIdx> = setting.cores().iter().map(|c| c.core_size).collect();
+        assert!(
+            sizes.iter().any(|&s| s != p.baseline_core_size),
+            "RM3 should exercise the core-size knob, got {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn dvfs_only_cannot_slow_down_under_strict_qos() {
+        let p = platform();
+        let mut rma = CoordinatedRma::dvfs_only(&p, vec![QosSpec::STRICT; 4]);
+        let setting = run_all_cores(
+            &mut rma,
+            vec![
+                cache_sensitive_observation(0),
+                streaming_observation(1),
+                compute_observation(2),
+                compute_observation(3),
+            ],
+        );
+        // Without cache coordination there is no slack to exploit: every core
+        // keeps (at least) the baseline frequency and the baseline partition.
+        for i in 0..4 {
+            assert!(setting.core(CoreId(i)).freq >= p.baseline_freq());
+            assert_eq!(setting.core(CoreId(i)).ways, p.baseline_ways_per_core());
+        }
+    }
+
+    #[test]
+    fn relaxed_qos_lets_everything_slow_down() {
+        let p = platform();
+        let mut rma = CoordinatedRma::paper1(&p, vec![QosSpec::relaxed_by(0.4); 4]);
+        let setting = run_all_cores(
+            &mut rma,
+            vec![
+                cache_sensitive_observation(0),
+                streaming_observation(1),
+                compute_observation(2),
+                compute_observation(3),
+            ],
+        );
+        let below_baseline = setting
+            .cores()
+            .iter()
+            .filter(|c| c.freq < p.baseline_freq())
+            .count();
+        assert!(
+            below_baseline >= 2,
+            "with 40% slack most cores should clock down, got {below_baseline}"
+        );
+    }
+
+    #[test]
+    fn names_reflect_scheme_and_model() {
+        let p = platform();
+        assert_eq!(CoordinatedRma::paper1(&p, vec![]).name(), "CombinedRMA-Model2");
+        assert_eq!(CoordinatedRma::paper2(&p, vec![]).name(), "CoordCoreRMA-Model3");
+        assert_eq!(
+            CoordinatedRma::partitioning_only(&p, vec![]).name(),
+            "PartitioningRMA-Model2"
+        );
+        assert_eq!(CoordinatedRma::dvfs_only(&p, vec![]).name(), "DvfsRMA-Model2");
+        assert_eq!(
+            CoordinatedRma::with_model(&p, vec![], ModelKind::Perfect, true)
+                .with_name("RM3-Oracle")
+                .name(),
+            "RM3-Oracle"
+        );
+    }
+
+    #[test]
+    fn overhead_estimate_matches_paper_scale() {
+        let p = platform();
+        let rm2 = CoordinatedRma::paper1(&p, vec![QosSpec::STRICT; 4]);
+        let rm3 = CoordinatedRma::paper2(&p, vec![QosSpec::STRICT; 4]);
+        let rm2_cost = rm2.invocation_overhead_instructions(4);
+        let rm3_cost = rm3.invocation_overhead_instructions(4);
+        assert!(rm2_cost < 40_000, "Paper I reports < 40K instructions, got {rm2_cost}");
+        assert!(rm3_cost < 100_000);
+        assert!(rm3_cost > rm2_cost);
+        assert!(rm3.invocation_overhead_instructions(8) > rm3_cost);
+        assert!(rm3.invocation_overhead_instructions(2) < rm2_cost * 2);
+    }
+}

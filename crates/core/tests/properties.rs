@@ -1,0 +1,168 @@
+//! Property-based tests of the resource manager's optimization machinery.
+
+use proptest::prelude::*;
+use qosrm_core::{
+    exhaustive_partition, optimize_partition, CurvePoint, EnergyCurve, LocalOptimizer,
+    LocalOptimizerConfig, ModelKind,
+};
+use qosrm_types::{
+    AppId, CoreObservation, CoreScalingProfile, CoreSizeIdx, FreqLevel, IntervalStats,
+    MissProfile, MlpProfile, PlatformConfig, QosSpec,
+};
+
+fn curve_strategy(max_ways: usize) -> impl Strategy<Value = EnergyCurve> {
+    // Leading infeasible prefix of 0..=3 ways, then arbitrary positive
+    // energies.
+    (0usize..4, prop::collection::vec(0.1f64..20.0, max_ways)).prop_map(
+        move |(infeasible, energies)| {
+            let points = energies
+                .into_iter()
+                .enumerate()
+                .map(|(i, e)| {
+                    if i < infeasible {
+                        None
+                    } else {
+                        Some(CurvePoint {
+                            energy_joules: e,
+                            freq: FreqLevel(i % 13),
+                            core_size: CoreSizeIdx(i % 3),
+                            time_seconds: 0.05,
+                        })
+                    }
+                })
+                .collect();
+            EnergyCurve::new(points)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The pairwise reduction always returns either an optimal feasible
+    /// partition (same total energy as brute force) or `None` exactly when
+    /// brute force also finds nothing.
+    #[test]
+    fn pairwise_reduction_matches_exhaustive(
+        curves in prop::collection::vec(curve_strategy(16), 2..5),
+    ) {
+        let total_ways = 16usize;
+        let fast = optimize_partition(&curves, total_ways);
+        let brute = exhaustive_partition(&curves, total_ways);
+        match (fast, brute) {
+            (Some(alloc), Some((best_energy, _))) => {
+                let ways_sum: usize = alloc.iter().map(|(w, _)| *w).sum();
+                prop_assert_eq!(ways_sum, total_ways);
+                let energy: f64 = alloc.iter().map(|(_, p)| p.energy_joules).sum();
+                prop_assert!((energy - best_energy).abs() < 1e-9,
+                    "reduction found {energy}, exhaustive {best_energy}");
+                for (w, _) in &alloc {
+                    prop_assert!(*w >= 1);
+                }
+            }
+            (None, None) => {}
+            (fast, brute) => {
+                prop_assert!(false, "feasibility disagreement: fast={fast:?} brute={brute:?}");
+            }
+        }
+    }
+
+    /// Smoothing a curve never increases any point's energy and produces a
+    /// non-increasing curve beyond the first feasible allocation.
+    #[test]
+    fn smoothing_is_monotone_and_conservative(curve in curve_strategy(16)) {
+        let mut smoothed = curve.clone();
+        smoothed.smooth_monotone();
+        let mut last = f64::INFINITY;
+        for w in 1..=16usize {
+            let s = smoothed.energy(w);
+            prop_assert!(s <= curve.energy(w) + 1e-12);
+            if s.is_finite() {
+                prop_assert!(s <= last + 1e-12);
+                last = s;
+            }
+        }
+    }
+}
+
+/// Builds a synthetic observation with a parameterized miss curve.
+fn observation(base_misses: u64, decay_percent: u64, mlp_ratio: u64) -> CoreObservation {
+    let platform = PlatformConfig::paper2(4);
+    let baseline_ways = platform.baseline_ways_per_core();
+    let decay = 1.0 - decay_percent as f64 / 100.0;
+    let misses: Vec<u64> = (0..16)
+        .map(|w| (base_misses as f64 * decay.powi(w)) as u64)
+        .collect();
+    let ratio = 1.0 + mlp_ratio as f64 / 10.0;
+    let leading: Vec<Vec<u64>> = (0..3)
+        .map(|s| {
+            misses
+                .iter()
+                .map(|&m| (m as f64 / (1.0 + s as f64 * (ratio - 1.0))).round() as u64)
+                .collect()
+        })
+        .collect();
+    let freq = platform.baseline_freq();
+    let freq_hz = platform.vf.point(freq).freq_hz();
+    let exec_cycles = 110_000_000u64;
+    let stall = leading[1][baseline_ways - 1] as f64 * 70e-9;
+    let elapsed = exec_cycles as f64 / freq_hz + stall;
+    CoreObservation {
+        app: AppId(0),
+        stats: IntervalStats {
+            instructions: 100_000_000,
+            cycles: (elapsed * freq_hz) as u64,
+            exec_cycles,
+            llc_accesses: 2_000_000,
+            llc_misses: misses[baseline_ways - 1],
+            leading_misses: leading[1][baseline_ways - 1],
+            elapsed_seconds: elapsed,
+            freq,
+            core_size: platform.baseline_core_size,
+            ways: baseline_ways,
+        },
+        miss_profile: MissProfile::new(misses),
+        mlp_profile: Some(MlpProfile::new(leading)),
+        scaling_profile: Some(CoreScalingProfile::new(vec![1.4, 1.1, 1.1])),
+        perfect: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Local optimization invariants, across a range of application shapes:
+    /// the baseline allocation is always feasible, the curve is monotone in
+    /// energy, and relaxing the QoS target never increases the optimum.
+    #[test]
+    fn local_optimizer_invariants(
+        base_misses in 10_000u64..2_000_000,
+        decay_percent in 0u64..20,
+        mlp_ratio in 0u64..30,
+        relaxation in 0u64..6,
+    ) {
+        let platform = PlatformConfig::paper2(4);
+        let optimizer = LocalOptimizer::new(
+            &platform,
+            LocalOptimizerConfig {
+                control_dvfs: true,
+                control_core_size: true,
+                model: ModelKind::MlpAware,
+                energy_params: power_model::EnergyParams::default(),
+            },
+        );
+        let obs = observation(base_misses, decay_percent, mlp_ratio);
+        let strict = optimizer.energy_curve(&obs, QosSpec::STRICT);
+        let baseline_ways = platform.baseline_ways_per_core();
+        prop_assert!(strict.point(baseline_ways).is_some(),
+            "baseline allocation must always meet the baseline-defined target");
+        for w in 2..=16usize {
+            prop_assert!(strict.energy(w) <= strict.energy(w - 1) + 1e-12);
+        }
+        let relaxed = optimizer.energy_curve(&obs, QosSpec::relaxed_by(relaxation as f64 / 10.0));
+        for w in 1..=16usize {
+            prop_assert!(relaxed.energy(w) <= strict.energy(w) + 1e-12,
+                "relaxing the target cannot make the optimum worse at {w} ways");
+        }
+    }
+}

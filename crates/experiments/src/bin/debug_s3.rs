@@ -1,0 +1,133 @@
+//! Diagnostic tool: dump what RM3 decides for one Scenario-3 (streaming)
+//! workload and how the ground truth responds. Not part of the experiment
+//! suite; kept for calibration work.
+
+use experiments::ExperimentContext;
+use qosrm_core::CoordinatedRma;
+use qosrm_types::{CoreId, PlatformConfig, QosSpec, ResourceManager, SystemSetting};
+use rma_sim::{compare, CophaseSimulator, SimulationOptions};
+use simdb::GroundTruth;
+use workload::WorkloadMix;
+
+struct Spy {
+    inner: CoordinatedRma,
+    printed: usize,
+}
+
+impl ResourceManager for Spy {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn reset(&mut self, n: usize) {
+        self.inner.reset(n);
+    }
+    fn on_interval(
+        &mut self,
+        core: CoreId,
+        obs: &qosrm_types::CoreObservation,
+        current: &SystemSetting,
+    ) -> SystemSetting {
+        let next = self.inner.on_interval(core, obs, current);
+        if self.printed < 12 && next != *current {
+            self.printed += 1;
+            println!("-- decision after {core} finished an interval:");
+            for i in 0..next.num_cores() {
+                let c = next.core(CoreId(i));
+                println!(
+                    "   core{i}: size={} freq_level={} ways={}",
+                    c.core_size.index(),
+                    c.freq.index(),
+                    c.ways
+                );
+            }
+        }
+        next
+    }
+}
+
+fn main() {
+    let ctx = ExperimentContext::new(true);
+    let platform = PlatformConfig::paper2(4);
+    let mix = WorkloadMix::new(
+        "S3-debug",
+        vec!["libquantum_like", "lbm_like", "milc_like", "leslie3d_like"],
+    );
+    let db = ctx.database(&platform, std::slice::from_ref(&mix));
+    let qos = vec![QosSpec::STRICT; 4];
+
+    // Inspect the libquantum record.
+    let gt = GroundTruth::new(&platform);
+    let rec = db.benchmark("libquantum_like").unwrap();
+    let phase = rec.phase(rec.trace.phase_at(0));
+    println!("libquantum_like phase0: mpki(4w)={:.2}", phase.mpki_at(4));
+    for size in 0..3usize {
+        let m = gt.metrics(
+            phase,
+            qosrm_types::CoreSizeIdx(size),
+            platform.baseline_freq(),
+            4,
+        );
+        println!(
+            "  size{size} @baseline f, 4w: time={:.4}s energy={:.4}J mlp={:.2}",
+            m.time_seconds,
+            m.energy_joules,
+            m.llc_misses as f64 / m.leading_misses.max(1) as f64
+        );
+    }
+    // What does the cheapest QoS-meeting config look like per size?
+    let base = gt.metrics(
+        phase,
+        platform.baseline_core_size,
+        platform.baseline_freq(),
+        4,
+    );
+    for size in 0..3usize {
+        for f in (0..13usize).rev() {
+            let m = gt.metrics(phase, qosrm_types::CoreSizeIdx(size), qosrm_types::FreqLevel(f), 4);
+            if m.time_seconds <= base.time_seconds {
+                continue;
+            }
+            // first level that violates; the previous one is the slowest feasible
+            let feasible = f + 1;
+            if feasible < 13 {
+                let m2 = gt.metrics(
+                    phase,
+                    qosrm_types::CoreSizeIdx(size),
+                    qosrm_types::FreqLevel(feasible),
+                    4,
+                );
+                println!(
+                    "  size{size}: slowest feasible f-level={} energy={:.4}J (baseline energy {:.4}J)",
+                    feasible, m2.energy_joules, base.energy_joules
+                );
+            } else {
+                println!("  size{size}: no feasible frequency at 4 ways");
+            }
+            break;
+        }
+    }
+
+    let simulator = CophaseSimulator::new(&db, &mix, SimulationOptions::default()).unwrap();
+    let baseline = simulator.run_baseline();
+    let mut spy = Spy {
+        inner: CoordinatedRma::paper2(&platform, qos.clone()),
+        printed: 0,
+    };
+    let managed = simulator.run(&mut spy);
+    let cmp = compare(&baseline, &managed, &qos);
+    println!("energy savings: {:.2}%", cmp.energy_savings * 100.0);
+    println!("violations: {}", cmp.num_violations());
+    for (i, s) in cmp.per_app_slowdown.iter().enumerate() {
+        println!(
+            "  app{i}: slowdown {:.2}% energy {:.4} -> {:.4} J",
+            s * 100.0,
+            baseline.per_app[i].energy_joules,
+            managed.per_app[i].energy_joules
+        );
+    }
+    println!(
+        "breakdown baseline: {:?}",
+        baseline.energy_breakdown
+    );
+    println!("breakdown managed:  {:?}", managed.energy_breakdown);
+}

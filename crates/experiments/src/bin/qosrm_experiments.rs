@@ -1,0 +1,108 @@
+//! Command-line runner that regenerates the paper's evaluation tables.
+//!
+//! ```text
+//! qosrm-experiments [--quick] [--cache-dir DIR] [--json FILE] [e1 e2 ...]
+//! ```
+//!
+//! Without experiment arguments every experiment (E1–E9) is run. `--quick`
+//! uses fewer workloads and a coarser characterization so the whole suite
+//! finishes in seconds (used by the smoke tests); the full configuration is
+//! what `EXPERIMENTS.md` reports.
+
+use experiments::{run_experiment, ExperimentContext, ALL_EXPERIMENTS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    quick: bool,
+    cache_dir: Option<PathBuf>,
+    json_out: Option<PathBuf>,
+    experiments: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        cache_dir: None,
+        json_out: None,
+        experiments: Vec::new(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--cache-dir" => {
+                let dir = iter.next().ok_or("--cache-dir requires a path")?;
+                args.cache_dir = Some(PathBuf::from(dir));
+            }
+            "--json" => {
+                let path = iter.next().ok_or("--json requires a path")?;
+                args.json_out = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                return Err("usage: qosrm-experiments [--quick] [--cache-dir DIR] [--json FILE] [e1..e9]"
+                    .to_string());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}"));
+            }
+            other => args.experiments.push(other.to_string()),
+        }
+    }
+    if args.experiments.is_empty() {
+        args.experiments = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut ctx = ExperimentContext::new(args.quick);
+    if let Some(dir) = &args.cache_dir {
+        ctx = ctx.with_cache_dir(dir.clone());
+    }
+
+    println!(
+        "qosrm-experiments: reproducing the paper's evaluation ({} mode)\n",
+        if args.quick { "quick" } else { "full" }
+    );
+
+    let mut reports = Vec::new();
+    for id in &args.experiments {
+        match run_experiment(id, &ctx) {
+            Some(report) => {
+                print!("{}", report.render());
+                reports.push(report);
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (expected one of {ALL_EXPERIMENTS:?})");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(path) = &args.json_out {
+        match serde_json::to_string_pretty(&reports) {
+            Ok(json) => {
+                if let Err(err) = std::fs::write(path, json) {
+                    eprintln!("failed to write {}: {err}", path.display());
+                    return ExitCode::from(1);
+                }
+                println!("wrote {} reports to {}", reports.len(), path.display());
+            }
+            Err(err) => {
+                eprintln!("failed to serialize reports: {err}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    ExitCode::SUCCESS
+}

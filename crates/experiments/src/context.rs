@@ -1,0 +1,185 @@
+//! Shared experiment infrastructure: database construction/caching and
+//! workload execution helpers.
+
+use qosrm_types::{PlatformConfig, QosSpec, ResourceManager};
+use rma_sim::{compare, Comparison, CophaseSimulator, SimulationOptions, SimulationResult};
+use simdb::builder::{build_database_for_mixes, BuildOptions};
+use simdb::SimDb;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use workload::WorkloadMix;
+
+/// Shared state of an experiment session.
+pub struct ExperimentContext {
+    /// Quick mode: fewer workloads and a coarser characterization, intended
+    /// for smoke tests and CI.
+    pub quick: bool,
+    /// Optional directory where simulation databases are cached as JSON.
+    pub cache_dir: Option<PathBuf>,
+    databases: Mutex<HashMap<String, SimDb>>,
+}
+
+impl ExperimentContext {
+    /// Creates a context. `quick` selects the reduced configuration.
+    pub fn new(quick: bool) -> Self {
+        ExperimentContext {
+            quick,
+            cache_dir: None,
+            databases: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Enables on-disk caching of simulation databases under `dir`.
+    pub fn with_cache_dir(mut self, dir: PathBuf) -> Self {
+        self.cache_dir = Some(dir);
+        self
+    }
+
+    /// Limits a workload list according to the quick mode (keeps a
+    /// representative prefix).
+    pub fn limit_workloads(&self, mixes: Vec<WorkloadMix>) -> Vec<WorkloadMix> {
+        if self.quick {
+            mixes.into_iter().take(4).collect()
+        } else {
+            mixes
+        }
+    }
+
+    /// Database build options for a platform.
+    fn build_options(&self, platform: &PlatformConfig) -> BuildOptions {
+        if self.quick {
+            BuildOptions::quick_for_tests(platform)
+        } else {
+            BuildOptions::for_platform(platform)
+        }
+    }
+
+    /// Returns (building and caching if necessary) the simulation database
+    /// covering `mixes` on `platform`.
+    pub fn database(&self, platform: &PlatformConfig, mixes: &[WorkloadMix]) -> SimDb {
+        let mut names: Vec<&str> = mixes
+            .iter()
+            .flat_map(|m| m.benchmarks.iter().map(String::as_str))
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        let key = format!(
+            "{}cores-{}sizes-{}-{}",
+            platform.num_cores,
+            platform.num_core_sizes(),
+            if self.quick { "quick" } else { "full" },
+            names.join(",")
+        );
+        {
+            let cache = self.databases.lock().unwrap();
+            if let Some(db) = cache.get(&key) {
+                return db.clone();
+            }
+        }
+        let options = self.build_options(platform);
+        let db = if let Some(dir) = &self.cache_dir {
+            let digest = fnv(&key);
+            let path = dir.join(format!("simdb-{digest:016x}.json"));
+            simdb::persist::load_or_build(&path, || {
+                build_database_for_mixes(platform, mixes, &options)
+            })
+            .unwrap_or_else(|_| build_database_for_mixes(platform, mixes, &options))
+        } else {
+            build_database_for_mixes(platform, mixes, &options)
+        };
+        self.databases
+            .lock()
+            .unwrap()
+            .insert(key, db.clone());
+        db
+    }
+
+    /// Runs `mix` under `manager` and compares against the baseline run.
+    pub fn run_and_compare(
+        &self,
+        db: &SimDb,
+        mix: &WorkloadMix,
+        manager: &mut dyn ResourceManager,
+        qos: &[QosSpec],
+        options: SimulationOptions,
+    ) -> (Comparison, SimulationResult) {
+        let simulator =
+            CophaseSimulator::new(db, mix, options).expect("workload matches database platform");
+        let baseline = simulator.run_baseline();
+        let managed = simulator.run(manager);
+        let comparison = compare(&baseline, &managed, qos);
+        (comparison, managed)
+    }
+
+    /// Runs `mix` under `manager` returning only the comparison.
+    pub fn comparison(
+        &self,
+        db: &SimDb,
+        mix: &WorkloadMix,
+        manager: &mut dyn ResourceManager,
+        qos: &[QosSpec],
+        options: SimulationOptions,
+    ) -> Comparison {
+        self.run_and_compare(db, mix, manager, qos, options).0
+    }
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// Mean of a slice (0 when empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Maximum of a slice (0 when empty).
+pub fn max(values: &[f64]) -> f64 {
+    values.iter().copied().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(max(&[]), 0.0);
+        assert!((max(&[0.4, -1.0, 0.2]) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quick_mode_limits_workloads() {
+        let ctx = ExperimentContext::new(true);
+        let mixes = workload::paper1_workloads(4);
+        assert_eq!(ctx.limit_workloads(mixes.clone()).len(), 4);
+        let full = ExperimentContext::new(false);
+        assert_eq!(full.limit_workloads(mixes.clone()).len(), mixes.len());
+    }
+
+    #[test]
+    fn database_is_memoized() {
+        let ctx = ExperimentContext::new(true);
+        let platform = PlatformConfig::paper2(4);
+        let mixes = vec![WorkloadMix::new(
+            "t",
+            vec!["gamess_like", "povray_like", "gamess_like", "povray_like"],
+        )];
+        let a = ctx.database(&platform, &mixes);
+        let b = ctx.database(&platform, &mixes);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+}

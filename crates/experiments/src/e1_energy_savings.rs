@@ -1,0 +1,99 @@
+//! E1 — Paper I energy savings (Combined RMA vs. Partitioning-only RMA).
+//!
+//! Paper claim: the Combined RMA (per-core DVFS + LLC partitioning under QoS
+//! constraints) saves up to 18 % of system energy on 4-core workloads and up
+//! to 14 % on 8-core workloads, 6 % on average in both cases; a
+//! partitioning-only RMA saves only 1–2 % on average; workloads with no
+//! cache-sensitive application see no benefit (or a slight loss).
+
+use crate::context::{max, mean, ExperimentContext};
+use crate::report::{ExperimentReport, ReportRow};
+use qosrm_core::CoordinatedRma;
+use qosrm_types::{PlatformConfig, QosSpec};
+use rma_sim::SimulationOptions;
+use workload::paper1_workloads;
+
+/// Runs the experiment.
+pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "e1",
+        "Paper I: system energy savings of the Combined RMA vs. the Partitioning-only RMA \
+         (4-core and 8-core workloads, strict QoS)",
+    );
+
+    for &num_cores in &[4usize, 8] {
+        let platform = PlatformConfig::paper1(num_cores);
+        let mixes = ctx.limit_workloads(paper1_workloads(num_cores));
+        let db = ctx.database(&platform, &mixes);
+        let qos = vec![QosSpec::STRICT; num_cores];
+        // Paper I platform: no core re-configuration, no MLP-ATD hardware.
+        let options = SimulationOptions {
+            provide_mlp_profiles: false,
+            ..Default::default()
+        };
+
+        let mut combined_savings = Vec::new();
+        let mut partitioning_savings = Vec::new();
+        let mut violations = 0usize;
+
+        for mix in &mixes {
+            let mut combined = CoordinatedRma::paper1(&platform, qos.clone());
+            let combined_cmp =
+                ctx.comparison(&db, mix, &mut combined, &qos, options.clone());
+
+            let mut partitioning = CoordinatedRma::partitioning_only(&platform, qos.clone());
+            let partitioning_cmp =
+                ctx.comparison(&db, mix, &mut partitioning, &qos, options.clone());
+
+            combined_savings.push(combined_cmp.energy_savings);
+            partitioning_savings.push(partitioning_cmp.energy_savings);
+            violations += combined_cmp.num_violations();
+
+            report.push_row(
+                ReportRow::new(format!("{} ({}c)", mix.name, num_cores))
+                    .with("Combined savings %", combined_cmp.energy_savings * 100.0)
+                    .with("Partitioning savings %", partitioning_cmp.energy_savings * 100.0)
+                    .with("QoS violations", combined_cmp.num_violations() as f64),
+            );
+        }
+
+        report.push_summary(format!(
+            "{num_cores}-core: Combined RMA savings avg {:.1}% / max {:.1}% (paper: avg 6%, max {}%); \
+             Partitioning-only avg {:.1}% (paper: {}%); {} full-run QoS violations",
+            mean(&combined_savings) * 100.0,
+            max(&combined_savings) * 100.0,
+            if num_cores == 4 { 18 } else { 14 },
+            mean(&partitioning_savings) * 100.0,
+            if num_cores == 4 { 1 } else { 2 },
+            violations,
+        ));
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_rows_and_positive_average() {
+        let ctx = ExperimentContext::new(true);
+        let report = run(&ctx);
+        assert!(!report.rows.is_empty());
+        assert_eq!(report.summary.len(), 2);
+        // The combined RMA must not be worse than the partitioning-only RMA
+        // on average.
+        let combined: Vec<f64> = report
+            .rows
+            .iter()
+            .filter_map(|r| r.get("Combined savings %"))
+            .collect();
+        let partitioning: Vec<f64> = report
+            .rows
+            .iter()
+            .filter_map(|r| r.get("Partitioning savings %"))
+            .collect();
+        assert!(mean(&combined) >= mean(&partitioning) - 0.5);
+    }
+}

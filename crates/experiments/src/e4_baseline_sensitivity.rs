@@ -1,0 +1,104 @@
+//! E4 — Paper I sensitivity studies: choice of the baseline VF level and
+//! partial QoS relaxation.
+//!
+//! Paper claim: the achievable savings depend on the baseline VF that defines
+//! the QoS target (a higher baseline leaves more headroom to trade), and
+//! relaxing the QoS target for only a subset of the applications yields a
+//! proportional share of the full-relaxation savings.
+
+use crate::context::{mean, ExperimentContext};
+use crate::report::{ExperimentReport, ReportRow};
+use qosrm_core::CoordinatedRma;
+use qosrm_types::{FreqLevel, PlatformConfig, QosSpec};
+use rma_sim::SimulationOptions;
+use workload::paper1_workloads;
+
+/// Runs the experiment.
+pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "e4",
+        "Paper I: sensitivity to the baseline VF level and to relaxing QoS for only a \
+         subset of the applications (Combined RMA, 4-core workloads)",
+    );
+
+    let mixes = ctx.limit_workloads(paper1_workloads(4));
+    let options = SimulationOptions {
+        provide_mlp_profiles: false,
+        ..Default::default()
+    };
+
+    // Part 1: baseline VF sensitivity. Levels 4 / 6 / 8 = 1.6 / 2.0 / 2.4 GHz.
+    for &baseline_level in &[4usize, 6, 8] {
+        let mut platform = PlatformConfig::paper1(4);
+        platform.vf = platform.vf.with_baseline(FreqLevel(baseline_level)).unwrap();
+        let db = ctx.database(&platform, &mixes);
+        let qos = vec![QosSpec::STRICT; 4];
+        let mut savings = Vec::new();
+        for mix in &mixes {
+            let mut manager = CoordinatedRma::paper1(&platform, qos.clone());
+            let cmp = ctx.comparison(&db, mix, &mut manager, &qos, options.clone());
+            savings.push(cmp.energy_savings);
+        }
+        let freq_ghz = platform.vf.point(FreqLevel(baseline_level)).freq_ghz;
+        report.push_row(
+            ReportRow::new(format!("baseline {freq_ghz:.1} GHz"))
+                .with("Avg savings %", mean(&savings) * 100.0),
+        );
+    }
+
+    // Part 2: partial relaxation — relax 0 / 1 / 2 / 4 of the 4 applications
+    // by 40 % while the rest stay strict.
+    let platform = PlatformConfig::paper1(4);
+    let db = ctx.database(&platform, &mixes);
+    for &relaxed_apps in &[0usize, 1, 2, 4] {
+        let qos: Vec<QosSpec> = (0..4)
+            .map(|i| {
+                if i < relaxed_apps {
+                    QosSpec::relaxed_by(0.4)
+                } else {
+                    QosSpec::STRICT
+                }
+            })
+            .collect();
+        let mut savings = Vec::new();
+        for mix in &mixes {
+            let mut manager = CoordinatedRma::paper1(&platform, qos.clone());
+            let cmp = ctx.comparison(&db, mix, &mut manager, &qos, options.clone());
+            savings.push(cmp.energy_savings);
+        }
+        report.push_row(
+            ReportRow::new(format!("{relaxed_apps}/4 apps relaxed by 40%"))
+                .with("Avg savings %", mean(&savings) * 100.0),
+        );
+    }
+
+    report.push_summary(
+        "Savings must grow with the number of relaxed applications; the baseline VF shifts \
+         the absolute numbers (paper: higher baselines leave more room to slow down)."
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_relaxation_is_monotone() {
+        let ctx = ExperimentContext::new(true);
+        let report = run(&ctx);
+        // Rows 3..=6 are the partial-relaxation sweep (0, 1, 2, 4 apps).
+        let partial: Vec<f64> = report
+            .rows
+            .iter()
+            .filter(|r| r.label.contains("apps relaxed"))
+            .filter_map(|r| r.get("Avg savings %"))
+            .collect();
+        assert_eq!(partial.len(), 4);
+        assert!(
+            partial.last().unwrap() >= partial.first().unwrap(),
+            "relaxing all apps must save at least as much as relaxing none: {partial:?}"
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! E5 — Paper I RMA overhead.
+//!
+//! Paper claim: one invocation of the Combined RMA executes fewer than 40 K
+//! instructions on a 4-core system, about 0.04 % of a 100 M-instruction
+//! interval, so the algorithm itself is negligible.
+
+use crate::context::ExperimentContext;
+use crate::report::{ExperimentReport, ReportRow};
+use qosrm_core::{CoordinatedRma, OverheadModel};
+use qosrm_types::{PlatformConfig, QosSpec, ResourceManager};
+
+/// Runs the experiment.
+pub fn run(_ctx: &ExperimentContext) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "e5",
+        "Paper I: software overhead of one Combined RMA invocation \
+         (instruction estimate; see the criterion bench `rma_overhead` for measured time)",
+    );
+
+    let overhead = OverheadModel::default();
+    for &num_cores in &[2usize, 4, 8] {
+        let platform = PlatformConfig::paper1(num_cores);
+        let manager = CoordinatedRma::paper1(&platform, vec![QosSpec::STRICT; num_cores]);
+        let instructions = manager.invocation_overhead_instructions(num_cores);
+        let fraction =
+            overhead.fraction_of_interval(&platform, manager.evaluations_per_invocation());
+        report.push_row(
+            ReportRow::new(format!("{num_cores}-core"))
+                .with("Instructions / invocation", instructions as f64)
+                .with("% of 100M interval", fraction * 100.0),
+        );
+    }
+
+    let platform = PlatformConfig::paper1(4);
+    let manager = CoordinatedRma::paper1(&platform, vec![QosSpec::STRICT; 4]);
+    report.push_summary(format!(
+        "4-core Combined RMA: {} instructions per invocation \
+         (paper: < 40K, about 0.04% of an interval)",
+        manager.invocation_overhead_instructions(4)
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_below_paper_bound() {
+        let ctx = ExperimentContext::new(true);
+        let report = run(&ctx);
+        let four_core = report
+            .rows
+            .iter()
+            .find(|r| r.label == "4-core")
+            .unwrap();
+        assert!(four_core.get("Instructions / invocation").unwrap() < 40_000.0);
+        assert!(four_core.get("% of 100M interval").unwrap() < 0.1);
+    }
+}

@@ -1,0 +1,79 @@
+//! E6 — Paper II trade-off analysis over the sixteen pairwise category mixes.
+//!
+//! Paper claim: comparing RM1 (partitioning only), RM2 (Paper I) and RM3
+//! (Paper II) across all 16 combinations of application categories
+//! (cache sensitivity × parallelism sensitivity), RM1 is rarely effective and
+//! RM3 substantially improves on RM2 in 12 of the 16 mixes.
+
+use crate::context::ExperimentContext;
+use crate::report::{ExperimentReport, ReportRow};
+use qosrm_core::CoordinatedRma;
+use qosrm_types::{PlatformConfig, QosSpec};
+use rma_sim::SimulationOptions;
+use workload::paper2_sixteen_mixes;
+
+/// Runs the experiment.
+pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "e6",
+        "Paper II: RM1 / RM2 / RM3 energy savings across the sixteen pairwise category mixes",
+    );
+
+    let platform = PlatformConfig::paper2(4);
+    let all = paper2_sixteen_mixes();
+    let selected: Vec<_> = if ctx.quick {
+        all.into_iter().take(4).collect()
+    } else {
+        all
+    };
+    let mixes: Vec<_> = selected.iter().map(|(_, _, m)| m.clone()).collect();
+    let db = ctx.database(&platform, &mixes);
+    let qos = vec![QosSpec::STRICT; 4];
+    let options = SimulationOptions::default();
+
+    let mut rm3_substantially_better = 0usize;
+    for ((cat_a, cat_b, _), mix) in selected.iter().zip(mixes.iter()) {
+        let mut rm1 = CoordinatedRma::partitioning_only(&platform, qos.clone());
+        let rm1_cmp = ctx.comparison(&db, mix, &mut rm1, &qos, options.clone());
+        let mut rm2 = CoordinatedRma::paper1(&platform, qos.clone());
+        let rm2_cmp = ctx.comparison(&db, mix, &mut rm2, &qos, options.clone());
+        let mut rm3 = CoordinatedRma::paper2(&platform, qos.clone());
+        let rm3_cmp = ctx.comparison(&db, mix, &mut rm3, &qos, options.clone());
+
+        // "Substantially better": at least 2 percentage points more savings.
+        if rm3_cmp.energy_savings - rm2_cmp.energy_savings > 0.02 {
+            rm3_substantially_better += 1;
+        }
+
+        report.push_row(
+            ReportRow::new(format!("{}+{}", cat_a.label(), cat_b.label()))
+                .with("RM1 savings %", rm1_cmp.energy_savings * 100.0)
+                .with("RM2 savings %", rm2_cmp.energy_savings * 100.0)
+                .with("RM3 savings %", rm3_cmp.energy_savings * 100.0),
+        );
+    }
+
+    report.push_summary(format!(
+        "RM3 substantially improves on RM2 (> 2 pp) in {} of {} mixes (paper: 12 of 16); \
+         RM1 alone is rarely effective",
+        rm3_substantially_better,
+        mixes.len(),
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::mean;
+
+    #[test]
+    fn rm3_is_at_least_as_good_as_rm1_on_average() {
+        let ctx = ExperimentContext::new(true);
+        let report = run(&ctx);
+        let rm1: Vec<f64> = report.rows.iter().filter_map(|r| r.get("RM1 savings %")).collect();
+        let rm3: Vec<f64> = report.rows.iter().filter_map(|r| r.get("RM3 savings %")).collect();
+        assert!(!rm3.is_empty());
+        assert!(mean(&rm3) >= mean(&rm1) - 0.5);
+    }
+}

@@ -1,0 +1,94 @@
+//! E7 — Paper II per-scenario energy savings.
+//!
+//! Paper claim: grouping the workloads into four scenarios,
+//!
+//! * Scenario 1 — RM3 saves up to 17.6 % and 14 % on average, up to 60 % more
+//!   than RM2;
+//! * Scenario 2 — RM2 and RM3 are comparable (up to 10 %, 5 % on average);
+//! * Scenario 3 — only RM3 is effective (up to 11 %, 8.5 % on average);
+//! * Scenario 4 — neither saves a significant amount of energy.
+
+use crate::context::{max, mean, ExperimentContext};
+use crate::report::{ExperimentReport, ReportRow};
+use qosrm_core::CoordinatedRma;
+use qosrm_types::{PlatformConfig, QosSpec};
+use rma_sim::SimulationOptions;
+use workload::paper2_scenario_workloads;
+
+/// Runs the experiment.
+pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "e7",
+        "Paper II: RM2 vs. RM3 energy savings per evaluation scenario (4-core workloads, \
+         strict QoS)",
+    );
+
+    let platform = PlatformConfig::paper2(4);
+    let scenario_mixes = paper2_scenario_workloads(4);
+    let scenario_mixes: Vec<_> = if ctx.quick {
+        // One workload per scenario in quick mode.
+        let mut seen = std::collections::HashSet::new();
+        scenario_mixes
+            .into_iter()
+            .filter(|(s, _)| seen.insert(*s))
+            .collect()
+    } else {
+        scenario_mixes
+    };
+    let mixes: Vec<_> = scenario_mixes.iter().map(|(_, m)| m.clone()).collect();
+    let db = ctx.database(&platform, &mixes);
+    let qos = vec![QosSpec::STRICT; 4];
+    let options = SimulationOptions::default();
+
+    let mut per_scenario_rm2: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    let mut per_scenario_rm3: Vec<Vec<f64>> = vec![Vec::new(); 5];
+
+    for (scenario, mix) in &scenario_mixes {
+        let mut rm2 = CoordinatedRma::paper1(&platform, qos.clone());
+        let rm2_cmp = ctx.comparison(&db, mix, &mut rm2, &qos, options.clone());
+        let mut rm3 = CoordinatedRma::paper2(&platform, qos.clone());
+        let rm3_cmp = ctx.comparison(&db, mix, &mut rm3, &qos, options.clone());
+
+        per_scenario_rm2[*scenario].push(rm2_cmp.energy_savings);
+        per_scenario_rm3[*scenario].push(rm3_cmp.energy_savings);
+
+        report.push_row(
+            ReportRow::new(format!("S{scenario} {}", mix.name))
+                .with("RM2 savings %", rm2_cmp.energy_savings * 100.0)
+                .with("RM3 savings %", rm3_cmp.energy_savings * 100.0)
+                .with("RM3 violations", rm3_cmp.num_violations() as f64),
+        );
+    }
+
+    let paper_expectations = [
+        "",
+        "S1 (paper: RM3 avg 14%, up to 17.6%, >= RM2)",
+        "S2 (paper: both ~5% avg, up to 10%)",
+        "S3 (paper: RM3 avg 8.5%, RM2 ineffective)",
+        "S4 (paper: neither effective)",
+    ];
+    for scenario in 1..=4usize {
+        report.push_summary(format!(
+            "Scenario {scenario}: RM2 avg {:.1}% / max {:.1}%, RM3 avg {:.1}% / max {:.1}% — {}",
+            mean(&per_scenario_rm2[scenario]) * 100.0,
+            max(&per_scenario_rm2[scenario]) * 100.0,
+            mean(&per_scenario_rm3[scenario]) * 100.0,
+            max(&per_scenario_rm3[scenario]) * 100.0,
+            paper_expectations[scenario],
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_summary_per_scenario() {
+        let ctx = ExperimentContext::new(true);
+        let report = run(&ctx);
+        assert_eq!(report.summary.len(), 4);
+        assert!(!report.rows.is_empty());
+    }
+}

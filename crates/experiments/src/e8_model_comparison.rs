@@ -1,0 +1,101 @@
+//! E8 — Paper II model-accuracy comparison (Model 1 / 2 / 3).
+//!
+//! Paper claim: driving the RM3 scheme with the three performance models of
+//! increasing fidelity, the per-interval probability of a QoS violation is
+//! 3 % with Model 3 — 32 % lower than Model 2 and 46 % lower than Model 1 —
+//! and Model 3 also improves the expected value and standard deviation of the
+//! violations (by 49 % and 26 % versus Model 2). The weighted average energy
+//! savings are 10 % / 7 % / 5 % with Model 3 / 2 / 1.
+
+use crate::context::{mean, ExperimentContext};
+use crate::report::{ExperimentReport, ReportRow};
+use qosrm_core::{CoordinatedRma, ModelKind};
+use qosrm_types::{PlatformConfig, QosSpec};
+use rma_sim::SimulationOptions;
+use workload::paper2_scenario_workloads;
+
+/// Runs the experiment.
+pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "e8",
+        "Paper II: accuracy of the analytical models — per-interval QoS violations and \
+         energy savings of RM3 driven by Model 1, Model 2 and Model 3",
+    );
+
+    let platform = PlatformConfig::paper2(4);
+    let scenario_mixes = paper2_scenario_workloads(4);
+    let scenario_mixes: Vec<_> = if ctx.quick {
+        scenario_mixes.into_iter().take(3).collect()
+    } else {
+        scenario_mixes
+    };
+    let mixes: Vec<_> = scenario_mixes.iter().map(|(_, m)| m.clone()).collect();
+    let db = ctx.database(&platform, &mixes);
+    let qos = vec![QosSpec::STRICT; 4];
+    let options = SimulationOptions::default();
+
+    let models = [
+        ("Model 1 (no overlap)", ModelKind::SimpleLatency),
+        ("Model 2 (constant MLP)", ModelKind::ConstantMlp),
+        ("Model 3 (MLP-aware)", ModelKind::MlpAware),
+    ];
+
+    let mut summaries = Vec::new();
+    for (label, kind) in models {
+        let mut savings = Vec::new();
+        let mut probabilities = Vec::new();
+        let mut expected_values = Vec::new();
+        let mut stds = Vec::new();
+        for mix in &mixes {
+            let mut manager = CoordinatedRma::with_model(&platform, qos.clone(), kind, true)
+                .with_name(format!("RM3-{label}"));
+            let cmp = ctx.comparison(&db, mix, &mut manager, &qos, options.clone());
+            savings.push(cmp.energy_savings);
+            probabilities.push(cmp.interval_stats.probability());
+            expected_values.push(cmp.interval_stats.expected_magnitude());
+            stds.push(cmp.interval_stats.std_magnitude);
+        }
+        report.push_row(
+            ReportRow::new(label)
+                .with("Avg savings %", mean(&savings) * 100.0)
+                .with("Interval violation prob %", mean(&probabilities) * 100.0)
+                .with("Expected violation %", mean(&expected_values) * 100.0)
+                .with("Violation std %", mean(&stds) * 100.0),
+        );
+        summaries.push((label, mean(&savings), mean(&probabilities)));
+    }
+
+    report.push_summary(format!(
+        "Energy savings: {} (paper: Model 3 = 10%, Model 2 = 7%, Model 1 = 5%)",
+        summaries
+            .iter()
+            .map(|(l, s, _)| format!("{l}: {:.1}%", s * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    report.push_summary(format!(
+        "Interval violation probability: {} (paper: Model 3 = 3%, lower than Models 1 and 2)",
+        summaries
+            .iter()
+            .map(|(l, _, p)| format!("{l}: {:.1}%", p * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_all_three_models() {
+        let ctx = ExperimentContext::new(true);
+        let report = run(&ctx);
+        assert_eq!(report.rows.len(), 3);
+        for row in &report.rows {
+            assert!(row.get("Avg savings %").is_some());
+            assert!(row.get("Interval violation prob %").is_some());
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # experiments
+//!
+//! Experiment runners that regenerate every table and figure of the paper's
+//! evaluation (see `DESIGN.md` for the experiment index E1–E9 and
+//! `EXPERIMENTS.md` for paper-reported versus measured values).
+//!
+//! Each experiment module exposes a `run(&ExperimentContext) -> ExperimentReport`
+//! function; the `qosrm-experiments` binary runs them all (or a selection) and
+//! prints the same rows/series the paper reports. The expensive
+//! simulation-results database is built once per platform and cached on disk.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod context;
+pub mod e1_energy_savings;
+pub mod e2_model_error;
+pub mod e3_qos_relaxation;
+pub mod e4_baseline_sensitivity;
+pub mod e5_overhead;
+pub mod e6_scenario_analysis;
+pub mod e7_scenario_savings;
+pub mod e8_model_comparison;
+pub mod e9_overhead_scaling;
+pub mod report;
+
+pub use context::ExperimentContext;
+pub use report::{ExperimentReport, ReportRow};
+
+/// Identifiers of all experiments, in execution order.
+pub const ALL_EXPERIMENTS: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+
+/// Runs one experiment by identifier.
+pub fn run_experiment(id: &str, ctx: &ExperimentContext) -> Option<ExperimentReport> {
+    match id {
+        "e1" => Some(e1_energy_savings::run(ctx)),
+        "e2" => Some(e2_model_error::run(ctx)),
+        "e3" => Some(e3_qos_relaxation::run(ctx)),
+        "e4" => Some(e4_baseline_sensitivity::run(ctx)),
+        "e5" => Some(e5_overhead::run(ctx)),
+        "e6" => Some(e6_scenario_analysis::run(ctx)),
+        "e7" => Some(e7_scenario_savings::run(ctx)),
+        "e8" => Some(e8_model_comparison::run(ctx)),
+        "e9" => Some(e9_overhead_scaling::run(ctx)),
+        _ => None,
+    }
+}

@@ -1,0 +1,163 @@
+//! Experiment report structures and table rendering.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of an experiment table: a label plus named numeric columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportRow {
+    /// Row label (workload name, parameter value, ...).
+    pub label: String,
+    /// `(column name, value)` pairs, in display order.
+    pub values: Vec<(String, f64)>,
+}
+
+impl ReportRow {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>) -> Self {
+        ReportRow {
+            label: label.into(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Adds a named value.
+    pub fn with(mut self, column: impl Into<String>, value: f64) -> Self {
+        self.values.push((column.into(), value));
+        self
+    }
+
+    /// Looks up a value by column name.
+    pub fn get(&self, column: &str) -> Option<f64> {
+        self.values
+            .iter()
+            .find(|(c, _)| c == column)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// The result of one experiment: a titled table plus free-form summary lines
+/// (the headline numbers the paper reports).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment identifier (`"e1"`, ...).
+    pub id: String,
+    /// Human-readable title (which paper table/figure it regenerates).
+    pub title: String,
+    /// Table rows.
+    pub rows: Vec<ReportRow>,
+    /// Headline summary lines.
+    pub summary: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        ExperimentReport {
+            id: id.into(),
+            title: title.into(),
+            rows: Vec::new(),
+            summary: Vec::new(),
+        }
+    }
+
+    /// Adds a row.
+    pub fn push_row(&mut self, row: ReportRow) {
+        self.rows.push(row);
+    }
+
+    /// Adds a summary line.
+    pub fn push_summary(&mut self, line: impl Into<String>) {
+        self.summary.push(line.into());
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n\n", self.id.to_uppercase(), self.title));
+
+        if !self.rows.is_empty() {
+            // Collect the union of columns, preserving first-seen order.
+            let mut columns: Vec<String> = Vec::new();
+            for row in &self.rows {
+                for (c, _) in &row.values {
+                    if !columns.contains(c) {
+                        columns.push(c.clone());
+                    }
+                }
+            }
+            let label_width = self
+                .rows
+                .iter()
+                .map(|r| r.label.len())
+                .chain(std::iter::once("workload".len()))
+                .max()
+                .unwrap_or(8);
+            let col_width = columns
+                .iter()
+                .map(|c| c.len().max(10))
+                .collect::<Vec<_>>();
+
+            out.push_str(&format!("{:<label_width$}", "workload"));
+            for (c, w) in columns.iter().zip(&col_width) {
+                out.push_str(&format!("  {c:>w$}", w = w));
+            }
+            out.push('\n');
+            out.push_str(&"-".repeat(label_width + col_width.iter().map(|w| w + 2).sum::<usize>()));
+            out.push('\n');
+            for row in &self.rows {
+                out.push_str(&format!("{:<label_width$}", row.label));
+                for (c, w) in columns.iter().zip(&col_width) {
+                    match row.get(c) {
+                        Some(v) => out.push_str(&format!("  {v:>w$.3}", w = w)),
+                        None => out.push_str(&format!("  {:>w$}", "-", w = w)),
+                    }
+                }
+                out.push('\n');
+            }
+            out.push('\n');
+        }
+
+        for line in &self.summary {
+            out.push_str(&format!("  {line}\n"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_accessors() {
+        let row = ReportRow::new("W1").with("savings", 0.12).with("violations", 1.0);
+        assert_eq!(row.get("savings"), Some(0.12));
+        assert_eq!(row.get("missing"), None);
+    }
+
+    #[test]
+    fn render_contains_all_labels_and_columns() {
+        let mut report = ExperimentReport::new("e1", "Energy savings");
+        report.push_row(ReportRow::new("W4-00").with("RM2 savings %", 6.0));
+        report.push_row(ReportRow::new("W4-01").with("RM2 savings %", 18.0).with("RM1 savings %", 1.0));
+        report.push_summary("average savings 6%");
+        let text = report.render();
+        assert!(text.contains("E1"));
+        assert!(text.contains("W4-00"));
+        assert!(text.contains("RM2 savings %"));
+        assert!(text.contains("RM1 savings %"));
+        assert!(text.contains("average savings 6%"));
+        // Missing cells render as '-'.
+        assert!(text.contains('-'));
+    }
+
+    #[test]
+    fn render_without_rows_still_prints_summary() {
+        let mut report = ExperimentReport::new("e5", "Overhead");
+        report.push_summary("40K instructions");
+        let text = report.render();
+        assert!(text.contains("Overhead"));
+        assert!(text.contains("40K instructions"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # power-model
+//!
+//! McPAT-substitute component-level power and energy model.
+//!
+//! The paper uses McPAT alongside the Sniper simulator to estimate the power
+//! of every simulated configuration. This crate plays the same role for the
+//! reproduction: given the activity of one execution interval (instructions,
+//! duration, LLC accesses, off-chip accesses) and the resource configuration
+//! (core size, supply voltage, clock frequency, allocated LLC ways), it
+//! produces an energy breakdown for
+//!
+//! * core dynamic energy (`E ∝ N · EPI(core size) · (V/V_nom)²`),
+//! * core static (leakage) energy (`P ∝ size · V²`, integrated over time),
+//! * LLC dynamic and static energy (per access / per powered way),
+//! * DRAM access energy and the core's share of DRAM background power.
+//!
+//! Absolute values are calibrated to be plausible for a mid-2010s out-of-order
+//! server core (a few hundred pJ per instruction, tens of nJ per DRAM access);
+//! the experiments only rely on the *relative* trade-offs between the
+//! components, which is what drives the resource manager's decisions.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod energy;
+pub mod params;
+
+pub use energy::{EnergyBreakdown, EnergyModel, IntervalUsage};
+pub use params::EnergyParams;

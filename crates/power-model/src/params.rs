@@ -1,0 +1,115 @@
+//! Calibration constants of the energy model.
+
+use serde::{Deserialize, Serialize};
+
+/// Calibration constants of the [`crate::EnergyModel`].
+///
+/// All per-event energies are expressed at the nominal voltage
+/// (`nominal_voltage`); dynamic energies scale with `(V / V_nom)²` and static
+/// power with `size_scale · (V / V_nom)²`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Nominal supply voltage the per-event energies are calibrated at.
+    pub nominal_voltage: f64,
+    /// Core dynamic energy per instruction at nominal voltage for the
+    /// baseline (medium) core configuration, in joules.
+    pub core_epi_nominal: f64,
+    /// Core static (leakage) power at nominal voltage for the baseline core
+    /// configuration, in watts.
+    pub core_static_power_nominal: f64,
+    /// Dynamic energy of one LLC access, in joules.
+    pub llc_access_energy: f64,
+    /// Static power of one LLC way (across all sets), in watts.
+    pub llc_static_power_per_way: f64,
+    /// Energy of one off-chip (DRAM) access, in joules.
+    pub dram_access_energy: f64,
+    /// DRAM background (refresh + idle) power for the whole system, in watts.
+    pub dram_background_power: f64,
+    /// Energy cost of one DVFS transition (PLL relock + voltage ramp), in
+    /// joules.
+    pub dvfs_transition_energy: f64,
+    /// Energy cost of one core re-configuration (pipeline drain, power
+    /// gating), in joules.
+    pub reconfig_transition_energy: f64,
+}
+
+impl EnergyParams {
+    /// Default calibration: a 4-wide out-of-order core at 2 GHz / 1.0 V with
+    /// roughly 1.5 nJ per instruction of dynamic energy, 0.5 W of leakage,
+    /// 1.2 nJ per LLC access, 20 nJ per DRAM access and 0.8 W of DRAM
+    /// background power. Dynamic (voltage-scaled) energy dominates, which is
+    /// the regime the paper's DVFS/partitioning trade-offs operate in.
+    pub fn default_server_class() -> Self {
+        EnergyParams {
+            nominal_voltage: 1.0,
+            core_epi_nominal: 1.5e-9,
+            core_static_power_nominal: 0.5,
+            llc_access_energy: 1.2e-9,
+            llc_static_power_per_way: 0.01,
+            dram_access_energy: 20.0e-9,
+            dram_background_power: 0.8,
+            dvfs_transition_energy: 2.0e-6,
+            reconfig_transition_energy: 5.0e-6,
+        }
+    }
+
+    /// Validates that all constants are positive and finite.
+    pub fn validate(&self) -> Result<(), qosrm_types::QosrmError> {
+        let fields = [
+            ("nominal_voltage", self.nominal_voltage),
+            ("core_epi_nominal", self.core_epi_nominal),
+            ("core_static_power_nominal", self.core_static_power_nominal),
+            ("llc_access_energy", self.llc_access_energy),
+            ("llc_static_power_per_way", self.llc_static_power_per_way),
+            ("dram_access_energy", self.dram_access_energy),
+            ("dram_background_power", self.dram_background_power),
+            ("dvfs_transition_energy", self.dvfs_transition_energy),
+            ("reconfig_transition_energy", self.reconfig_transition_energy),
+        ];
+        for (name, v) in fields {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(qosrm_types::QosrmError::InvalidPlatform(format!(
+                    "energy parameter {name} must be positive and finite, got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams::default_server_class()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(EnergyParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_nonpositive() {
+        let mut p = EnergyParams::default();
+        p.core_epi_nominal = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = EnergyParams::default();
+        p.dram_access_energy = f64::NAN;
+        assert!(p.validate().is_err());
+        let mut p = EnergyParams::default();
+        p.llc_static_power_per_way = -1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn dram_access_dwarfs_llc_access() {
+        // The key relative relationship the resource manager exploits:
+        // avoiding a DRAM access is worth much more than an LLC lookup.
+        let p = EnergyParams::default();
+        assert!(p.dram_access_energy > 10.0 * p.llc_access_energy);
+    }
+}

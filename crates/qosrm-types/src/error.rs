@@ -1,0 +1,62 @@
+//! Error type shared by the workspace crates.
+
+use std::fmt;
+
+/// Errors produced by the resource-management library and its substrates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QosrmError {
+    /// A resource setting is outside the platform's configuration space
+    /// (e.g. a frequency level that does not exist, or a way allocation of 0).
+    InvalidSetting(String),
+    /// A platform description is internally inconsistent
+    /// (e.g. the way partition does not sum to the LLC associativity).
+    InvalidPlatform(String),
+    /// A workload description is internally inconsistent
+    /// (e.g. an empty phase trace or a phase id outside the phase list).
+    InvalidWorkload(String),
+    /// A query referenced a phase or configuration missing from the
+    /// simulation-results database.
+    MissingRecord(String),
+    /// An I/O or serialization error while persisting or loading artefacts.
+    Io(String),
+}
+
+impl fmt::Display for QosrmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QosrmError::InvalidSetting(msg) => write!(f, "invalid resource setting: {msg}"),
+            QosrmError::InvalidPlatform(msg) => write!(f, "invalid platform configuration: {msg}"),
+            QosrmError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            QosrmError::MissingRecord(msg) => write!(f, "missing simulation record: {msg}"),
+            QosrmError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QosrmError {}
+
+impl From<std::io::Error> for QosrmError {
+    fn from(err: std::io::Error) -> Self {
+        QosrmError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_message() {
+        let err = QosrmError::InvalidSetting("ways must be >= 1".to_string());
+        assert!(err.to_string().contains("ways must be >= 1"));
+        let err = QosrmError::MissingRecord("phase3".to_string());
+        assert!(err.to_string().contains("phase3"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let err: QosrmError = io.into();
+        assert!(matches!(err, QosrmError::Io(_)));
+    }
+}

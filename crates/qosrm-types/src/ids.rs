@@ -1,0 +1,140 @@
+//! Strongly-typed identifiers used across the workspace.
+//!
+//! Using newtypes instead of raw integers prevents accidentally mixing up
+//! a core index with an application index or a phase index, which are all
+//! plain `usize` values underneath.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a processor core in the simulated multi-core system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreId(pub usize);
+
+/// Identifier of an application (one entry of a multi-programmed workload).
+///
+/// In all experiments of the paper one application is pinned to one core, so
+/// `AppId(i)` runs on `CoreId(i)`; the types are still kept distinct because
+/// the co-phase simulator restarts finished applications while statistics are
+/// only collected for the first full round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AppId(pub usize);
+
+/// Identifier of a program phase produced by the SimPoint-like phase analysis.
+///
+/// Phases are local to a benchmark: `PhaseId(2)` of `mcf_like` is unrelated to
+/// `PhaseId(2)` of `povray_like`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PhaseId(pub usize);
+
+/// Index into the platform's list of available core micro-architecture sizes
+/// (e.g. 0 = small, 1 = medium, 2 = large).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreSizeIdx(pub usize);
+
+impl CoreId {
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl AppId {
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl PhaseId {
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl CoreSizeIdx {
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+impl fmt::Display for PhaseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "phase{}", self.0)
+    }
+}
+
+impl fmt::Display for CoreSizeIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "size{}", self.0)
+    }
+}
+
+impl From<usize> for CoreId {
+    fn from(v: usize) -> Self {
+        CoreId(v)
+    }
+}
+
+impl From<usize> for AppId {
+    fn from(v: usize) -> Self {
+        AppId(v)
+    }
+}
+
+impl From<usize> for PhaseId {
+    fn from(v: usize) -> Self {
+        PhaseId(v)
+    }
+}
+
+impl From<usize> for CoreSizeIdx {
+    fn from(v: usize) -> Self {
+        CoreSizeIdx(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CoreId(3).to_string(), "core3");
+        assert_eq!(AppId(1).to_string(), "app1");
+        assert_eq!(PhaseId(0).to_string(), "phase0");
+        assert_eq!(CoreSizeIdx(2).to_string(), "size2");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(CoreId::from(7).index(), 7);
+        assert_eq!(AppId::from(7).index(), 7);
+        assert_eq!(PhaseId::from(7).index(), 7);
+        assert_eq!(CoreSizeIdx::from(7).index(), 7);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(CoreId(0) < CoreId(1));
+        assert!(PhaseId(3) > PhaseId(2));
+    }
+}

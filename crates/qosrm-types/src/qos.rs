@@ -1,0 +1,135 @@
+//! Quality-of-service targets and violation records.
+//!
+//! The paper expresses QoS as a *performance constraint*: an application must
+//! not run slower than it would with the baseline resource allocation. The
+//! constraint can optionally be relaxed by a bounded factor (the QoS
+//! relaxation experiments allow up to 80 % longer execution time).
+
+use crate::error::QosrmError;
+use crate::ids::AppId;
+use serde::{Deserialize, Serialize};
+
+/// Per-application QoS specification.
+///
+/// `allowed_slowdown` is the factor by which the application's execution time
+/// may exceed the baseline execution time: `1.0` means "at least baseline
+/// performance" (the default in Paper I/II), `1.4` means up to 40 % longer
+/// execution time is tolerated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosSpec {
+    /// Allowed slowdown relative to the baseline allocation (>= 1.0).
+    pub allowed_slowdown: f64,
+}
+
+impl QosSpec {
+    /// Strict QoS: no slowdown relative to the baseline is tolerated.
+    pub const STRICT: QosSpec = QosSpec { allowed_slowdown: 1.0 };
+
+    /// Creates a QoS spec allowing the given relative slowdown (e.g. `0.4`
+    /// allows 40 % longer execution time).
+    pub fn relaxed_by(fraction: f64) -> Self {
+        QosSpec {
+            allowed_slowdown: 1.0 + fraction.max(0.0),
+        }
+    }
+
+    /// Target execution time for an interval whose baseline time is
+    /// `baseline_seconds`.
+    pub fn target_time(&self, baseline_seconds: f64) -> f64 {
+        baseline_seconds * self.allowed_slowdown
+    }
+
+    /// Validates the spec.
+    pub fn validate(&self) -> Result<(), QosrmError> {
+        if !self.allowed_slowdown.is_finite() || self.allowed_slowdown < 1.0 {
+            return Err(QosrmError::InvalidSetting(format!(
+                "allowed_slowdown must be >= 1.0, got {}",
+                self.allowed_slowdown
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for QosSpec {
+    fn default() -> Self {
+        QosSpec::STRICT
+    }
+}
+
+/// A measured QoS violation: the application's full execution took longer than
+/// its QoS target allows.
+///
+/// Following the paper, violations smaller than 1 % are considered negligible
+/// and are not reported.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosViolation {
+    /// The application whose constraint was violated.
+    pub app: AppId,
+    /// Execution time under the resource manager, in seconds.
+    pub measured_seconds: f64,
+    /// Maximum execution time allowed by the QoS target, in seconds.
+    pub target_seconds: f64,
+}
+
+impl QosViolation {
+    /// Relative magnitude of the violation
+    /// (`measured / target - 1`, e.g. `0.03` = 3 % too slow).
+    pub fn magnitude(&self) -> f64 {
+        self.measured_seconds / self.target_seconds - 1.0
+    }
+
+    /// Whether the violation exceeds the paper's 1 % reporting threshold.
+    pub fn is_significant(&self) -> bool {
+        self.magnitude() > 0.01
+    }
+}
+
+/// Threshold below which a measured slowdown is not counted as a violation
+/// (the paper: "values below 1 % are considered negligible").
+pub const VIOLATION_SIGNIFICANCE_THRESHOLD: f64 = 0.01;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_and_relaxed_targets() {
+        assert!((QosSpec::STRICT.target_time(2.0) - 2.0).abs() < 1e-12);
+        let r = QosSpec::relaxed_by(0.4);
+        assert!((r.allowed_slowdown - 1.4).abs() < 1e-12);
+        assert!((r.target_time(2.0) - 2.8).abs() < 1e-12);
+        // Negative relaxations clamp to strict.
+        assert!((QosSpec::relaxed_by(-0.5).allowed_slowdown - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(QosSpec::STRICT.validate().is_ok());
+        assert!(QosSpec { allowed_slowdown: 0.9 }.validate().is_err());
+        assert!(QosSpec { allowed_slowdown: f64::NAN }.validate().is_err());
+    }
+
+    #[test]
+    fn violation_magnitude() {
+        let v = QosViolation {
+            app: AppId(0),
+            measured_seconds: 1.03,
+            target_seconds: 1.0,
+        };
+        assert!((v.magnitude() - 0.03).abs() < 1e-12);
+        assert!(v.is_significant());
+
+        let tiny = QosViolation {
+            app: AppId(1),
+            measured_seconds: 1.005,
+            target_seconds: 1.0,
+        };
+        assert!(!tiny.is_significant());
+    }
+
+    #[test]
+    fn default_is_strict() {
+        assert_eq!(QosSpec::default(), QosSpec::STRICT);
+    }
+}

@@ -1,0 +1,215 @@
+//! Resource settings: the decision variables of the resource manager.
+
+use crate::cache::WayPartition;
+use crate::config::PlatformConfig;
+use crate::error::QosrmError;
+use crate::freq::FreqLevel;
+use crate::ids::{CoreId, CoreSizeIdx};
+use serde::{Deserialize, Serialize};
+
+/// The resource setting of a single core: its micro-architecture size, its
+/// voltage–frequency level and the number of LLC ways allocated to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreSetting {
+    /// Core micro-architecture configuration (Paper II; fixed to the baseline
+    /// size in Paper I experiments).
+    pub core_size: CoreSizeIdx,
+    /// Voltage–frequency level.
+    pub freq: FreqLevel,
+    /// Number of LLC ways allocated to this core.
+    pub ways: usize,
+}
+
+/// The system-wide resource setting chosen by the resource manager:
+/// one [`CoreSetting`] per core, with the way allocations forming a valid
+/// partition of the shared LLC.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SystemSetting {
+    cores: Vec<CoreSetting>,
+}
+
+impl SystemSetting {
+    /// Creates a system setting from per-core settings.
+    pub fn new(cores: Vec<CoreSetting>) -> Self {
+        SystemSetting { cores }
+    }
+
+    /// The baseline setting of a platform: every core at the baseline core
+    /// size and baseline VF level, with the LLC partitioned equally.
+    pub fn baseline(platform: &PlatformConfig) -> Self {
+        let ways = platform.baseline_ways_per_core();
+        let cores = (0..platform.num_cores)
+            .map(|_| CoreSetting {
+                core_size: platform.baseline_core_size,
+                freq: platform.baseline_freq(),
+                ways,
+            })
+            .collect();
+        SystemSetting { cores }
+    }
+
+    /// Number of cores covered by the setting.
+    #[inline]
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The setting of core `core`.
+    #[inline]
+    pub fn core(&self, core: CoreId) -> CoreSetting {
+        self.cores[core.index()]
+    }
+
+    /// Mutable access to the setting of core `core`.
+    #[inline]
+    pub fn core_mut(&mut self, core: CoreId) -> &mut CoreSetting {
+        &mut self.cores[core.index()]
+    }
+
+    /// All per-core settings.
+    #[inline]
+    pub fn cores(&self) -> &[CoreSetting] {
+        &self.cores
+    }
+
+    /// The way partition induced by the per-core settings.
+    pub fn way_partition(&self) -> WayPartition {
+        WayPartition::new(self.cores.iter().map(|c| c.ways).collect())
+    }
+
+    /// Validates the setting against a platform: every core's size, VF level
+    /// and way count must exist and the way counts must form a valid
+    /// partition of the LLC.
+    pub fn validate(&self, platform: &PlatformConfig) -> Result<(), QosrmError> {
+        if self.cores.len() != platform.num_cores {
+            return Err(QosrmError::InvalidSetting(format!(
+                "setting covers {} cores, platform has {}",
+                self.cores.len(),
+                platform.num_cores
+            )));
+        }
+        for (i, c) in self.cores.iter().enumerate() {
+            if c.core_size.index() >= platform.num_core_sizes() {
+                return Err(QosrmError::InvalidSetting(format!(
+                    "core {i}: core size {} out of range",
+                    c.core_size.index()
+                )));
+            }
+            if c.freq.index() >= platform.vf.num_levels() {
+                return Err(QosrmError::InvalidSetting(format!(
+                    "core {i}: VF level {} out of range",
+                    c.freq.index()
+                )));
+            }
+            if c.ways == 0 || c.ways > platform.llc.associativity {
+                return Err(QosrmError::InvalidSetting(format!(
+                    "core {i}: way allocation {} out of range",
+                    c.ways
+                )));
+            }
+        }
+        self.way_partition().validate(&platform.llc)?;
+        Ok(())
+    }
+
+    /// Counts, per core, which of the three resource dimensions changed
+    /// between `self` and `other`. Used by the simulator to charge
+    /// reconfiguration overheads.
+    pub fn diff(&self, other: &SystemSetting) -> Vec<SettingDelta> {
+        debug_assert_eq!(self.cores.len(), other.cores.len());
+        self.cores
+            .iter()
+            .zip(other.cores.iter())
+            .map(|(a, b)| SettingDelta {
+                freq_changed: a.freq != b.freq,
+                ways_changed: a.ways != b.ways,
+                core_size_changed: a.core_size != b.core_size,
+                ways_delta: b.ways as isize - a.ways as isize,
+            })
+            .collect()
+    }
+}
+
+/// Per-core summary of what changed between two consecutive system settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SettingDelta {
+    /// The VF level changed (a DVFS transition must be paid).
+    pub freq_changed: bool,
+    /// The LLC way allocation changed (some lines will be refetched).
+    pub ways_changed: bool,
+    /// The core configuration changed (pipeline drain / resource gating).
+    pub core_size_changed: bool,
+    /// Signed change in way count (positive = more ways).
+    pub ways_delta: isize,
+}
+
+impl SettingDelta {
+    /// Whether anything at all changed for this core.
+    pub fn any(&self) -> bool {
+        self.freq_changed || self.ways_changed || self.core_size_changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlatformConfig;
+
+    #[test]
+    fn baseline_is_valid_and_equal() {
+        for n in [2usize, 4, 8] {
+            let p = PlatformConfig::paper2(n);
+            let s = SystemSetting::baseline(&p);
+            assert!(s.validate(&p).is_ok());
+            assert_eq!(s.num_cores(), n);
+            let ways = p.llc.associativity / n;
+            for c in s.cores() {
+                assert_eq!(c.ways, ways);
+                assert_eq!(c.freq, p.baseline_freq());
+                assert_eq!(c.core_size, p.baseline_core_size);
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_settings() {
+        let p = PlatformConfig::paper2(4);
+        let mut s = SystemSetting::baseline(&p);
+        s.core_mut(CoreId(0)).ways = 0;
+        assert!(s.validate(&p).is_err());
+
+        let mut s = SystemSetting::baseline(&p);
+        s.core_mut(CoreId(0)).ways = 5; // now sums to 17
+        assert!(s.validate(&p).is_err());
+
+        let mut s = SystemSetting::baseline(&p);
+        s.core_mut(CoreId(1)).freq = FreqLevel(99);
+        assert!(s.validate(&p).is_err());
+
+        let mut s = SystemSetting::baseline(&p);
+        s.core_mut(CoreId(2)).core_size = CoreSizeIdx(7);
+        assert!(s.validate(&p).is_err());
+    }
+
+    #[test]
+    fn diff_reports_changes() {
+        let p = PlatformConfig::paper2(4);
+        let a = SystemSetting::baseline(&p);
+        let mut b = a.clone();
+        b.core_mut(CoreId(0)).freq = FreqLevel(2);
+        b.core_mut(CoreId(1)).ways = 6;
+        b.core_mut(CoreId(2)).ways = 2;
+        let deltas = a.diff(&b);
+        assert!(deltas[0].freq_changed && !deltas[0].ways_changed);
+        assert!(deltas[1].ways_changed && deltas[1].ways_delta == 2);
+        assert!(deltas[2].ways_changed && deltas[2].ways_delta == -2);
+        assert!(!deltas[3].any());
+    }
+
+    #[test]
+    fn way_partition_matches_settings() {
+        let p = PlatformConfig::paper1(4);
+        let s = SystemSetting::baseline(&p);
+        assert_eq!(s.way_partition().as_slice(), &[4, 4, 4, 4]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Trivial resource managers used as comparison points.
+
+use qosrm_types::{CoreId, CoreObservation, ResourceManager, SystemSetting};
+
+/// A manager that never changes anything: every application keeps the
+/// baseline core size, VF level and equal LLC share. The QoS targets of the
+/// paper are defined by this manager's execution times.
+#[derive(Debug, Default, Clone)]
+pub struct BaselineManager;
+
+impl ResourceManager for BaselineManager {
+    fn name(&self) -> &str {
+        "Baseline"
+    }
+
+    fn on_interval(
+        &mut self,
+        _core: CoreId,
+        _observation: &CoreObservation,
+        current: &SystemSetting,
+    ) -> SystemSetting {
+        current.clone()
+    }
+
+    fn invocation_overhead_instructions(&self, _num_cores: usize) -> u64 {
+        0
+    }
+}
+
+/// A manager that applies one fixed setting at the first opportunity and
+/// keeps it forever (used for sensitivity studies, e.g. running the whole
+/// workload at a lower VF level).
+#[derive(Debug, Clone)]
+pub struct StaticSettingManager {
+    setting: SystemSetting,
+}
+
+impl StaticSettingManager {
+    /// Creates a manager pinned to `setting`.
+    pub fn new(setting: SystemSetting) -> Self {
+        StaticSettingManager { setting }
+    }
+}
+
+impl ResourceManager for StaticSettingManager {
+    fn name(&self) -> &str {
+        "StaticSetting"
+    }
+
+    fn on_interval(
+        &mut self,
+        _core: CoreId,
+        _observation: &CoreObservation,
+        _current: &SystemSetting,
+    ) -> SystemSetting {
+        self.setting.clone()
+    }
+
+    fn invocation_overhead_instructions(&self, _num_cores: usize) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosrm_types::{
+        CoreSizeIdx, FreqLevel, IntervalStats, MissProfile, PlatformConfig, AppId,
+    };
+
+    fn observation() -> CoreObservation {
+        CoreObservation {
+            app: AppId(0),
+            stats: IntervalStats {
+                instructions: 1000,
+                cycles: 1500,
+                exec_cycles: 1000,
+                llc_accesses: 10,
+                llc_misses: 5,
+                leading_misses: 5,
+                elapsed_seconds: 1e-6,
+                freq: FreqLevel(0),
+                core_size: CoreSizeIdx(0),
+                ways: 4,
+            },
+            miss_profile: MissProfile::new(vec![5, 5, 5, 5]),
+            mlp_profile: None,
+            scaling_profile: None,
+            perfect: None,
+        }
+    }
+
+    #[test]
+    fn baseline_keeps_current_setting() {
+        let platform = PlatformConfig::paper1(4);
+        let current = SystemSetting::baseline(&platform);
+        let mut manager = BaselineManager;
+        let next = manager.on_interval(CoreId(0), &observation(), &current);
+        assert_eq!(next, current);
+        assert_eq!(manager.invocation_overhead_instructions(8), 0);
+        assert_eq!(manager.name(), "Baseline");
+    }
+
+    #[test]
+    fn static_manager_applies_its_setting() {
+        let platform = PlatformConfig::paper1(4);
+        let baseline = SystemSetting::baseline(&platform);
+        let mut target = baseline.clone();
+        target.core_mut(CoreId(0)).freq = FreqLevel(2);
+        let mut manager = StaticSettingManager::new(target.clone());
+        let next = manager.on_interval(CoreId(1), &observation(), &baseline);
+        assert_eq!(next, target);
+    }
+}

@@ -1,0 +1,31 @@
+//! # rma-sim
+//!
+//! The co-phase resource-management simulator (thesis Chapter 2).
+//!
+//! Detailed architectural simulation of full benchmark executions is too slow
+//! to evaluate resource-management policies over thousands of billions of
+//! instructions. The paper therefore builds a two-level framework: detailed
+//! per-phase simulation once (the `simdb` crate), and a fast *proxy*
+//! simulation of the multi-programmed execution that replays the phase traces
+//! of all applications against the pre-computed database under the control of
+//! a resource management algorithm (RMA). This crate implements that proxy:
+//!
+//! * [`simulator::CophaseSimulator`] advances all cores in global-event order
+//!   (the next event is the earliest interval completion), invokes the RMA on
+//!   the core that finished, applies the new system setting, and charges
+//!   DVFS / re-configuration / repartitioning overheads;
+//! * [`baseline`] provides the trivial managers the experiments compare
+//!   against (keep the baseline setting, or keep any fixed setting);
+//! * [`result`] collects per-application execution times and energies and
+//!   computes energy savings and QoS violations relative to a baseline run.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baseline;
+pub mod result;
+pub mod simulator;
+
+pub use baseline::{BaselineManager, StaticSettingManager};
+pub use result::{compare, AppResult, Comparison, IntervalRecord, IntervalViolationStats, SimulationResult};
+pub use simulator::{CophaseSimulator, SimulationOptions};

@@ -1,0 +1,473 @@
+//! The co-phase event-driven simulator.
+
+use crate::baseline::BaselineManager;
+use crate::result::{AppResult, IntervalRecord, SimulationResult};
+use core_model::{TransitionCosts, TransitionModel};
+use power_model::EnergyBreakdown;
+use qosrm_types::{
+    AppId, ConfigTable, CoreId, CoreObservation, CoreScalingProfile, CoreSetting, MissProfile,
+    MlpProfile, PlatformConfig, QosrmError, ResourceManager, SystemSetting,
+};
+use simdb::{BenchmarkRecord, GroundTruth, SimDb};
+use workload::WorkloadMix;
+
+/// Options of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationOptions {
+    /// Give the manager the ground-truth configuration table of the upcoming
+    /// interval (perfect-model experiments).
+    pub provide_perfect_tables: bool,
+    /// Give the manager the MLP-ATD and ILP-monitor observations (the
+    /// Paper II hardware support). Without it only the plain ATD miss profile
+    /// is available, as in Paper I.
+    pub provide_mlp_profiles: bool,
+    /// Safety cap on the number of global events (prevents livelock if a
+    /// manager misbehaves).
+    pub max_events: usize,
+    /// Transition-cost constants.
+    pub transition_costs: TransitionCosts,
+}
+
+impl Default for SimulationOptions {
+    fn default() -> Self {
+        SimulationOptions {
+            provide_perfect_tables: false,
+            provide_mlp_profiles: true,
+            max_events: 2_000_000,
+            transition_costs: TransitionCosts::default(),
+        }
+    }
+}
+
+/// Per-core run-time state.
+struct CoreState {
+    record: BenchmarkRecord,
+    /// Index of the interval currently executing (counts from 0 over the
+    /// whole run; the phase trace wraps around after the first round).
+    interval_idx: usize,
+    /// Instructions completed in the current interval.
+    progress: f64,
+    /// Stall time (seconds) still to be served before the interval resumes
+    /// (reconfiguration and RMA software overheads).
+    pending_overhead: f64,
+    /// Global time at which the current interval started.
+    interval_start: f64,
+    /// Whether the application has completed its first full round.
+    done: bool,
+    /// Execution time of the first round.
+    round_time: f64,
+    /// Energy of the first round.
+    round_energy: EnergyBreakdown,
+    /// Intervals completed in the first round.
+    round_intervals: usize,
+}
+
+/// The co-phase simulator for one workload on one platform.
+pub struct CophaseSimulator {
+    db: SimDb,
+    ground_truth: GroundTruth,
+    mix: WorkloadMix,
+    options: SimulationOptions,
+}
+
+impl CophaseSimulator {
+    /// Creates a simulator for `mix`, taking the platform from the database.
+    pub fn new(db: &SimDb, mix: &WorkloadMix, options: SimulationOptions) -> Result<Self, QosrmError> {
+        let platform = db.platform().clone();
+        if mix.num_cores() != platform.num_cores {
+            return Err(QosrmError::InvalidWorkload(format!(
+                "workload {} has {} applications, platform has {} cores",
+                mix.name,
+                mix.num_cores(),
+                platform.num_cores
+            )));
+        }
+        for b in &mix.benchmarks {
+            db.require(b)?;
+        }
+        Ok(CophaseSimulator {
+            db: db.clone(),
+            ground_truth: GroundTruth::new(&platform),
+            mix: mix.clone(),
+            options,
+        })
+    }
+
+    /// The platform being simulated.
+    pub fn platform(&self) -> &PlatformConfig {
+        self.db.platform()
+    }
+
+    /// Runs the workload under the baseline (no-op) manager.
+    pub fn run_baseline(&self) -> SimulationResult {
+        let mut manager = BaselineManager;
+        self.run(&mut manager)
+    }
+
+    /// Runs the workload under `manager` until every application has
+    /// completed one full round.
+    pub fn run(&self, manager: &mut dyn ResourceManager) -> SimulationResult {
+        let platform = self.db.platform().clone();
+        let num_cores = platform.num_cores;
+        manager.reset(num_cores);
+
+        let transition_model = TransitionModel::new(
+            self.options.transition_costs,
+            platform.llc,
+            platform.memory,
+        );
+
+        let mut cores: Vec<CoreState> = self
+            .mix
+            .benchmarks
+            .iter()
+            .map(|name| CoreState {
+                record: self.db.require(name).expect("validated in new()").clone(),
+                interval_idx: 0,
+                progress: 0.0,
+                pending_overhead: 0.0,
+                interval_start: 0.0,
+                done: false,
+                round_time: 0.0,
+                round_energy: EnergyBreakdown::default(),
+                round_intervals: 0,
+            })
+            .collect();
+
+        let mut setting = SystemSetting::baseline(&platform);
+        let mut time = 0.0f64;
+        let mut intervals = Vec::new();
+        let mut rma_invocations = 0u64;
+        let mut rma_overhead_instructions = 0u64;
+        let mut setting_changes = 0u64;
+        let interval_instructions = platform.interval_instructions as f64;
+
+        for _event in 0..self.options.max_events {
+            if cores.iter().all(|c| c.done) {
+                break;
+            }
+
+            // Per-core interval time at the current setting and phase.
+            let interval_times: Vec<f64> = cores
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let phase = c.record.phase(c.record.trace.phase_at(c.interval_idx));
+                    self.ground_truth
+                        .metrics_at(phase, setting.core(CoreId(i)))
+                        .time_seconds
+                })
+                .collect();
+
+            // Next global event: the earliest interval completion.
+            let (next_core, dt) = cores
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let remaining_fraction =
+                        (interval_instructions - c.progress) / interval_instructions;
+                    let remaining = c.pending_overhead + remaining_fraction * interval_times[i];
+                    (i, remaining)
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .expect("at least one core");
+
+            // Advance every core by dt, accounting progress and energy.
+            time += dt;
+            for (i, core) in cores.iter_mut().enumerate() {
+                let mut exec_dt = dt;
+                if core.pending_overhead > 0.0 {
+                    let served = core.pending_overhead.min(exec_dt);
+                    core.pending_overhead -= served;
+                    exec_dt -= served;
+                }
+                let executed =
+                    (exec_dt / interval_times[i].max(f64::MIN_POSITIVE)) * interval_instructions;
+                core.progress += executed;
+                if !core.done {
+                    core.round_time += dt;
+                    // Charge energy proportionally to executed instructions.
+                    let phase = core.record.phase(core.record.trace.phase_at(core.interval_idx));
+                    let core_setting = setting.core(CoreId(i));
+                    let outcome = self.ground_truth.timing(
+                        phase,
+                        core_setting.core_size,
+                        core_setting.freq,
+                        core_setting.ways,
+                    );
+                    let energy = self.ground_truth.energy(
+                        phase,
+                        core_setting.core_size,
+                        core_setting.freq,
+                        core_setting.ways,
+                        &outcome,
+                    );
+                    let fraction = (executed / interval_instructions).min(1.0);
+                    let mut scaled = EnergyBreakdown::default();
+                    scaled.core_dynamic = energy.core_dynamic * fraction;
+                    scaled.core_static = energy.core_static * fraction;
+                    scaled.llc_dynamic = energy.llc_dynamic * fraction;
+                    scaled.llc_static = energy.llc_static * fraction;
+                    scaled.dram_dynamic = energy.dram_dynamic * fraction;
+                    scaled.dram_background = energy.dram_background * fraction;
+                    core.round_energy.accumulate(&scaled);
+                }
+            }
+
+            // The finishing core completes its interval.
+            let finished_phase_id;
+            let finished_setting = setting.core(CoreId(next_core));
+            {
+                let core = &mut cores[next_core];
+                finished_phase_id = core.record.trace.phase_at(core.interval_idx);
+                if !core.done {
+                    intervals.push(IntervalRecord {
+                        app: AppId(next_core),
+                        interval_index: core.interval_idx,
+                        phase: finished_phase_id,
+                        time_seconds: time - core.interval_start,
+                        setting: finished_setting,
+                    });
+                    core.round_intervals += 1;
+                }
+                core.interval_idx += 1;
+                core.progress = 0.0;
+                core.interval_start = time;
+                if !core.done && core.interval_idx >= core.record.trace_intervals() {
+                    core.done = true;
+                }
+            }
+
+            // Invoke the resource manager on the finishing core.
+            let observation = self.build_observation(&cores[next_core], next_core, finished_setting, finished_phase_id);
+            let new_setting = manager.on_interval(CoreId(next_core), &observation, &setting);
+            rma_invocations += 1;
+            let overhead_instr = manager.invocation_overhead_instructions(num_cores);
+            rma_overhead_instructions += overhead_instr;
+            // RMA software overhead runs on the invoking core.
+            let freq_hz = platform.vf.point(setting.core(CoreId(next_core)).freq).freq_hz();
+            cores[next_core].pending_overhead += overhead_instr as f64 / freq_hz;
+
+            // Apply the new setting if it is valid and different.
+            if new_setting != setting && new_setting.validate(&platform).is_ok() {
+                let deltas = setting.diff(&new_setting);
+                for (i, delta) in deltas.iter().enumerate() {
+                    if !delta.any() {
+                        continue;
+                    }
+                    let overhead = transition_model.overhead(delta);
+                    cores[i].pending_overhead += overhead.time_seconds;
+                    if !cores[i].done {
+                        let mut transition_energy = 0.0;
+                        transition_energy += self
+                            .ground_truth
+                            .energy_model()
+                            .dvfs_transition_energy(overhead.dvfs_transitions);
+                        transition_energy += self
+                            .ground_truth
+                            .energy_model()
+                            .reconfig_transition_energy(overhead.core_reconfigs);
+                        transition_energy += self
+                            .ground_truth
+                            .energy_model()
+                            .repartition_refill_energy(overhead.extra_misses);
+                        cores[i].round_energy.transition += transition_energy;
+                    }
+                }
+                setting_changes += 1;
+                setting = new_setting;
+            }
+        }
+
+        let mut breakdown = EnergyBreakdown::default();
+        for c in &cores {
+            breakdown.accumulate(&c.round_energy);
+        }
+        let per_app: Vec<AppResult> = cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| AppResult {
+                app: AppId(i),
+                benchmark: c.record.name.clone(),
+                execution_seconds: c.round_time,
+                energy_joules: c.round_energy.total(),
+                intervals: c.round_intervals,
+            })
+            .collect();
+        let system_energy_joules = per_app.iter().map(|a| a.energy_joules).sum();
+
+        SimulationResult {
+            workload: self.mix.name.clone(),
+            manager: manager.name().to_string(),
+            per_app,
+            system_energy_joules,
+            energy_breakdown: breakdown,
+            rma_invocations,
+            rma_overhead_instructions,
+            setting_changes,
+            intervals,
+        }
+    }
+
+    /// Builds the observation the finishing core hands to the manager.
+    fn build_observation(
+        &self,
+        core: &CoreState,
+        core_idx: usize,
+        finished_setting: CoreSetting,
+        finished_phase: qosrm_types::PhaseId,
+    ) -> CoreObservation {
+        let phase = core.record.phase(finished_phase);
+        let stats = self.ground_truth.interval_stats(phase, finished_setting);
+        let miss_profile = MissProfile::new(phase.atd_misses_per_way.clone());
+        let mlp_profile = if self.options.provide_mlp_profiles {
+            Some(MlpProfile::new(phase.atd_leading_misses.clone()))
+        } else {
+            None
+        };
+        let scaling_profile = if self.options.provide_mlp_profiles {
+            Some(CoreScalingProfile::new(phase.exec_cpi.clone()))
+        } else {
+            None
+        };
+        let perfect: Option<ConfigTable> = if self.options.provide_perfect_tables {
+            // Perfect foresight of the upcoming interval's phase.
+            let next_phase = core.record.trace.phase_at(core.interval_idx);
+            Some(self.ground_truth.config_table(core.record.phase(next_phase)))
+        } else {
+            None
+        };
+        CoreObservation {
+            app: AppId(core_idx),
+            stats,
+            miss_profile,
+            mlp_profile,
+            scaling_profile,
+            perfect,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::StaticSettingManager;
+    use qosrm_types::FreqLevel;
+    use simdb::{build_database, BuildOptions};
+    use workload::benchmark;
+
+    fn test_db(num_cores: usize) -> SimDb {
+        let platform = PlatformConfig::paper2(num_cores);
+        let options = BuildOptions::quick_for_tests(&platform);
+        let benchmarks = vec![
+            benchmark("mcf_like").unwrap(),
+            benchmark("libquantum_like").unwrap(),
+            benchmark("gamess_like").unwrap(),
+            benchmark("soplex_like").unwrap(),
+        ];
+        build_database(&platform, &benchmarks, &options)
+    }
+
+    fn mix() -> WorkloadMix {
+        WorkloadMix::new(
+            "test-mix",
+            vec!["mcf_like", "libquantum_like", "gamess_like", "soplex_like"],
+        )
+    }
+
+    #[test]
+    fn baseline_run_completes_every_application() {
+        let db = test_db(4);
+        let sim = CophaseSimulator::new(&db, &mix(), SimulationOptions::default()).unwrap();
+        let result = sim.run_baseline();
+        assert_eq!(result.per_app.len(), 4);
+        for (i, app) in result.per_app.iter().enumerate() {
+            let record = db.benchmark(&mix().benchmarks[i]).unwrap();
+            assert_eq!(app.intervals, record.trace_intervals(), "{}", app.benchmark);
+            assert!(app.execution_seconds > 0.0);
+            assert!(app.energy_joules > 0.0);
+        }
+        assert!(result.system_energy_joules > 0.0);
+        assert_eq!(result.setting_changes, 0);
+        assert!(result.rma_invocations > 0);
+        // Per-interval records cover every first-round interval.
+        let expected: usize = result.per_app.iter().map(|a| a.intervals).sum();
+        assert_eq!(result.intervals.len(), expected);
+    }
+
+    #[test]
+    fn mismatched_core_count_is_rejected() {
+        let db = test_db(4);
+        let bad = WorkloadMix::new("bad", vec!["mcf_like", "gamess_like"]);
+        assert!(CophaseSimulator::new(&db, &bad, SimulationOptions::default()).is_err());
+        let unknown = WorkloadMix::new("bad2", vec!["a", "b", "c", "d"]);
+        assert!(CophaseSimulator::new(&db, &unknown, SimulationOptions::default()).is_err());
+    }
+
+    #[test]
+    fn lower_frequency_saves_energy_but_slows_down() {
+        let db = test_db(4);
+        let sim = CophaseSimulator::new(&db, &mix(), SimulationOptions::default()).unwrap();
+        let baseline = sim.run_baseline();
+
+        let platform = db.platform().clone();
+        let mut slow_setting = SystemSetting::baseline(&platform);
+        for i in 0..4 {
+            slow_setting.core_mut(CoreId(i)).freq = FreqLevel(0);
+        }
+        let mut slow_manager = StaticSettingManager::new(slow_setting);
+        let slow = sim.run(&mut slow_manager);
+
+        assert!(slow.system_energy_joules < baseline.system_energy_joules);
+        for i in 0..4 {
+            assert!(
+                slow.per_app[i].execution_seconds > baseline.per_app[i].execution_seconds,
+                "app {i} should slow down at the lowest frequency"
+            );
+        }
+        assert!(slow.setting_changes >= 1);
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let db = test_db(4);
+        let sim = CophaseSimulator::new(&db, &mix(), SimulationOptions::default()).unwrap();
+        let a = sim.run_baseline();
+        let b = sim.run_baseline();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn perfect_tables_are_provided_when_requested() {
+        struct Probe {
+            saw_perfect: bool,
+            saw_mlp: bool,
+        }
+        impl ResourceManager for Probe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn on_interval(
+                &mut self,
+                _core: CoreId,
+                obs: &CoreObservation,
+                current: &SystemSetting,
+            ) -> SystemSetting {
+                self.saw_perfect |= obs.perfect.is_some();
+                self.saw_mlp |= obs.mlp_profile.is_some();
+                current.clone()
+            }
+        }
+        let db = test_db(4);
+        let options = SimulationOptions {
+            provide_perfect_tables: true,
+            provide_mlp_profiles: false,
+            ..Default::default()
+        };
+        let sim = CophaseSimulator::new(&db, &mix(), options).unwrap();
+        let mut probe = Probe { saw_perfect: false, saw_mlp: false };
+        sim.run(&mut probe);
+        assert!(probe.saw_perfect);
+        assert!(!probe.saw_mlp);
+    }
+}

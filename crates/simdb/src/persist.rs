@@ -1,0 +1,112 @@
+//! Persistence of the simulation-results database.
+//!
+//! The database build is the expensive step of the pipeline, so experiments
+//! can cache it on disk as JSON and reload it instead of re-characterizing
+//! the suite (the paper reuses its Sniper results database across all RMA
+//! experiments in the same way).
+
+use crate::record::SimDb;
+use qosrm_types::QosrmError;
+use std::fs;
+use std::path::Path;
+
+/// Saves a database to `path` as pretty-printed JSON.
+pub fn save(db: &SimDb, path: &Path) -> Result<(), QosrmError> {
+    let json = serde_json::to_string(db).map_err(|e| QosrmError::Io(e.to_string()))?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a database from `path`.
+pub fn load(path: &Path) -> Result<SimDb, QosrmError> {
+    let json = fs::read_to_string(path)?;
+    let db: SimDb = serde_json::from_str(&json).map_err(|e| QosrmError::Io(e.to_string()))?;
+    db.validate()?;
+    Ok(db)
+}
+
+/// Loads a cached database if `path` exists, otherwise builds it with
+/// `build` and saves the result.
+pub fn load_or_build(
+    path: &Path,
+    build: impl FnOnce() -> SimDb,
+) -> Result<SimDb, QosrmError> {
+    if path.exists() {
+        if let Ok(db) = load(path) {
+            return Ok(db);
+        }
+        // A corrupt or stale cache falls through to a rebuild.
+    }
+    let db = build();
+    save(&db, path)?;
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_database, BuildOptions};
+    use qosrm_types::PlatformConfig;
+    use workload::benchmark;
+
+    fn tiny_db() -> SimDb {
+        let platform = PlatformConfig::paper2(4);
+        let options = BuildOptions::quick_for_tests(&platform);
+        build_database(&platform, &[benchmark("gamess_like").unwrap()], &options)
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let db = tiny_db();
+        let dir = std::env::temp_dir().join("qosrm_simdb_test");
+        let path = dir.join("roundtrip.json");
+        save(&db, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(db, loaded);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let path = Path::new("/definitely/not/a/real/path/db.json");
+        assert!(load(path).is_err());
+    }
+
+    #[test]
+    fn load_or_build_builds_once_then_caches() {
+        let dir = std::env::temp_dir().join("qosrm_simdb_test");
+        let path = dir.join("cache.json");
+        fs::remove_file(&path).ok();
+        let mut builds = 0;
+        let db1 = load_or_build(&path, || {
+            builds += 1;
+            tiny_db()
+        })
+        .unwrap();
+        assert_eq!(builds, 1);
+        let db2 = load_or_build(&path, || {
+            builds += 1;
+            tiny_db()
+        })
+        .unwrap();
+        assert_eq!(builds, 1, "second call must hit the cache");
+        assert_eq!(db1, db2);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_cache_is_rebuilt() {
+        let dir = std::env::temp_dir().join("qosrm_simdb_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        fs::write(&path, "this is not json").unwrap();
+        let db = load_or_build(&path, tiny_db).unwrap();
+        assert_eq!(db.len(), 1);
+        fs::remove_file(&path).ok();
+    }
+}

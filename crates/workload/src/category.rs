@@ -1,0 +1,242 @@
+//! Application categorization.
+//!
+//! Paper I classifies applications along two axes — **memory intensity**
+//! (MPKI at the baseline allocation above a threshold) and **cache
+//! sensitivity** (variation of MPKI across allocations around the baseline
+//! above a threshold). Paper II replaces memory intensity with **parallelism
+//! sensitivity** (variation of MLP across core sizes above a threshold).
+//! Workload mixes for the experiments are drawn from these categories.
+
+use core_model::PhaseCharacterization;
+use qosrm_types::CoreSizeIdx;
+use serde::{Deserialize, Serialize};
+
+/// Thresholds of the categorization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CategoryThresholds {
+    /// MPKI at the baseline allocation above which an application is memory
+    /// intensive.
+    pub memory_intensity_mpki: f64,
+    /// Absolute MPKI variation (from half to double the baseline ways) above
+    /// which an application is cache sensitive.
+    pub cache_sensitivity_mpki: f64,
+    /// Relative MLP variation (smallest to largest core) above which an
+    /// application is parallelism sensitive.
+    pub parallelism_sensitivity: f64,
+}
+
+impl Default for CategoryThresholds {
+    fn default() -> Self {
+        CategoryThresholds {
+            memory_intensity_mpki: 1.0,
+            cache_sensitivity_mpki: 1.0,
+            parallelism_sensitivity: 0.3,
+        }
+    }
+}
+
+/// Paper I category of an application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Paper1Category {
+    /// MPKI at the baseline allocation exceeds the memory-intensity threshold.
+    pub memory_intensive: bool,
+    /// MPKI varies strongly with the allocation around the baseline.
+    pub cache_sensitive: bool,
+}
+
+impl Paper1Category {
+    /// Short label, e.g. `"MI-CS"` (memory intensive, cache sensitive).
+    pub fn label(&self) -> &'static str {
+        match (self.memory_intensive, self.cache_sensitive) {
+            (true, true) => "MI-CS",
+            (true, false) => "MI-CI",
+            (false, true) => "CI-CS",
+            (false, false) => "CI-CI",
+        }
+    }
+}
+
+/// Paper II category of an application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Paper2Category {
+    /// MPKI varies strongly with the allocation around the baseline.
+    pub cache_sensitive: bool,
+    /// MLP varies strongly with the core size.
+    pub parallelism_sensitive: bool,
+}
+
+impl Paper2Category {
+    /// Short label, e.g. `"CS-PS"` (cache sensitive, parallelism sensitive).
+    pub fn label(&self) -> &'static str {
+        match (self.cache_sensitive, self.parallelism_sensitive) {
+            (true, true) => "CS-PS",
+            (true, false) => "CS-PI",
+            (false, true) => "CI-PS",
+            (false, false) => "CI-PI",
+        }
+    }
+
+    /// All four categories in a fixed order (used to enumerate the sixteen
+    /// pairwise mixes of the Paper II analysis).
+    pub fn all() -> [Paper2Category; 4] {
+        [
+            Paper2Category { cache_sensitive: true, parallelism_sensitive: true },
+            Paper2Category { cache_sensitive: true, parallelism_sensitive: false },
+            Paper2Category { cache_sensitive: false, parallelism_sensitive: true },
+            Paper2Category { cache_sensitive: false, parallelism_sensitive: false },
+        ]
+    }
+}
+
+/// Combined categorization of an application under both papers' criteria.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AppCategory {
+    /// Paper I axes.
+    pub paper1: Paper1Category,
+    /// Paper II axes.
+    pub paper2: Paper2Category,
+}
+
+/// Classifies an application from its (weighted) phase characterizations.
+///
+/// `phases` pairs each phase's characterization with its weight in the phase
+/// trace; `baseline_ways` is the equal-share LLC allocation of the platform.
+pub fn classify(
+    phases: &[(PhaseCharacterization, f64)],
+    baseline_ways: usize,
+    thresholds: &CategoryThresholds,
+) -> AppCategory {
+    let total_weight: f64 = phases.iter().map(|(_, w)| w).sum();
+    let norm = if total_weight > 0.0 { total_weight } else { 1.0 };
+
+    let max_ways = phases
+        .first()
+        .map(|(p, _)| p.max_ways())
+        .unwrap_or(baseline_ways);
+    let lo_ways = (baseline_ways / 2).max(1);
+    let hi_ways = (baseline_ways * 2).min(max_ways);
+
+    let mut mpki_baseline = 0.0;
+    let mut mpki_variation = 0.0;
+    let mut mlp_variation = 0.0;
+    for (phase, weight) in phases {
+        let w = weight / norm;
+        mpki_baseline += w * phase.mpki_at(baseline_ways.min(phase.max_ways()));
+        let lo = phase.mpki_at(lo_ways.min(phase.max_ways()));
+        let hi = phase.mpki_at(hi_ways.min(phase.max_ways()));
+        mpki_variation += w * (lo - hi).max(0.0);
+
+        let sizes = phase.num_core_sizes();
+        if sizes >= 2 {
+            let small = phase.mlp_at(CoreSizeIdx(0), baseline_ways.min(phase.max_ways()));
+            let large =
+                phase.mlp_at(CoreSizeIdx(sizes - 1), baseline_ways.min(phase.max_ways()));
+            if small > 0.0 {
+                mlp_variation += w * ((large - small) / small).max(0.0);
+            }
+        }
+    }
+
+    let memory_intensive = mpki_baseline > thresholds.memory_intensity_mpki;
+    let cache_sensitive = mpki_variation > thresholds.cache_sensitivity_mpki;
+    // An application with almost no misses cannot meaningfully be
+    // parallelism sensitive: the MLP of a handful of misses is irrelevant.
+    let parallelism_sensitive =
+        memory_intensive && mlp_variation > thresholds.parallelism_sensitivity;
+
+    AppCategory {
+        paper1: Paper1Category {
+            memory_intensive,
+            cache_sensitive,
+        },
+        paper2: Paper2Category {
+            cache_sensitive,
+            parallelism_sensitive,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::{CharacterizationConfig, PhaseCharacterizer};
+    use crate::suite::benchmark;
+    use qosrm_types::PlatformConfig;
+
+    fn characterize_benchmark(name: &str) -> AppCategory {
+        let platform = PlatformConfig::paper2(4);
+        let characterizer = PhaseCharacterizer::new(
+            &platform,
+            CharacterizationConfig::quick_for_tests(&platform),
+        );
+        let b = benchmark(name).unwrap();
+        let trace = b.phase_trace();
+        let weights = trace.weights();
+        let phases: Vec<(PhaseCharacterization, f64)> = b
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| (characterizer.characterize(spec, b.phase_seed(i)), weights[i]))
+            .collect();
+        classify(&phases, platform.baseline_ways_per_core(), &CategoryThresholds::default())
+    }
+
+    #[test]
+    fn mcf_like_is_memory_intensive_cache_sensitive_low_mlp() {
+        let cat = characterize_benchmark("mcf_like");
+        assert!(cat.paper1.memory_intensive);
+        assert!(cat.paper1.cache_sensitive);
+        assert!(!cat.paper2.parallelism_sensitive);
+        assert_eq!(cat.paper1.label(), "MI-CS");
+        assert_eq!(cat.paper2.label(), "CS-PI");
+    }
+
+    #[test]
+    fn libquantum_like_is_streaming_parallelism_sensitive() {
+        let cat = characterize_benchmark("libquantum_like");
+        assert!(cat.paper1.memory_intensive);
+        assert!(!cat.paper1.cache_sensitive);
+        assert!(cat.paper2.parallelism_sensitive);
+        assert_eq!(cat.paper2.label(), "CI-PS");
+    }
+
+    #[test]
+    fn gamess_like_is_compute_intensive() {
+        let cat = characterize_benchmark("gamess_like");
+        assert!(!cat.paper1.memory_intensive);
+        assert!(!cat.paper1.cache_sensitive);
+        assert_eq!(cat.paper1.label(), "CI-CI");
+        assert_eq!(cat.paper2.label(), "CI-PI");
+    }
+
+    #[test]
+    fn soplex_like_is_cache_and_parallelism_sensitive() {
+        let cat = characterize_benchmark("soplex_like");
+        assert!(cat.paper1.cache_sensitive);
+        assert!(cat.paper2.parallelism_sensitive);
+        assert_eq!(cat.paper2.label(), "CS-PS");
+    }
+
+    #[test]
+    fn labels_cover_all_cases() {
+        assert_eq!(
+            Paper1Category { memory_intensive: true, cache_sensitive: false }.label(),
+            "MI-CI"
+        );
+        assert_eq!(
+            Paper1Category { memory_intensive: false, cache_sensitive: true }.label(),
+            "CI-CS"
+        );
+        assert_eq!(Paper2Category::all().len(), 4);
+        let labels: Vec<_> = Paper2Category::all().iter().map(|c| c.label()).collect();
+        assert_eq!(labels, vec!["CS-PS", "CS-PI", "CI-PS", "CI-PI"]);
+    }
+
+    #[test]
+    fn empty_phase_list_is_insensitive() {
+        let cat = classify(&[], 4, &CategoryThresholds::default());
+        assert!(!cat.paper1.memory_intensive);
+        assert!(!cat.paper1.cache_sensitive);
+        assert!(!cat.paper2.parallelism_sensitive);
+    }
+}

@@ -1,0 +1,331 @@
+//! Multi-programmed workload mixes used by the experiments.
+//!
+//! Paper I builds several 4-core and 8-core workloads from combinations of
+//! its application categories (memory intensity × cache sensitivity).
+//! Paper II builds workloads per *scenario*: groups of the sixteen pairwise
+//! category mixes for which the three resource managers (RM1 partitioning
+//! only, RM2 = Paper I, RM3 = Paper II) behave qualitatively differently.
+
+use crate::category::Paper2Category;
+use qosrm_types::QosrmError;
+use serde::{Deserialize, Serialize};
+
+/// A named multi-programmed workload: one benchmark per core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    /// Workload name as it appears in result tables (e.g. `"W4-03"`).
+    pub name: String,
+    /// Benchmark name per core (length = number of cores).
+    pub benchmarks: Vec<String>,
+}
+
+impl WorkloadMix {
+    /// Creates a mix.
+    pub fn new(name: impl Into<String>, benchmarks: Vec<&str>) -> Self {
+        WorkloadMix {
+            name: name.into(),
+            benchmarks: benchmarks.into_iter().map(str::to_string).collect(),
+        }
+    }
+
+    /// Number of cores (= applications) of the mix.
+    pub fn num_cores(&self) -> usize {
+        self.benchmarks.len()
+    }
+
+    /// Validates that every referenced benchmark exists in the suite.
+    pub fn validate(&self) -> Result<(), QosrmError> {
+        if self.benchmarks.is_empty() {
+            return Err(QosrmError::InvalidWorkload(format!(
+                "workload {} is empty",
+                self.name
+            )));
+        }
+        for b in &self.benchmarks {
+            if crate::suite::benchmark(b).is_none() {
+                return Err(QosrmError::InvalidWorkload(format!(
+                    "workload {} references unknown benchmark {b}",
+                    self.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Category pools used to compose the mixes.
+mod pools {
+    /// Memory-intensive, cache-sensitive, dependent misses (CS-PI).
+    pub const CS_PI: [&str; 4] = ["mcf_like", "omnetpp_like", "astar_like", "xalancbmk_like"];
+    /// Memory-intensive, cache-sensitive, bursty misses (CS-PS).
+    pub const CS_PS: [&str; 4] = [
+        "soplex_like",
+        "sphinx3_like",
+        "gems_fdtd_like",
+        "cactusadm_like",
+    ];
+    /// Memory-intensive, cache-insensitive, streaming (CI-PS).
+    pub const CI_PS: [&str; 6] = [
+        "libquantum_like",
+        "lbm_like",
+        "milc_like",
+        "leslie3d_like",
+        "bwaves_like",
+        "zeusmp_like",
+    ];
+    /// Cache-insensitive, parallelism-insensitive (huge dependent working
+    /// sets or compute bound).
+    pub const CI_PI: [&str; 6] = [
+        "canneal_like",
+        "randacc_like",
+        "gobmk_like",
+        "sjeng_like",
+        "perlbench_like",
+        "gromacs_like",
+    ];
+    /// Compute-intensive (low MPKI).
+    pub const COMPUTE: [&str; 6] = [
+        "gamess_like",
+        "povray_like",
+        "namd_like",
+        "calculix_like",
+        "hmmer_like",
+        "h264ref_like",
+    ];
+    /// Mixed-behaviour benchmarks.
+    pub const MIXED: [&str; 2] = ["gcc_like", "bzip2_like"];
+}
+
+fn pick(pool: &[&'static str], idx: usize) -> &'static str {
+    pool[idx % pool.len()]
+}
+
+/// The Paper I workloads for `num_cores` cores (4 or 8).
+///
+/// Twenty 4-core workloads (80 applications) or ten 8-core workloads
+/// (80 applications) are produced, mirroring the paper's totals. The mixes
+/// rotate through the category pools so that most workloads contain at least
+/// one cache-sensitive application (where coordinated management pays off)
+/// while a few contain none (where the paper reports no gain or a slight
+/// loss).
+pub fn paper1_workloads(num_cores: usize) -> Vec<WorkloadMix> {
+    use pools::*;
+    assert!(
+        num_cores == 4 || num_cores == 8,
+        "Paper I evaluates 4- and 8-core systems"
+    );
+    let num_workloads = 80 / num_cores;
+    let mut mixes = Vec::with_capacity(num_workloads);
+    for i in 0..num_workloads {
+        // Composition pattern cycles through five templates.
+        let template = i % 5;
+        let mut benchmarks: Vec<&str> = Vec::with_capacity(num_cores);
+        for slot in 0..num_cores {
+            // Stride the pool index so consecutive workloads of the same
+            // template draw different members (pool sizes are 4 and 6, both
+            // coprime with 7).
+            let k = i * 7 + slot * 3 + template;
+            let name = match (template, slot % 4) {
+                // All cache-sensitive.
+                (0, _) => {
+                    if slot % 2 == 0 {
+                        pick(&CS_PI, k)
+                    } else {
+                        pick(&CS_PS, k)
+                    }
+                }
+                // Cache-sensitive + streaming.
+                (1, 0) | (1, 1) => pick(&CS_PS, k),
+                (1, _) => pick(&CI_PS, k),
+                // Cache-sensitive + compute.
+                (2, 0) => pick(&CS_PI, k),
+                (2, 1) => pick(&CS_PS, k),
+                (2, _) => pick(&COMPUTE, k),
+                // One sensitive + insensitive background.
+                (3, 0) => pick(&CS_PI, k),
+                (3, 1) => pick(&CI_PS, k),
+                (3, 2) => pick(&CI_PI, k),
+                (3, _) => pick(&MIXED, k),
+                // All cache-insensitive (the paper's "no benefit" cases).
+                (4, 0) | (4, 1) => pick(&CI_PS, k),
+                (4, 2) => pick(&CI_PI, k),
+                (4, _) => pick(&COMPUTE, k),
+                _ => unreachable!(),
+            };
+            benchmarks.push(name);
+        }
+        mixes.push(WorkloadMix::new(
+            format!("W{num_cores}-{i:02}"),
+            benchmarks,
+        ));
+    }
+    mixes
+}
+
+/// Two representative benchmarks of each Paper II category.
+pub fn paper2_category_representatives(category: Paper2Category) -> [&'static str; 2] {
+    match (category.cache_sensitive, category.parallelism_sensitive) {
+        (true, true) => ["soplex_like", "gems_fdtd_like"],
+        (true, false) => ["mcf_like", "omnetpp_like"],
+        (false, true) => ["libquantum_like", "lbm_like"],
+        (false, false) => ["canneal_like", "sjeng_like"],
+    }
+}
+
+/// The sixteen pairwise category mixes of the Paper II trade-off analysis:
+/// for every ordered pair of categories `(A, B)`, a 4-core workload with two
+/// applications of category A and two of category B.
+pub fn paper2_sixteen_mixes() -> Vec<(Paper2Category, Paper2Category, WorkloadMix)> {
+    let mut mixes = Vec::with_capacity(16);
+    for a in Paper2Category::all() {
+        for b in Paper2Category::all() {
+            let ra = paper2_category_representatives(a);
+            let rb = paper2_category_representatives(b);
+            let mix = WorkloadMix::new(
+                format!("M-{}-{}", a.label(), b.label()),
+                vec![ra[0], ra[1], rb[0], rb[1]],
+            );
+            mixes.push((a, b, mix));
+        }
+    }
+    mixes
+}
+
+/// The four Paper II evaluation scenarios.
+///
+/// * **Scenario 1** — RM3 substantially improves on RM2: workloads pairing
+///   parallelism-sensitive memory applications with cache-sensitive ones.
+/// * **Scenario 2** — RM2 and RM3 are comparable: cache-sensitive,
+///   parallelism-insensitive applications with compute-bound background.
+/// * **Scenario 3** — only RM3 is effective: cache-insensitive but
+///   parallelism-sensitive (streaming) workloads.
+/// * **Scenario 4** — neither saves energy: compute-bound, insensitive
+///   workloads.
+pub fn paper2_scenario_workloads(num_cores: usize) -> Vec<(usize, WorkloadMix)> {
+    assert!(
+        num_cores == 4 || num_cores == 8,
+        "Paper II evaluates 4- and 8-core systems"
+    );
+    let four_core: Vec<(usize, WorkloadMix)> = vec![
+        // Scenario 1: CS-PS + CS-PI / CI-PS mixes.
+        (1, WorkloadMix::new("S1-a", vec!["soplex_like", "gems_fdtd_like", "mcf_like", "libquantum_like"])),
+        (1, WorkloadMix::new("S1-b", vec!["sphinx3_like", "soplex_like", "lbm_like", "omnetpp_like"])),
+        (1, WorkloadMix::new("S1-c", vec!["gems_fdtd_like", "cactusadm_like", "bwaves_like", "mcf_like"])),
+        // Scenario 2: CS-PI + compute.
+        (2, WorkloadMix::new("S2-a", vec!["mcf_like", "omnetpp_like", "gamess_like", "povray_like"])),
+        (2, WorkloadMix::new("S2-b", vec!["astar_like", "xalancbmk_like", "namd_like", "hmmer_like"])),
+        (2, WorkloadMix::new("S2-c", vec!["mcf_like", "astar_like", "calculix_like", "gobmk_like"])),
+        // Scenario 3: streaming / parallelism-sensitive, cache-insensitive.
+        (3, WorkloadMix::new("S3-a", vec!["libquantum_like", "lbm_like", "milc_like", "leslie3d_like"])),
+        (3, WorkloadMix::new("S3-b", vec!["bwaves_like", "zeusmp_like", "libquantum_like", "milc_like"])),
+        (3, WorkloadMix::new("S3-c", vec!["lbm_like", "leslie3d_like", "zeusmp_like", "bwaves_like"])),
+        // Scenario 4: compute-bound / insensitive.
+        (4, WorkloadMix::new("S4-a", vec!["gamess_like", "povray_like", "gobmk_like", "sjeng_like"])),
+        (4, WorkloadMix::new("S4-b", vec!["namd_like", "hmmer_like", "perlbench_like", "h264ref_like"])),
+        (4, WorkloadMix::new("S4-c", vec!["calculix_like", "gromacs_like", "gamess_like", "sjeng_like"])),
+    ];
+    if num_cores == 4 {
+        return four_core;
+    }
+    // 8-core variants: concatenate two 4-core compositions of the same
+    // scenario.
+    let mut eight_core = Vec::new();
+    for scenario in 1..=4usize {
+        let members: Vec<&WorkloadMix> = four_core
+            .iter()
+            .filter(|(s, _)| *s == scenario)
+            .map(|(_, m)| m)
+            .collect();
+        for (j, pair) in members.windows(2).enumerate() {
+            let mut benchmarks = pair[0].benchmarks.clone();
+            benchmarks.extend(pair[1].benchmarks.clone());
+            eight_core.push((
+                scenario,
+                WorkloadMix {
+                    name: format!("S{scenario}-8c-{j}"),
+                    benchmarks,
+                },
+            ));
+        }
+    }
+    eight_core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper1_workload_counts_match_the_paper() {
+        let w4 = paper1_workloads(4);
+        let w8 = paper1_workloads(8);
+        assert_eq!(w4.len(), 20);
+        assert_eq!(w8.len(), 10);
+        assert_eq!(w4.iter().map(|m| m.num_cores()).sum::<usize>(), 80);
+        assert_eq!(w8.iter().map(|m| m.num_cores()).sum::<usize>(), 80);
+    }
+
+    #[test]
+    fn all_mixes_reference_existing_benchmarks() {
+        for mix in paper1_workloads(4).iter().chain(paper1_workloads(8).iter()) {
+            mix.validate().unwrap_or_else(|e| panic!("{}: {e}", mix.name));
+        }
+        for (_, mix) in paper2_scenario_workloads(4)
+            .iter()
+            .chain(paper2_scenario_workloads(8).iter())
+        {
+            mix.validate().unwrap_or_else(|e| panic!("{}: {e}", mix.name));
+        }
+        for (_, _, mix) in paper2_sixteen_mixes() {
+            mix.validate().unwrap_or_else(|e| panic!("{}: {e}", mix.name));
+        }
+    }
+
+    #[test]
+    fn sixteen_mixes_cover_all_pairs() {
+        let mixes = paper2_sixteen_mixes();
+        assert_eq!(mixes.len(), 16);
+        let unique: std::collections::HashSet<String> =
+            mixes.iter().map(|(_, _, m)| m.name.clone()).collect();
+        assert_eq!(unique.len(), 16);
+    }
+
+    #[test]
+    fn scenarios_have_multiple_workloads() {
+        let scenarios = paper2_scenario_workloads(4);
+        for s in 1..=4usize {
+            let count = scenarios.iter().filter(|(sc, _)| *sc == s).count();
+            assert!(count >= 3, "scenario {s} has {count} workloads");
+        }
+        let scenarios8 = paper2_scenario_workloads(8);
+        for (_, m) in &scenarios8 {
+            assert_eq!(m.num_cores(), 8);
+        }
+    }
+
+    #[test]
+    fn some_paper1_workloads_are_fully_insensitive() {
+        // Template 4 workloads contain no cache-sensitive application; the
+        // paper reports these as the cases with no energy benefit.
+        let w4 = paper1_workloads(4);
+        let insensitive: Vec<&WorkloadMix> = w4
+            .iter()
+            .filter(|m| {
+                m.benchmarks.iter().all(|b| {
+                    pools::CI_PS.contains(&b.as_str())
+                        || pools::CI_PI.contains(&b.as_str())
+                        || pools::COMPUTE.contains(&b.as_str())
+                })
+            })
+            .collect();
+        assert!(insensitive.len() >= 3);
+    }
+
+    #[test]
+    fn validation_catches_unknown_benchmarks() {
+        let bad = WorkloadMix::new("bad", vec!["mcf_like", "unknown_like"]);
+        assert!(bad.validate().is_err());
+        let empty = WorkloadMix { name: "e".into(), benchmarks: vec![] };
+        assert!(empty.validate().is_err());
+    }
+}

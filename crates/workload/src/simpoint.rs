@@ -1,0 +1,242 @@
+//! SimPoint-style clustering of program slices into phases.
+//!
+//! The real evaluation runs SimPoint on basic-block vectors of whole-program
+//! pinballs. The synthetic suite already knows its phases by construction,
+//! but the pipeline still exposes the clustering step: given per-slice
+//! feature vectors (MPKI, APKI, CPI, MLP, ...), a small k-means implementation
+//! groups the slices into phases, selects the slice closest to each centroid
+//! as the representative, and reports per-phase weights — the same artefacts
+//! SimPoint produces. It is used by tests to verify that the synthetic
+//! benchmarks' generated slices are recovered as the phases they were
+//! generated from.
+
+use qosrm_types::QosrmError;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Feature vector of one execution slice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SliceFeatures {
+    /// Arbitrary-dimension feature values (all slices must agree on the
+    /// dimension). Typical features: MPKI, APKI, exec CPI, measured MLP.
+    pub values: Vec<f64>,
+}
+
+impl SliceFeatures {
+    /// Creates a feature vector.
+    pub fn new(values: Vec<f64>) -> Self {
+        SliceFeatures { values }
+    }
+
+    fn distance2(&self, other: &[f64]) -> f64 {
+        self.values
+            .iter()
+            .zip(other.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+}
+
+/// Result of clustering slices into phases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clustering {
+    /// Phase assignment of every slice.
+    pub assignments: Vec<usize>,
+    /// Index of the representative slice of every phase (the slice closest
+    /// to the centroid).
+    pub representatives: Vec<usize>,
+    /// Fraction of slices belonging to every phase.
+    pub weights: Vec<f64>,
+    /// Final centroids.
+    pub centroids: Vec<Vec<f64>>,
+}
+
+/// Clusters `slices` into at most `k` phases with k-means (Lloyd's algorithm,
+/// deterministic given `seed`).
+pub fn cluster_slices(
+    slices: &[SliceFeatures],
+    k: usize,
+    seed: u64,
+) -> Result<Clustering, QosrmError> {
+    if slices.is_empty() {
+        return Err(QosrmError::InvalidWorkload("no slices to cluster".into()));
+    }
+    if k == 0 {
+        return Err(QosrmError::InvalidWorkload("k must be >= 1".into()));
+    }
+    let dim = slices[0].values.len();
+    if slices.iter().any(|s| s.values.len() != dim) {
+        return Err(QosrmError::InvalidWorkload(
+            "all slices must have the same feature dimension".into(),
+        ));
+    }
+    let k = k.min(slices.len());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // k-means++ style seeding: first centroid random, then proportional to
+    // squared distance from the nearest existing centroid.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(slices[rng.gen_range(0..slices.len())].values.clone());
+    while centroids.len() < k {
+        let distances: Vec<f64> = slices
+            .iter()
+            .map(|s| {
+                centroids
+                    .iter()
+                    .map(|c| s.distance2(c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = distances.iter().sum();
+        if total <= 0.0 {
+            // All remaining slices coincide with existing centroids.
+            centroids.push(slices[rng.gen_range(0..slices.len())].values.clone());
+            continue;
+        }
+        let mut pick = rng.gen_range(0.0..total);
+        let mut chosen = 0;
+        for (i, d) in distances.iter().enumerate() {
+            pick -= d;
+            if pick <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(slices[chosen].values.clone());
+    }
+
+    let mut assignments = vec![0usize; slices.len()];
+    for _iteration in 0..50 {
+        // Assign.
+        let mut changed = false;
+        for (i, s) in slices.iter().enumerate() {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .min_by(|a, b| s.distance2(a.1).partial_cmp(&s.distance2(b.1)).unwrap())
+                .map(|(idx, _)| idx)
+                .unwrap_or(0);
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        for (ci, centroid) in centroids.iter_mut().enumerate() {
+            let members: Vec<&SliceFeatures> = slices
+                .iter()
+                .zip(assignments.iter())
+                .filter(|(_, &a)| a == ci)
+                .map(|(s, _)| s)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            for d in 0..dim {
+                centroid[d] =
+                    members.iter().map(|m| m.values[d]).sum::<f64>() / members.len() as f64;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Representatives and weights.
+    let mut representatives = Vec::with_capacity(k);
+    let mut weights = Vec::with_capacity(k);
+    for (ci, centroid) in centroids.iter().enumerate() {
+        let mut best_idx = None;
+        let mut best_dist = f64::INFINITY;
+        let mut count = 0usize;
+        for (i, s) in slices.iter().enumerate() {
+            if assignments[i] != ci {
+                continue;
+            }
+            count += 1;
+            let d = s.distance2(centroid);
+            if d < best_dist {
+                best_dist = d;
+                best_idx = Some(i);
+            }
+        }
+        representatives.push(best_idx.unwrap_or(0));
+        weights.push(count as f64 / slices.len() as f64);
+    }
+
+    Ok(Clustering {
+        assignments,
+        representatives,
+        weights,
+        centroids,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blob_slices() -> Vec<SliceFeatures> {
+        let mut slices = Vec::new();
+        for i in 0..20 {
+            slices.push(SliceFeatures::new(vec![1.0 + 0.01 * i as f64, 10.0]));
+        }
+        for i in 0..10 {
+            slices.push(SliceFeatures::new(vec![8.0 + 0.01 * i as f64, 2.0]));
+        }
+        slices
+    }
+
+    #[test]
+    fn recovers_two_well_separated_phases() {
+        let slices = two_blob_slices();
+        let clustering = cluster_slices(&slices, 2, 3).unwrap();
+        // All slices of one blob share an assignment.
+        let first = clustering.assignments[0];
+        assert!(clustering.assignments[..20].iter().all(|&a| a == first));
+        let second = clustering.assignments[20];
+        assert_ne!(first, second);
+        assert!(clustering.assignments[20..].iter().all(|&a| a == second));
+        // Weights reflect blob sizes.
+        let w_first = clustering.weights[first];
+        assert!((w_first - 20.0 / 30.0).abs() < 1e-9);
+        // Representatives belong to their own cluster.
+        assert_eq!(clustering.assignments[clustering.representatives[first]], first);
+        assert_eq!(clustering.assignments[clustering.representatives[second]], second);
+    }
+
+    #[test]
+    fn k_is_capped_by_slice_count() {
+        let slices = vec![SliceFeatures::new(vec![1.0]), SliceFeatures::new(vec![2.0])];
+        let clustering = cluster_slices(&slices, 10, 0).unwrap();
+        assert!(clustering.centroids.len() <= 2);
+        assert_eq!(clustering.assignments.len(), 2);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let clustering = cluster_slices(&two_blob_slices(), 3, 1).unwrap();
+        let total: f64 = clustering.weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(cluster_slices(&[], 2, 0).is_err());
+        assert!(cluster_slices(&[SliceFeatures::new(vec![1.0])], 0, 0).is_err());
+        let mixed = vec![
+            SliceFeatures::new(vec![1.0]),
+            SliceFeatures::new(vec![1.0, 2.0]),
+        ];
+        assert!(cluster_slices(&mixed, 2, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let slices = two_blob_slices();
+        let a = cluster_slices(&slices, 2, 5).unwrap();
+        let b = cluster_slices(&slices, 2, 5).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,365 @@
+//! The synthetic benchmark suite.
+//!
+//! Twenty-eight named application profiles stand in for the SPEC CPU2006
+//! suite. The names carry a `_like` suffix to make clear they are synthetic
+//! profiles *modelled on* the published characteristics of the corresponding
+//! benchmark (memory intensity, cache sensitivity, miss burstiness, ILP), not
+//! the benchmarks themselves. Together they span every category the paper's
+//! workload construction draws from:
+//!
+//! * memory-intensive & cache-sensitive, with either dependent (low-MLP) or
+//!   bursty (high-MLP) misses;
+//! * memory-intensive & cache-insensitive (streaming or huge working sets);
+//! * compute-intensive, with either high or low ILP sensitivity.
+
+use crate::phase::{PhaseSpec, Region};
+use crate::trace::PhaseTrace;
+use core_model::IlpParams;
+use qosrm_types::QosrmError;
+use serde::{Deserialize, Serialize};
+
+/// Cache lines per LLC way of the reference platform (4096 sets × 1 line).
+pub const LINES_PER_WAY: u64 = 4096;
+
+/// A synthetic application profile: its phases, their weights and the shape
+/// of its phase trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (e.g. `"mcf_like"`).
+    pub name: String,
+    /// Phase specifications.
+    pub phases: Vec<PhaseSpec>,
+    /// Relative weight (fraction of execution) of every phase.
+    pub phase_weights: Vec<f64>,
+    /// Number of 100 M-instruction intervals in one full execution.
+    pub trace_intervals: usize,
+    /// Typical number of consecutive intervals spent in one phase.
+    pub mean_run_length: usize,
+    /// Seed for trace and stream generation (derived from the name).
+    pub seed: u64,
+}
+
+impl BenchmarkProfile {
+    /// Validates the profile.
+    pub fn validate(&self) -> Result<(), QosrmError> {
+        if self.phases.is_empty() || self.phases.len() != self.phase_weights.len() {
+            return Err(QosrmError::InvalidWorkload(format!(
+                "{}: phases and weights must be non-empty and aligned",
+                self.name
+            )));
+        }
+        if self.trace_intervals == 0 {
+            return Err(QosrmError::InvalidWorkload(format!(
+                "{}: trace must cover at least one interval",
+                self.name
+            )));
+        }
+        for p in &self.phases {
+            p.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Number of phases.
+    pub fn num_phases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Generates the benchmark's phase trace (deterministic).
+    pub fn phase_trace(&self) -> PhaseTrace {
+        PhaseTrace::generate(
+            &self.phase_weights,
+            self.trace_intervals,
+            self.mean_run_length,
+            self.seed,
+        )
+        .expect("benchmark profiles generate valid traces")
+    }
+
+    /// Deterministic per-phase stream seed.
+    pub fn phase_seed(&self, phase_idx: usize) -> u64 {
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(phase_idx as u64)
+    }
+}
+
+fn name_seed(name: &str) -> u64 {
+    // FNV-1a, good enough for deterministic per-benchmark seeds.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+fn ways(n: u64) -> u64 {
+    n * LINES_PER_WAY
+}
+
+/// Archetype constructors. Each returns (phases, weights).
+mod archetype {
+    use super::*;
+
+    /// Memory-intensive, cache-sensitive, dependent misses (low MLP):
+    /// pointer-chasing over a working set of `ws_ways` ways.
+    pub fn dependent_cache_sensitive(
+        name: &str,
+        apki: f64,
+        ws_ways: u64,
+    ) -> (Vec<PhaseSpec>, Vec<f64>) {
+        let main = PhaseSpec::cache_sensitive_dependent(format!("{name}.main"), apki, ways(ws_ways));
+        let mut small = PhaseSpec::cache_sensitive_dependent(
+            format!("{name}.small_ws"),
+            apki * 0.7,
+            ways((ws_ways / 2).max(1)),
+        );
+        small.ilp = IlpParams::new(1.1, 0.2);
+        let compute = PhaseSpec::compute_bound(format!("{name}.compute"), 1.0, 0.2);
+        (vec![main, small, compute], vec![0.6, 0.25, 0.15])
+    }
+
+    /// Memory-intensive, cache-sensitive, bursty misses (MLP-scalable).
+    pub fn bursty_cache_sensitive(
+        name: &str,
+        apki: f64,
+        ws_ways: u64,
+    ) -> (Vec<PhaseSpec>, Vec<f64>) {
+        let main = PhaseSpec::cache_sensitive_bursty(format!("{name}.main"), apki, ways(ws_ways));
+        let mut stream = PhaseSpec::streaming(format!("{name}.stream"), apki * 1.2, 6);
+        stream.ilp = IlpParams::new(0.9, 0.3);
+        let compute = PhaseSpec::compute_bound(format!("{name}.compute"), 0.9, 0.3);
+        (vec![main, stream, compute], vec![0.55, 0.25, 0.2])
+    }
+
+    /// Memory-intensive, cache-insensitive, bursty streaming (high MLP on a
+    /// large core).
+    pub fn streaming_scalable(name: &str, apki: f64, burst: usize) -> (Vec<PhaseSpec>, Vec<f64>) {
+        let main = PhaseSpec::streaming(format!("{name}.stream"), apki, burst);
+        let mut secondary = PhaseSpec::streaming(format!("{name}.stream2"), apki * 0.6, burst / 2);
+        secondary.ilp = IlpParams::new(1.0, 0.25);
+        let compute = PhaseSpec::compute_bound(format!("{name}.compute"), 0.8, 0.35);
+        (vec![main, secondary, compute], vec![0.6, 0.25, 0.15])
+    }
+
+    /// Memory-intensive, cache-insensitive, dependent misses: random pointer
+    /// chasing over a working set far larger than the LLC.
+    pub fn huge_ws_dependent(name: &str, apki: f64) -> (Vec<PhaseSpec>, Vec<f64>) {
+        let main = PhaseSpec {
+            name: format!("{name}.main"),
+            apki,
+            regions: vec![Region { lines: ways(128), weight: 1.0 }],
+            streaming_fraction: 0.05,
+            burst_len: 1,
+            intra_burst_gap: 25,
+            dependent_fraction: 0.9,
+            ilp: IlpParams::new(1.5, 0.2),
+        };
+        let mut calmer = main.clone();
+        calmer.name = format!("{name}.calmer");
+        calmer.apki = apki * 0.5;
+        calmer.ilp = IlpParams::new(1.2, 0.3);
+        (vec![main, calmer], vec![0.7, 0.3])
+    }
+
+    /// Compute-intensive with comparatively strong ILP sensitivity (wide
+    /// floating-point kernels). Even for these codes, doubling the issue
+    /// width buys well under 2x IPC, so the exponent stays moderate.
+    pub fn compute_ilp_sensitive(name: &str, exec_cpi: f64) -> (Vec<PhaseSpec>, Vec<f64>) {
+        let main = PhaseSpec::compute_bound(format!("{name}.main"), exec_cpi, 0.4);
+        let mut memory = PhaseSpec::cache_sensitive_bursty(
+            format!("{name}.memory"),
+            4.0,
+            ways(2),
+        );
+        memory.ilp = IlpParams::new(exec_cpi * 1.1, 0.35);
+        (vec![main, memory], vec![0.8, 0.2])
+    }
+
+    /// Compute-intensive with weak ILP sensitivity (branchy integer codes).
+    pub fn compute_ilp_insensitive(name: &str, exec_cpi: f64) -> (Vec<PhaseSpec>, Vec<f64>) {
+        let main = PhaseSpec::compute_bound(format!("{name}.main"), exec_cpi, 0.1);
+        let mut memory = PhaseSpec::cache_sensitive_dependent(
+            format!("{name}.memory"),
+            3.0,
+            ways(2),
+        );
+        memory.ilp = IlpParams::new(exec_cpi * 1.05, 0.1);
+        (vec![main, memory], vec![0.85, 0.15])
+    }
+
+    /// Mixed-behaviour benchmark alternating compute and cache-sensitive
+    /// phases (gcc-like).
+    pub fn mixed(name: &str, apki: f64, ws_ways: u64) -> (Vec<PhaseSpec>, Vec<f64>) {
+        let compute = PhaseSpec::compute_bound(format!("{name}.compute"), 1.0, 0.3);
+        let memory =
+            PhaseSpec::cache_sensitive_bursty(format!("{name}.memory"), apki, ways(ws_ways));
+        let stream = PhaseSpec::streaming(format!("{name}.stream"), apki * 0.8, 4);
+        (vec![compute, memory, stream], vec![0.4, 0.4, 0.2])
+    }
+}
+
+/// The benchmark table: name, archetype and primary parameters.
+fn build(name: &str) -> Option<(Vec<PhaseSpec>, Vec<f64>, usize)> {
+    use archetype::*;
+    // (phases, weights, trace intervals)
+    let spec = match name {
+        // Memory-intensive, cache-sensitive, dependent (low MLP).
+        "mcf_like" => (dependent_cache_sensitive(name, 28.0, 12), 90),
+        "omnetpp_like" => (dependent_cache_sensitive(name, 14.0, 10), 70),
+        "astar_like" => (dependent_cache_sensitive(name, 10.0, 8), 60),
+        "xalancbmk_like" => (dependent_cache_sensitive(name, 12.0, 9), 70),
+        // Memory-intensive, cache-sensitive, bursty (MLP-scalable).
+        "soplex_like" => (bursty_cache_sensitive(name, 18.0, 10), 80),
+        "sphinx3_like" => (bursty_cache_sensitive(name, 14.0, 8), 70),
+        "gems_fdtd_like" => (bursty_cache_sensitive(name, 20.0, 12), 80),
+        "cactusadm_like" => (bursty_cache_sensitive(name, 10.0, 6), 60),
+        // Memory-intensive, cache-insensitive, streaming (MLP-scalable): the
+        // burst lengths exceed the medium core's MSHR count, so only the
+        // large configuration can expose the full memory-level parallelism.
+        "libquantum_like" => (streaming_scalable(name, 26.0, 16), 80),
+        "lbm_like" => (streaming_scalable(name, 30.0, 18), 80),
+        "milc_like" => (streaming_scalable(name, 22.0, 14), 70),
+        "leslie3d_like" => (streaming_scalable(name, 18.0, 12), 70),
+        "bwaves_like" => (streaming_scalable(name, 24.0, 16), 80),
+        "zeusmp_like" => (streaming_scalable(name, 12.0, 10), 60),
+        // Memory-intensive, cache-insensitive, dependent (huge working set).
+        "canneal_like" => (huge_ws_dependent(name, 18.0), 70),
+        "randacc_like" => (huge_ws_dependent(name, 24.0), 70),
+        // Compute-intensive, ILP-sensitive.
+        "gamess_like" => (compute_ilp_sensitive(name, 0.55), 60),
+        "povray_like" => (compute_ilp_sensitive(name, 0.6), 60),
+        "namd_like" => (compute_ilp_sensitive(name, 0.5), 60),
+        "calculix_like" => (compute_ilp_sensitive(name, 0.6), 60),
+        "hmmer_like" => (compute_ilp_sensitive(name, 0.5), 60),
+        "h264ref_like" => (compute_ilp_sensitive(name, 0.65), 60),
+        // Compute-intensive, ILP-insensitive.
+        "gobmk_like" => (compute_ilp_insensitive(name, 1.1), 60),
+        "sjeng_like" => (compute_ilp_insensitive(name, 1.05), 60),
+        "perlbench_like" => (compute_ilp_insensitive(name, 1.0), 60),
+        "gromacs_like" => (compute_ilp_insensitive(name, 0.9), 60),
+        // Mixed behaviour.
+        "gcc_like" => (mixed(name, 12.0, 8), 80),
+        "bzip2_like" => (mixed(name, 8.0, 5), 70),
+        _ => return None,
+    };
+    let ((phases, weights), intervals) = spec;
+    Some((phases, weights, intervals))
+}
+
+/// Names of every benchmark in the synthetic suite.
+pub fn benchmark_names() -> Vec<&'static str> {
+    vec![
+        "mcf_like",
+        "omnetpp_like",
+        "astar_like",
+        "xalancbmk_like",
+        "soplex_like",
+        "sphinx3_like",
+        "gems_fdtd_like",
+        "cactusadm_like",
+        "libquantum_like",
+        "lbm_like",
+        "milc_like",
+        "leslie3d_like",
+        "bwaves_like",
+        "zeusmp_like",
+        "canneal_like",
+        "randacc_like",
+        "gamess_like",
+        "povray_like",
+        "namd_like",
+        "calculix_like",
+        "hmmer_like",
+        "h264ref_like",
+        "gobmk_like",
+        "sjeng_like",
+        "perlbench_like",
+        "gromacs_like",
+        "gcc_like",
+        "bzip2_like",
+    ]
+}
+
+/// Looks up a benchmark profile by name.
+pub fn benchmark(name: &str) -> Option<BenchmarkProfile> {
+    let (phases, phase_weights, trace_intervals) = build(name)?;
+    Some(BenchmarkProfile {
+        name: name.to_string(),
+        phases,
+        phase_weights,
+        trace_intervals,
+        mean_run_length: 8,
+        seed: name_seed(name),
+    })
+}
+
+/// The full synthetic suite.
+pub fn full_suite() -> Vec<BenchmarkProfile> {
+    benchmark_names()
+        .into_iter()
+        .map(|n| benchmark(n).expect("registered benchmark"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_are_valid() {
+        let suite = full_suite();
+        assert_eq!(suite.len(), 28);
+        for b in &suite {
+            b.validate().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(b.num_phases() >= 2, "{} needs phase behaviour", b.name);
+            let trace = b.phase_trace();
+            assert_eq!(trace.len(), b.trace_intervals);
+            assert_eq!(trace.num_phases(), b.num_phases());
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark("mcf_like").is_some());
+        assert!(benchmark("not_a_benchmark").is_none());
+        let names = benchmark_names();
+        assert_eq!(names.len(), 28);
+        assert!(names.contains(&"libquantum_like"));
+    }
+
+    #[test]
+    fn seeds_differ_between_benchmarks() {
+        let a = benchmark("mcf_like").unwrap();
+        let b = benchmark("lbm_like").unwrap();
+        assert_ne!(a.seed, b.seed);
+        assert_ne!(a.phase_seed(0), a.phase_seed(1));
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let a = benchmark("soplex_like").unwrap();
+        let b = benchmark("soplex_like").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.phase_trace(), b.phase_trace());
+    }
+
+    #[test]
+    fn archetype_distribution_covers_categories() {
+        // At least four benchmarks of each coarse archetype.
+        let suite = full_suite();
+        let dependent_cs = suite
+            .iter()
+            .filter(|b| b.phases[0].dependent_fraction > 0.5 && b.phases[0].apki > 5.0)
+            .count();
+        let streaming = suite
+            .iter()
+            .filter(|b| b.phases[0].streaming_fraction > 0.5)
+            .count();
+        let compute = suite.iter().filter(|b| b.phases[0].apki <= 2.0).count();
+        assert!(dependent_cs >= 4, "dependent cache-sensitive: {dependent_cs}");
+        assert!(streaming >= 4, "streaming: {streaming}");
+        assert!(compute >= 6, "compute-bound: {compute}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Energy/performance trade-off curve: sweep the allowed slowdown.
+//!
+//! Reproduces the shape of the paper's QoS-relaxation study on a single
+//! workload: as users tolerate longer execution times, the Combined RMA can
+//! lower frequencies further and the savings grow, with diminishing returns
+//! once everything already runs near the lowest voltage.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example qos_relaxation_sweep
+//! ```
+
+use qosrm_core::{CoordinatedRma, ModelKind};
+use qosrm_types::{PlatformConfig, QosSpec};
+use rma_sim::{compare, CophaseSimulator, SimulationOptions};
+use simdb::builder::{build_database_for_mixes, BuildOptions};
+use workload::WorkloadMix;
+
+fn main() {
+    let platform = PlatformConfig::paper1(4);
+    let mix = WorkloadMix::new(
+        "relaxation-sweep",
+        vec!["mcf_like", "soplex_like", "milc_like", "hmmer_like"],
+    );
+    let db = build_database_for_mixes(
+        &platform,
+        std::slice::from_ref(&mix),
+        &BuildOptions::quick_for_tests(&platform),
+    );
+    let options = SimulationOptions {
+        provide_mlp_profiles: false,
+        provide_perfect_tables: true, // the paper runs this study with perfect models
+        ..Default::default()
+    };
+    let simulator = CophaseSimulator::new(&db, &mix, options).expect("valid workload");
+    let baseline = simulator.run_baseline();
+
+    println!("workload: {:?}\n", mix.benchmarks);
+    println!("allowed slowdown | energy savings | worst app slowdown");
+    println!("-----------------+----------------+-------------------");
+    for relaxation in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8] {
+        let qos = vec![QosSpec::relaxed_by(relaxation); 4];
+        let mut manager =
+            CoordinatedRma::with_model(&platform, qos.clone(), ModelKind::Perfect, false)
+                .with_name("CombinedRMA-Perfect");
+        let run = simulator.run(&mut manager);
+        let cmp = compare(&baseline, &run, &qos);
+        let worst = cmp
+            .per_app_slowdown
+            .iter()
+            .copied()
+            .fold(f64::MIN, f64::max);
+        let bar = "#".repeat((cmp.energy_savings * 100.0).max(0.0).round() as usize);
+        println!(
+            "      {:>4.0} %     |     {:5.1} %    |      {:+5.1} %   {bar}",
+            relaxation * 100.0,
+            cmp.energy_savings * 100.0,
+            worst * 100.0,
+        );
+    }
+    println!("\n(savings should grow with the allowed slowdown and saturate near the");
+    println!(" lowest voltage-frequency level, mirroring the paper's relaxation figure)");
+}

@@ -1,0 +1,87 @@
+//! Quickstart: manage one 4-core workload with the paper's Combined RMA.
+//!
+//! The example walks through the whole pipeline on a small configuration:
+//!
+//! 1. pick a 4-application workload from the synthetic suite,
+//! 2. characterize its benchmarks into a simulation database,
+//! 3. run the co-phase simulator under the baseline manager and under the
+//!    Paper I Combined RMA (coordinated DVFS + LLC partitioning),
+//! 4. report the energy savings and check the QoS constraints.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qosrm_core::CoordinatedRma;
+use qosrm_types::{PlatformConfig, QosSpec};
+use rma_sim::{compare, CophaseSimulator, SimulationOptions};
+use simdb::builder::{build_database_for_mixes, BuildOptions};
+use workload::WorkloadMix;
+
+fn main() {
+    // 1. A 4-core multi-programmed workload: two cache-sensitive memory
+    //    applications, one streaming application and one compute-bound
+    //    application — the kind of mix where coordinated management pays off.
+    let platform = PlatformConfig::paper1(4);
+    let mix = WorkloadMix::new(
+        "quickstart",
+        vec!["mcf_like", "soplex_like", "libquantum_like", "gamess_like"],
+    );
+    println!("workload: {:?}", mix.benchmarks);
+
+    // 2. Characterize the benchmarks (the expensive, embarrassingly parallel
+    //    step the paper performs once with Sniper + McPAT).
+    let db = build_database_for_mixes(
+        &platform,
+        std::slice::from_ref(&mix),
+        &BuildOptions::quick_for_tests(&platform),
+    );
+    for name in db.benchmark_names() {
+        let record = db.benchmark(name).unwrap();
+        println!(
+            "  {name:<20} phases={} category={}/{}",
+            record.phases.len(),
+            record.category.paper1.label(),
+            record.category.paper2.label(),
+        );
+    }
+
+    // 3. Simulate the full multi-programmed execution under the baseline and
+    //    under the Combined RMA. Every application must finish at least as
+    //    fast as it would with the baseline allocation (strict QoS).
+    let qos = vec![QosSpec::STRICT; 4];
+    let options = SimulationOptions {
+        provide_mlp_profiles: false, // Paper I platform: plain ATD only
+        ..Default::default()
+    };
+    let simulator = CophaseSimulator::new(&db, &mix, options).expect("valid workload");
+    let baseline = simulator.run_baseline();
+    let mut manager = CoordinatedRma::paper1(&platform, qos.clone());
+    let managed = simulator.run(&mut manager);
+
+    // 4. Compare.
+    let cmp = compare(&baseline, &managed, &qos);
+    println!("\nmanager: {}", managed.manager);
+    println!("system energy baseline: {:.3} J", baseline.system_energy_joules);
+    println!("system energy managed:  {:.3} J", managed.system_energy_joules);
+    println!("energy savings:         {:.1} %", cmp.energy_savings * 100.0);
+    println!("RMA invocations:        {}", managed.rma_invocations);
+    println!("setting changes:        {}", managed.setting_changes);
+    for (i, app) in managed.per_app.iter().enumerate() {
+        println!(
+            "  app{i} {:<18} time {:.3}s -> {:.3}s (slowdown {:+.2} %)",
+            app.benchmark,
+            baseline.per_app[i].execution_seconds,
+            app.execution_seconds,
+            cmp.per_app_slowdown[i] * 100.0
+        );
+    }
+    if cmp.violations.is_empty() {
+        println!("QoS: all applications met their constraints");
+    } else {
+        for v in &cmp.violations {
+            println!("QoS violation: {} by {:.1} %", v.app, v.magnitude() * 100.0);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Determinism and persistence of the evaluation pipeline.
+//!
+//! Every step — stream generation, characterization, database construction,
+//! the co-phase simulation and the managers themselves — is seeded and must
+//! produce bit-identical results across runs, so experiments are reproducible.
+
+use qosrm_core::CoordinatedRma;
+use qosrm_types::{PlatformConfig, QosSpec};
+use rma_sim::{CophaseSimulator, SimulationOptions};
+use simdb::builder::{build_database_for_mixes, BuildOptions};
+use workload::{benchmark, PhaseCharacterizer, WorkloadMix};
+
+fn mix() -> WorkloadMix {
+    WorkloadMix::new("det", vec!["mcf_like", "lbm_like", "gamess_like", "soplex_like"])
+}
+
+#[test]
+fn characterization_is_deterministic() {
+    let platform = PlatformConfig::paper2(4);
+    let characterizer = PhaseCharacterizer::new(
+        &platform,
+        workload::CharacterizationConfig::quick_for_tests(&platform),
+    );
+    let bench = benchmark("soplex_like").unwrap();
+    let a = characterizer.characterize(&bench.phases[0], bench.phase_seed(0));
+    let b = characterizer.characterize(&bench.phases[0], bench.phase_seed(0));
+    assert_eq!(a, b);
+    // A different seed produces a different (but still valid) characterization.
+    let c = characterizer.characterize(&bench.phases[0], bench.phase_seed(0) ^ 1);
+    assert!(c.validate().is_ok());
+    assert_ne!(a, c);
+}
+
+#[test]
+fn database_and_simulation_are_deterministic() {
+    let platform = PlatformConfig::paper2(4);
+    let options = BuildOptions::quick_for_tests(&platform);
+    let mix = mix();
+    let db1 = build_database_for_mixes(&platform, std::slice::from_ref(&mix), &options);
+    let db2 = build_database_for_mixes(&platform, std::slice::from_ref(&mix), &options);
+    assert_eq!(db1, db2);
+
+    let qos = vec![QosSpec::STRICT; 4];
+    let sim = CophaseSimulator::new(&db1, &mix, SimulationOptions::default()).unwrap();
+    let mut m1 = CoordinatedRma::paper2(&platform, qos.clone());
+    let mut m2 = CoordinatedRma::paper2(&platform, qos.clone());
+    let r1 = sim.run(&mut m1);
+    let r2 = sim.run(&mut m2);
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn database_survives_a_json_roundtrip() {
+    let platform = PlatformConfig::paper2(4);
+    let options = BuildOptions::quick_for_tests(&platform);
+    let mix = WorkloadMix::new("det-persist", vec!["mcf_like", "gamess_like", "gamess_like", "mcf_like"]);
+    let db = build_database_for_mixes(&platform, std::slice::from_ref(&mix), &options);
+
+    let dir = std::env::temp_dir().join("qosrm-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip-db.json");
+    simdb::persist::save(&db, &path).unwrap();
+    let loaded = simdb::persist::load(&path).unwrap();
+    assert_eq!(db, loaded);
+
+    // A simulation on the reloaded database gives identical results.
+    let qos = vec![QosSpec::STRICT; 4];
+    let sim_a = CophaseSimulator::new(&db, &mix, SimulationOptions::default()).unwrap();
+    let sim_b = CophaseSimulator::new(&loaded, &mix, SimulationOptions::default()).unwrap();
+    let mut ma = CoordinatedRma::paper1(&platform, qos.clone());
+    let mut mb = CoordinatedRma::paper1(&platform, qos.clone());
+    assert_eq!(sim_a.run(&mut ma), sim_b.run(&mut mb));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn different_workload_orders_give_identical_per_benchmark_records() {
+    let platform = PlatformConfig::paper2(4);
+    let options = BuildOptions::quick_for_tests(&platform);
+    let mix_a = WorkloadMix::new("a", vec!["mcf_like", "lbm_like", "mcf_like", "lbm_like"]);
+    let mix_b = WorkloadMix::new("b", vec!["lbm_like", "mcf_like", "lbm_like", "mcf_like"]);
+    let db_a = build_database_for_mixes(&platform, std::slice::from_ref(&mix_a), &options);
+    let db_b = build_database_for_mixes(&platform, std::slice::from_ref(&mix_b), &options);
+    assert_eq!(db_a.benchmark("mcf_like"), db_b.benchmark("mcf_like"));
+    assert_eq!(db_a.benchmark("lbm_like"), db_b.benchmark("lbm_like"));
+}

@@ -1,0 +1,166 @@
+//! Shape checks of the headline results: who wins, and roughly by how much,
+//! must match the paper even though absolute numbers differ (our substrate is
+//! a synthetic simulator, not the authors' Sniper/McPAT setup).
+
+use qosrm_core::CoordinatedRma;
+use qosrm_types::{PlatformConfig, QosSpec};
+use rma_sim::{compare, Comparison, CophaseSimulator, SimulationOptions};
+use simdb::builder::{build_database_for_mixes, BuildOptions};
+use simdb::SimDb;
+use workload::WorkloadMix;
+
+fn build(platform: &PlatformConfig, mix: &WorkloadMix) -> SimDb {
+    build_database_for_mixes(
+        platform,
+        std::slice::from_ref(mix),
+        &BuildOptions::quick_for_tests(platform),
+    )
+}
+
+fn run(
+    db: &SimDb,
+    mix: &WorkloadMix,
+    manager: &mut dyn qosrm_types::ResourceManager,
+    qos: &[QosSpec],
+    paper2_hw: bool,
+) -> Comparison {
+    let options = SimulationOptions {
+        provide_mlp_profiles: paper2_hw,
+        ..Default::default()
+    };
+    let simulator = CophaseSimulator::new(db, mix, options).expect("valid workload");
+    let baseline = simulator.run_baseline();
+    let managed = simulator.run(manager);
+    compare(&baseline, &managed, qos)
+}
+
+#[test]
+fn combined_rma_beats_partitioning_only_on_cache_sensitive_mixes() {
+    let platform = PlatformConfig::paper1(4);
+    let mix = WorkloadMix::new(
+        "shape-cs",
+        vec!["mcf_like", "soplex_like", "libquantum_like", "gamess_like"],
+    );
+    let db = build(&platform, &mix);
+    let qos = vec![QosSpec::STRICT; 4];
+
+    let mut combined = CoordinatedRma::paper1(&platform, qos.clone());
+    let combined_cmp = run(&db, &mix, &mut combined, &qos, false);
+    let mut partitioning = CoordinatedRma::partitioning_only(&platform, qos.clone());
+    let partitioning_cmp = run(&db, &mix, &mut partitioning, &qos, false);
+
+    assert!(
+        combined_cmp.energy_savings > 0.03,
+        "combined RMA should save a few percent, got {:.3}",
+        combined_cmp.energy_savings
+    );
+    assert!(
+        combined_cmp.energy_savings > partitioning_cmp.energy_savings,
+        "coordination must beat partitioning alone ({:.3} vs {:.3})",
+        combined_cmp.energy_savings,
+        partitioning_cmp.energy_savings
+    );
+}
+
+#[test]
+fn dvfs_only_cannot_save_energy_under_strict_qos() {
+    let platform = PlatformConfig::paper1(4);
+    let mix = WorkloadMix::new(
+        "shape-dvfs",
+        vec!["mcf_like", "soplex_like", "milc_like", "povray_like"],
+    );
+    let db = build(&platform, &mix);
+    let qos = vec![QosSpec::STRICT; 4];
+    let mut dvfs = CoordinatedRma::dvfs_only(&platform, qos.clone());
+    let cmp = run(&db, &mix, &mut dvfs, &qos, false);
+    // The paper: "an RMA that controls only DVFS cannot save energy without
+    // degrading the performance".
+    assert!(cmp.energy_savings.abs() < 0.02, "got {:.3}", cmp.energy_savings);
+    assert!(cmp.violations.is_empty());
+}
+
+#[test]
+fn rm3_beats_rm2_when_parallelism_sensitivity_is_present() {
+    let platform = PlatformConfig::paper2(4);
+    // Scenario-1 style mix: cache-sensitive + parallelism-sensitive apps.
+    let mix = WorkloadMix::new(
+        "shape-s1",
+        vec!["soplex_like", "gems_fdtd_like", "mcf_like", "libquantum_like"],
+    );
+    let db = build(&platform, &mix);
+    let qos = vec![QosSpec::STRICT; 4];
+
+    let mut rm2 = CoordinatedRma::paper1(&platform, qos.clone());
+    let rm2_cmp = run(&db, &mix, &mut rm2, &qos, true);
+    let mut rm3 = CoordinatedRma::paper2(&platform, qos.clone());
+    let rm3_cmp = run(&db, &mix, &mut rm3, &qos, true);
+
+    assert!(rm3_cmp.energy_savings > 0.05, "RM3 got {:.3}", rm3_cmp.energy_savings);
+    assert!(
+        rm3_cmp.energy_savings > rm2_cmp.energy_savings + 0.01,
+        "RM3 must add savings over RM2 in scenario 1 ({:.3} vs {:.3})",
+        rm3_cmp.energy_savings,
+        rm2_cmp.energy_savings
+    );
+}
+
+#[test]
+fn no_manager_saves_much_on_purely_compute_bound_mixes() {
+    let platform = PlatformConfig::paper2(4);
+    let mix = WorkloadMix::new(
+        "shape-s4",
+        vec!["gamess_like", "povray_like", "gobmk_like", "sjeng_like"],
+    );
+    let db = build(&platform, &mix);
+    let qos = vec![QosSpec::STRICT; 4];
+
+    let mut rm2 = CoordinatedRma::paper1(&platform, qos.clone());
+    let rm2_cmp = run(&db, &mix, &mut rm2, &qos, true);
+    let mut rm3 = CoordinatedRma::paper2(&platform, qos.clone());
+    let rm3_cmp = run(&db, &mix, &mut rm3, &qos, true);
+
+    // The paper's scenario 4: all-insensitive workloads leave (almost) no
+    // room — and must in particular never cost a lot of energy.
+    assert!(rm2_cmp.energy_savings.abs() < 0.05, "RM2 {:.3}", rm2_cmp.energy_savings);
+    assert!(
+        rm3_cmp.energy_savings > -0.02 && rm3_cmp.energy_savings < 0.08,
+        "RM3 {:.3}",
+        rm3_cmp.energy_savings
+    );
+}
+
+#[test]
+fn relaxing_qos_increases_savings_monotonically() {
+    let platform = PlatformConfig::paper1(4);
+    let mix = WorkloadMix::new(
+        "shape-relax",
+        vec!["mcf_like", "soplex_like", "milc_like", "hmmer_like"],
+    );
+    let db = build(&platform, &mix);
+    let mut previous = f64::NEG_INFINITY;
+    for relaxation in [0.0, 0.2, 0.4] {
+        let qos = vec![QosSpec::relaxed_by(relaxation); 4];
+        let options = SimulationOptions {
+            provide_mlp_profiles: false,
+            provide_perfect_tables: true,
+            ..Default::default()
+        };
+        let simulator = CophaseSimulator::new(&db, &mix, options).expect("valid workload");
+        let baseline = simulator.run_baseline();
+        let mut manager = CoordinatedRma::with_model(
+            &platform,
+            qos.clone(),
+            qosrm_core::ModelKind::Perfect,
+            false,
+        );
+        let managed = simulator.run(&mut manager);
+        let cmp = compare(&baseline, &managed, &qos);
+        assert!(
+            cmp.energy_savings >= previous - 0.01,
+            "savings must not shrink when QoS is relaxed ({previous:.3} -> {:.3} at {relaxation})",
+            cmp.energy_savings
+        );
+        previous = cmp.energy_savings;
+    }
+    assert!(previous > 0.10, "40% relaxation should unlock >10% savings, got {previous:.3}");
+}

@@ -1,0 +1,60 @@
+//! Smoke tests of the experiment runners (quick mode): every experiment the
+//! DESIGN.md index lists must run, produce rows and stay within loose sanity
+//! bounds. The full-mode numbers are recorded in EXPERIMENTS.md.
+
+use experiments::{run_experiment, ExperimentContext, ALL_EXPERIMENTS};
+
+#[test]
+fn every_experiment_id_is_registered() {
+    let ctx = ExperimentContext::new(true);
+    // Unknown ids are rejected rather than silently ignored.
+    assert!(run_experiment("e42", &ctx).is_none());
+    assert_eq!(ALL_EXPERIMENTS.len(), 9);
+}
+
+#[test]
+fn overhead_experiments_match_paper_scale() {
+    let ctx = ExperimentContext::new(true);
+    let e5 = run_experiment("e5", &ctx).expect("e5 exists");
+    assert_eq!(e5.rows.len(), 3);
+    let four_core = e5.rows.iter().find(|r| r.label == "4-core").unwrap();
+    assert!(four_core.get("Instructions / invocation").unwrap() < 40_000.0);
+
+    let e9 = run_experiment("e9", &ctx).expect("e9 exists");
+    assert_eq!(e9.rows.len(), 3);
+    for row in &e9.rows {
+        assert!(row.get("% of 100M interval").unwrap() < 0.1);
+    }
+}
+
+#[test]
+fn paper1_energy_experiment_produces_positive_average_savings() {
+    let ctx = ExperimentContext::new(true);
+    let e1 = run_experiment("e1", &ctx).expect("e1 exists");
+    assert!(!e1.rows.is_empty());
+    let savings: Vec<f64> = e1
+        .rows
+        .iter()
+        .filter_map(|r| r.get("Combined savings %"))
+        .collect();
+    let avg = savings.iter().sum::<f64>() / savings.len() as f64;
+    assert!(avg > 1.0, "average combined savings should be positive, got {avg:.2}%");
+    // The rendered table mentions both managers.
+    let rendered = e1.render();
+    assert!(rendered.contains("Combined savings %"));
+    assert!(rendered.contains("Partitioning savings %"));
+}
+
+#[test]
+fn paper2_scenario_experiment_has_rm3_at_least_matching_rm2() {
+    let ctx = ExperimentContext::new(true);
+    let e7 = run_experiment("e7", &ctx).expect("e7 exists");
+    assert!(!e7.rows.is_empty());
+    let rm2: f64 = e7.rows.iter().filter_map(|r| r.get("RM2 savings %")).sum();
+    let rm3: f64 = e7.rows.iter().filter_map(|r| r.get("RM3 savings %")).sum();
+    assert!(
+        rm3 >= rm2 - 1.0,
+        "RM3 must not lose to RM2 overall (rm2 sum {rm2:.1}, rm3 sum {rm3:.1})"
+    );
+    assert_eq!(e7.summary.len(), 4, "one summary line per scenario");
+}

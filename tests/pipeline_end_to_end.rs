@@ -1,0 +1,134 @@
+//! End-to-end integration of the whole pipeline:
+//! synthetic workload -> characterization -> simulation database -> co-phase
+//! simulator -> coordinated resource manager -> energy/QoS comparison.
+
+use qosrm_core::CoordinatedRma;
+use qosrm_types::{PlatformConfig, QosSpec};
+use rma_sim::{compare, CophaseSimulator, SimulationOptions};
+use simdb::builder::{build_database_for_mixes, BuildOptions};
+use simdb::GroundTruth;
+use workload::WorkloadMix;
+
+fn mixed_workload() -> WorkloadMix {
+    WorkloadMix::new(
+        "it-mixed",
+        vec!["mcf_like", "libquantum_like", "gamess_like", "soplex_like"],
+    )
+}
+
+#[test]
+fn full_pipeline_runs_and_saves_energy_without_violations_in_aggregate() {
+    let platform = PlatformConfig::paper2(4);
+    let mix = mixed_workload();
+    let db = build_database_for_mixes(
+        &platform,
+        std::slice::from_ref(&mix),
+        &BuildOptions::quick_for_tests(&platform),
+    );
+    assert_eq!(db.len(), 4);
+    assert!(db.validate().is_ok());
+
+    let qos = vec![QosSpec::STRICT; 4];
+    let simulator =
+        CophaseSimulator::new(&db, &mix, SimulationOptions::default()).expect("valid workload");
+    let baseline = simulator.run_baseline();
+    let mut manager = CoordinatedRma::paper2(&platform, qos.clone());
+    let managed = simulator.run(&mut manager);
+    let cmp = compare(&baseline, &managed, &qos);
+
+    // Every application completed its first round in both runs.
+    for (b, m) in baseline.per_app.iter().zip(managed.per_app.iter()) {
+        assert_eq!(b.intervals, m.intervals, "{}", b.benchmark);
+        assert!(m.execution_seconds > 0.0 && m.energy_joules > 0.0);
+    }
+    // The manager was actually exercised.
+    assert!(managed.rma_invocations > 0);
+    assert!(managed.setting_changes > 0, "RM3 should change the setting on this mix");
+    // A cache-sensitive + streaming + compute mix is the favourable case:
+    // energy must go down, not up.
+    assert!(
+        cmp.energy_savings > 0.01,
+        "expected positive savings, got {:.3}",
+        cmp.energy_savings
+    );
+    // Energy breakdown components must sum to the reported total.
+    let total = managed.energy_breakdown.total();
+    assert!((total - managed.system_energy_joules).abs() / total < 1e-6);
+}
+
+#[test]
+fn ground_truth_queries_are_consistent_with_simulated_baseline() {
+    let platform = PlatformConfig::paper1(4);
+    let mix = mixed_workload();
+    let db = build_database_for_mixes(
+        &platform,
+        std::slice::from_ref(&mix),
+        &BuildOptions::quick_for_tests(&platform),
+    );
+    let gt = GroundTruth::new(&platform);
+    let options = SimulationOptions {
+        provide_mlp_profiles: false,
+        ..Default::default()
+    };
+    let simulator = CophaseSimulator::new(&db, &mix, options).expect("valid workload");
+    let baseline = simulator.run_baseline();
+
+    // The baseline run's interval durations must equal the ground-truth
+    // timing of the corresponding phase at the baseline setting.
+    let record = db.benchmark("gamess_like").unwrap();
+    let app_idx = mix
+        .benchmarks
+        .iter()
+        .position(|b| b == "gamess_like")
+        .unwrap();
+    let baseline_setting =
+        qosrm_types::SystemSetting::baseline(&platform).core(qosrm_types::CoreId(app_idx));
+    for interval in baseline
+        .intervals
+        .iter()
+        .filter(|r| r.app.index() == app_idx)
+        .take(5)
+    {
+        let phase = record.phase(interval.phase);
+        let expected = gt.metrics_at(phase, baseline_setting).time_seconds;
+        assert!(
+            (interval.time_seconds - expected).abs() / expected < 0.05,
+            "interval {} took {:.4}s, ground truth {:.4}s",
+            interval.interval_index,
+            interval.time_seconds,
+            expected
+        );
+    }
+}
+
+#[test]
+fn eight_core_pipeline_completes() {
+    let platform = PlatformConfig::paper2(8);
+    let mix = WorkloadMix::new(
+        "it-8core",
+        vec![
+            "mcf_like",
+            "libquantum_like",
+            "gamess_like",
+            "soplex_like",
+            "lbm_like",
+            "omnetpp_like",
+            "povray_like",
+            "gcc_like",
+        ],
+    );
+    let db = build_database_for_mixes(
+        &platform,
+        std::slice::from_ref(&mix),
+        &BuildOptions::quick_for_tests(&platform),
+    );
+    let qos = vec![QosSpec::STRICT; 8];
+    let simulator =
+        CophaseSimulator::new(&db, &mix, SimulationOptions::default()).expect("valid workload");
+    let baseline = simulator.run_baseline();
+    let mut manager = CoordinatedRma::paper1(&platform, qos.clone());
+    let managed = simulator.run(&mut manager);
+    let cmp = compare(&baseline, &managed, &qos);
+    assert_eq!(managed.per_app.len(), 8);
+    assert!(cmp.energy_savings > -0.05, "managed run must not waste energy grossly");
+}
