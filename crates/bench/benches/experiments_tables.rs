@@ -29,7 +29,12 @@ fn paper1_mix() -> WorkloadMix {
 fn scenario1_mix() -> WorkloadMix {
     WorkloadMix::new(
         "bench-s1",
-        vec!["soplex_like", "gems_fdtd_like", "mcf_like", "libquantum_like"],
+        vec![
+            "soplex_like",
+            "gems_fdtd_like",
+            "mcf_like",
+            "libquantum_like",
+        ],
     )
 }
 

@@ -48,15 +48,20 @@ fn bench_profiling(c: &mut Criterion) {
     });
     group.bench_function("atd_sampled_observe", |bencher| {
         bencher.iter(|| {
-            let mut atd = Atd::new(llc, AtdConfig { set_sampling: 8, bits_per_entry: 28 });
+            let mut atd = Atd::new(
+                llc,
+                AtdConfig {
+                    set_sampling: 8,
+                    bits_per_entry: 28,
+                },
+            );
             black_box(atd.observe_interval(black_box(&trace)))
         })
     });
     group.bench_function("partitioned_cache_replay", |bencher| {
         bencher.iter(|| {
             let partition = WayPartition::new(vec![8, 8]);
-            let mut cache =
-                PartitionedCache::new(llc, &partition, ReplacementPolicy::Lru).unwrap();
+            let mut cache = PartitionedCache::new(llc, &partition, ReplacementPolicy::Lru).unwrap();
             black_box(cache.replay(CoreId(0), black_box(trace.accesses())))
         })
     });
@@ -74,10 +79,10 @@ fn bench_characterization(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("soplex_like_phase0_quick", |bencher| {
         bencher.iter(|| {
-            black_box(
-                characterizer
-                    .characterize(black_box(&bench_profile.phases[0]), bench_profile.phase_seed(0)),
-            )
+            black_box(characterizer.characterize(
+                black_box(&bench_profile.phases[0]),
+                bench_profile.phase_seed(0),
+            ))
         })
     });
     group.finish();

@@ -1,0 +1,92 @@
+//! Throughput of the scenario-sweep engine (serial vs. parallel vs.
+//! parallel + memoized).
+//!
+//! The sweep engine is the scale axis of this repository: every new QoS
+//! target, workload mix, platform shape or RMA variant multiplies the
+//! scenario count, so the per-scenario cost — dominated by the energy-curve
+//! constructions inside each RMA invocation — is what bounds how much of the
+//! scenario space we can explore. This bench tracks the three execution
+//! modes of `experiments::sweep` on one fixed grid:
+//!
+//! * `serial` — the reference path (what the bespoke per-experiment loops
+//!   used to do);
+//! * `parallel` — same work fanned out over worker threads (gains scale
+//!   with core count; on a single-CPU runner it matches `serial`);
+//! * `parallel_memoized` — plus the shared energy-curve cache, which
+//!   answers recurring `(configuration, QoS, observation)` curve requests
+//!   across scenarios and across the phase-trace wrap-around inside each
+//!   run (the dominant win; it does not depend on core count).
+//!
+//! The simulation database is pre-built outside the measured region (every
+//! mode would pay the identical, context-cached cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::sweep::{self, PlatformAxis, QosAxis, RmaVariant, ScenarioGrid, SweepOptions};
+use experiments::ExperimentContext;
+use qosrm_types::{PlatformConfig, QosSpec};
+use rma_sim::SimulationOptions;
+use std::hint::black_box;
+use workload::paper1_workloads;
+
+fn bench_grid(ctx: &ExperimentContext) -> ScenarioGrid {
+    ScenarioGrid {
+        platforms: vec![PlatformAxis::new(
+            "paper1-4c",
+            PlatformConfig::paper1(4),
+            ctx.limit_workloads(paper1_workloads(4)),
+        )],
+        qos: vec![
+            QosAxis::uniform("strict", QosSpec::STRICT),
+            QosAxis::uniform("relaxed 20%", QosSpec::relaxed_by(0.2)),
+            QosAxis::uniform("relaxed 40%", QosSpec::relaxed_by(0.4)),
+        ],
+        variants: vec![RmaVariant::Paper1, RmaVariant::PartitioningOnly],
+        options: SimulationOptions {
+            provide_mlp_profiles: false,
+            ..Default::default()
+        },
+    }
+}
+
+fn bench_sweep_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_throughput");
+    group.sample_size(10);
+
+    for (label, options) in [
+        ("serial", SweepOptions::serial()),
+        (
+            "parallel",
+            SweepOptions {
+                parallel: true,
+                memoize: false,
+            },
+        ),
+        (
+            "parallel_memoized",
+            SweepOptions {
+                parallel: true,
+                memoize: true,
+            },
+        ),
+    ] {
+        let ctx = ExperimentContext::new(true).with_sweep_options(options);
+        let grid = bench_grid(&ctx);
+        // Pre-build the simulation database outside the measured region.
+        for axis in &grid.platforms {
+            ctx.database(&axis.platform, &axis.mixes);
+        }
+        group.bench_function(label, |bencher| {
+            bencher.iter(|| {
+                // Cold curve cache per iteration: measure the within-sweep
+                // memoization a user's first sweep sees, not a session-warm
+                // cache from previous iterations.
+                ctx.curve_cache().clear();
+                black_box(sweep::run(black_box(&grid), &ctx))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_modes);
+criterion_main!(benches);

@@ -69,7 +69,9 @@ impl AccessTrace {
     /// and the number of instructions the slice covers.
     pub fn new(accesses: Vec<Access>, instructions: u64) -> Self {
         debug_assert!(
-            accesses.windows(2).all(|w| w[0].inst_index <= w[1].inst_index),
+            accesses
+                .windows(2)
+                .all(|w| w[0].inst_index <= w[1].inst_index),
             "accesses must be ordered by instruction index"
         );
         AccessTrace {

@@ -49,8 +49,8 @@ impl AtdConfig {
 /// The directory keeps its recency state across intervals, mirroring the real
 /// hardware structure; [`Atd::observe_interval`] replays the accesses of one
 /// interval and returns the miss profile of that interval, while
-/// [`Atd::reset_counters`] only clears the interval counters (implicit in
-/// `observe_interval`, which starts a fresh recording each call).
+/// [`Atd::reset`] clears the whole directory (interval counters are reset
+/// implicitly: `observe_interval` starts a fresh recording each call).
 #[derive(Debug, Clone)]
 pub struct Atd {
     config: AtdConfig,

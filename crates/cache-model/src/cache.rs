@@ -321,12 +321,9 @@ mod tests {
     #[test]
     fn repartition_changes_future_fills() {
         let geom = small_geometry();
-        let mut cache = PartitionedCache::new(
-            geom,
-            &WayPartition::new(vec![2, 6]),
-            ReplacementPolicy::Lru,
-        )
-        .unwrap();
+        let mut cache =
+            PartitionedCache::new(geom, &WayPartition::new(vec![2, 6]), ReplacementPolicy::Lru)
+                .unwrap();
         // With 2 ways the 4-line loop thrashes.
         assert_eq!(cache.replay(CoreId(0), &loop_trace(4, 5)), 20);
         // Grow core 0 to 8... not allowed (must sum to associativity); grow to 6.
@@ -338,7 +335,9 @@ mod tests {
         cache.reset_stats();
         assert_eq!(cache.replay(CoreId(0), &loop_trace(4, 5)), 0);
         // Invalid repartitions are rejected.
-        assert!(cache.repartition(&WayPartition::new(vec![6, 2, 8])).is_err());
+        assert!(cache
+            .repartition(&WayPartition::new(vec![6, 2, 8]))
+            .is_err());
         assert!(cache.repartition(&WayPartition::new(vec![7, 2])).is_err());
     }
 
@@ -346,8 +345,7 @@ mod tests {
     fn random_policy_still_bounded_by_partition() {
         let geom = small_geometry();
         let partition = WayPartition::new(vec![2, 6]);
-        let mut cache =
-            PartitionedCache::new(geom, &partition, ReplacementPolicy::Random).unwrap();
+        let mut cache = PartitionedCache::new(geom, &partition, ReplacementPolicy::Random).unwrap();
         let misses = cache.replay(CoreId(0), &loop_trace(4, 10));
         // Random replacement still cannot fit 4 lines into 2 ways.
         assert!(misses > 20);

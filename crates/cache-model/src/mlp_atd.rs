@@ -184,9 +184,18 @@ mod tests {
 
     fn sizes() -> Vec<OverlapParams> {
         vec![
-            OverlapParams { rob_entries: 64, mshrs: 4 },
-            OverlapParams { rob_entries: 128, mshrs: 8 },
-            OverlapParams { rob_entries: 256, mshrs: 16 },
+            OverlapParams {
+                rob_entries: 64,
+                mshrs: 4,
+            },
+            OverlapParams {
+                rob_entries: 128,
+                mshrs: 8,
+            },
+            OverlapParams {
+                rob_entries: 256,
+                mshrs: 16,
+            },
         ]
     }
 
@@ -244,8 +253,7 @@ mod tests {
     #[test]
     fn dependent_misses_have_unit_mlp() {
         // Misses spaced far apart (pointer chasing): MLP stays 1 on any core.
-        let accesses: Vec<Access> =
-            (0..200u64).map(|i| Access::new(i, i * 1_000)).collect();
+        let accesses: Vec<Access> = (0..200u64).map(|i| Access::new(i, i * 1_000)).collect();
         let trace = AccessTrace::new(accesses, 200_000);
         let config = MlpAtdConfig {
             set_sampling: 1,

@@ -180,11 +180,7 @@ impl ReplayProfile {
     /// Misses for a cache with `ways` ways per set (scaled to the whole
     /// cache when the profile is set-sampled).
     pub fn misses_at(&self, ways: usize) -> u64 {
-        let raw = self
-            .records
-            .iter()
-            .filter(|r| r.is_miss_at(ways))
-            .count() as u64;
+        let raw = self.records.iter().filter(|r| r.is_miss_at(ways)).count() as u64;
         raw * self.scale
     }
 
@@ -338,12 +334,11 @@ mod tests {
         // Accesses spread over all 16 sets, each set seeing the same pattern.
         let mut accesses = Vec::new();
         let mut inst = 0;
-        for rep in 0..3u64 {
+        for _rep in 0..3u64 {
             for set in 0..16u64 {
                 for line in 0..2u64 {
-                    accesses.push(Access::new(set + 16 * (line + 100 * rep * 0), inst));
+                    accesses.push(Access::new(set + 16 * line, inst));
                     inst += 10;
-                    let _ = rep;
                 }
             }
         }
@@ -360,28 +355,35 @@ mod tests {
     fn leading_misses_respect_window_and_mshrs() {
         // 6 misses to one set: the first 3 within a 128-instruction window,
         // the last 3 far apart.
-        let accesses = vec![
-            Access::new(0 * 16, 0),
-            Access::new(1 * 16, 10),
-            Access::new(2 * 16, 20),
-            Access::new(3 * 16, 10_000),
-            Access::new(4 * 16, 20_000),
-            Access::new(5 * 16, 30_000),
-        ];
+        let times = [0u64, 10, 20, 10_000, 20_000, 30_000];
+        let accesses: Vec<Access> = times
+            .iter()
+            .enumerate()
+            .map(|(line, &inst)| Access::new(line as u64 * 16, inst))
+            .collect();
         let trace = AccessTrace::new(accesses, 40_000);
         let mut profiler = StackDistanceProfiler::new(&geometry());
         let profile = profiler.replay(&trace);
         assert_eq!(profile.misses_at(8), 6);
 
-        let big = OverlapParams { rob_entries: 128, mshrs: 8 };
+        let big = OverlapParams {
+            rob_entries: 128,
+            mshrs: 8,
+        };
         assert_eq!(profile.leading_misses_at(8, &big), 4); // {0,10,20} overlap
         assert!((profile.mlp_at(8, &big) - 1.5).abs() < 1e-12);
 
-        let tiny_window = OverlapParams { rob_entries: 4, mshrs: 8 };
+        let tiny_window = OverlapParams {
+            rob_entries: 4,
+            mshrs: 8,
+        };
         assert_eq!(profile.leading_misses_at(8, &tiny_window), 6);
         assert!((profile.mlp_at(8, &tiny_window) - 1.0).abs() < 1e-12);
 
-        let one_mshr = OverlapParams { rob_entries: 128, mshrs: 1 };
+        let one_mshr = OverlapParams {
+            rob_entries: 128,
+            mshrs: 1,
+        };
         assert_eq!(profile.leading_misses_at(8, &one_mshr), 6);
     }
 
@@ -400,8 +402,14 @@ mod tests {
         let mut profiler = StackDistanceProfiler::new(&geometry());
         let profile = profiler.replay(&trace);
 
-        let small = OverlapParams { rob_entries: 16, mshrs: 2 };
-        let large = OverlapParams { rob_entries: 256, mshrs: 16 };
+        let small = OverlapParams {
+            rob_entries: 16,
+            mshrs: 2,
+        };
+        let large = OverlapParams {
+            rob_entries: 256,
+            mshrs: 16,
+        };
         assert!(profile.mlp_at(8, &large) > profile.mlp_at(8, &small));
     }
 
@@ -415,7 +423,10 @@ mod tests {
         let trace = AccessTrace::new(accesses, 1_000);
         let mut profiler = StackDistanceProfiler::new(&geometry());
         let profile = profiler.replay(&trace);
-        let params = OverlapParams { rob_entries: 512, mshrs: 32 };
+        let params = OverlapParams {
+            rob_entries: 512,
+            mshrs: 32,
+        };
         assert_eq!(profile.leading_misses_at(8, &params), profile.misses_at(8));
         assert!((profile.mlp_at(8, &params) - 1.0).abs() < 1e-12);
     }
@@ -424,7 +435,10 @@ mod tests {
     fn empty_profile_defaults() {
         let profile = ReplayProfile::from_records(vec![], 1000, 1);
         assert_eq!(profile.misses_at(4), 0);
-        let params = OverlapParams { rob_entries: 128, mshrs: 8 };
+        let params = OverlapParams {
+            rob_entries: 128,
+            mshrs: 8,
+        };
         assert!((profile.mlp_at(4, &params) - 1.0).abs() < 1e-12);
         assert_eq!(profile.miss_curve(4).misses_at(1), 0);
     }

@@ -133,7 +133,7 @@ mod tests {
         assert_eq!(s.peek(1), Some(1));
         assert_eq!(s.evict_lru(), Some(1));
         assert_eq!(s.len(), 1);
-        assert!(s.is_empty() == false);
+        assert!(!s.is_empty());
     }
 
     #[test]

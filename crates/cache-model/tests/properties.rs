@@ -1,7 +1,7 @@
 //! Property-based tests of the cache substrate invariants.
 
 use cache_model::{
-    Access, AccessTrace, AtdConfig, Atd, OverlapParams, PartitionedCache, ReplacementPolicy,
+    Access, AccessTrace, Atd, AtdConfig, OverlapParams, PartitionedCache, ReplacementPolicy,
     StackDistanceProfiler,
 };
 use proptest::prelude::*;

@@ -1,9 +1,7 @@
 //! The ground-truth interval performance model (Sniper substitute).
 
 use crate::phase::PhaseCharacterization;
-use qosrm_types::{
-    CoreSizeIdx, FreqLevel, IntervalStats, MemoryParams, PlatformConfig, VfPoint,
-};
+use qosrm_types::{CoreSizeIdx, FreqLevel, IntervalStats, MemoryParams, PlatformConfig, VfPoint};
 use serde::{Deserialize, Serialize};
 
 /// Timing outcome of executing one interval of a phase at a given
@@ -158,9 +156,22 @@ mod tests {
                 (0..16)
                     .map(|w| {
                         (vec![
-                            1_000_000u64, 800_000, 600_000, 450_000, 380_000, 330_000, 300_000,
-                            280_000, 265_000, 255_000, 248_000, 243_000, 239_000, 236_000,
-                            234_000, 233_000,
+                            1_000_000u64,
+                            800_000,
+                            600_000,
+                            450_000,
+                            380_000,
+                            330_000,
+                            300_000,
+                            280_000,
+                            265_000,
+                            255_000,
+                            248_000,
+                            243_000,
+                            239_000,
+                            236_000,
+                            234_000,
+                            233_000,
                         ][w] as f64
                             * 0.9) as u64
                     })
@@ -168,9 +179,22 @@ mod tests {
                 (0..16)
                     .map(|w| {
                         (vec![
-                            1_000_000u64, 800_000, 600_000, 450_000, 380_000, 330_000, 300_000,
-                            280_000, 265_000, 255_000, 248_000, 243_000, 239_000, 236_000,
-                            234_000, 233_000,
+                            1_000_000u64,
+                            800_000,
+                            600_000,
+                            450_000,
+                            380_000,
+                            330_000,
+                            300_000,
+                            280_000,
+                            265_000,
+                            255_000,
+                            248_000,
+                            243_000,
+                            239_000,
+                            236_000,
+                            234_000,
+                            233_000,
                         ][w] as f64
                             * 0.55) as u64
                     })
@@ -178,9 +202,22 @@ mod tests {
                 (0..16)
                     .map(|w| {
                         (vec![
-                            1_000_000u64, 800_000, 600_000, 450_000, 380_000, 330_000, 300_000,
-                            280_000, 265_000, 255_000, 248_000, 243_000, 239_000, 236_000,
-                            234_000, 233_000,
+                            1_000_000u64,
+                            800_000,
+                            600_000,
+                            450_000,
+                            380_000,
+                            330_000,
+                            300_000,
+                            280_000,
+                            265_000,
+                            255_000,
+                            248_000,
+                            243_000,
+                            239_000,
+                            236_000,
+                            234_000,
+                            233_000,
                         ][w] as f64
                             * 0.35) as u64
                     })

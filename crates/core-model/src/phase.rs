@@ -76,7 +76,9 @@ impl PhaseCharacterization {
     /// Validates internal consistency.
     pub fn validate(&self) -> Result<(), QosrmError> {
         if self.instructions == 0 {
-            return Err(QosrmError::InvalidWorkload("phase has 0 instructions".into()));
+            return Err(QosrmError::InvalidWorkload(
+                "phase has 0 instructions".into(),
+            ));
         }
         if self.misses_per_way.is_empty() || self.exec_cpi.is_empty() {
             return Err(QosrmError::InvalidWorkload(
@@ -95,7 +97,11 @@ impl PhaseCharacterization {
                 "leading-miss matrices must cover every core size".into(),
             ));
         }
-        for row in self.leading_misses.iter().chain(self.atd_leading_misses.iter()) {
+        for row in self
+            .leading_misses
+            .iter()
+            .chain(self.atd_leading_misses.iter())
+        {
             if row.len() != ways {
                 return Err(QosrmError::InvalidWorkload(
                     "leading-miss matrix row length differs from way count".into(),

@@ -170,7 +170,11 @@ mod tests {
 
     #[test]
     fn system_overhead_covers_all_cores() {
-        let deltas = vec![delta(true, 0, false), delta(false, 2, false), delta(false, 0, false)];
+        let deltas = vec![
+            delta(true, 0, false),
+            delta(false, 2, false),
+            delta(false, 0, false),
+        ];
         let overheads = model().system_overhead(&deltas);
         assert_eq!(overheads.len(), 3);
         assert!(overheads[0].dvfs_transitions == 1);

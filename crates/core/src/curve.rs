@@ -149,7 +149,8 @@ mod tests {
 
     #[test]
     fn smoothing_makes_energy_non_increasing() {
-        let mut curve = EnergyCurve::new(vec![point(5.0), point(6.0), None, point(3.0), point(3.5)]);
+        let mut curve =
+            EnergyCurve::new(vec![point(5.0), point(6.0), None, point(3.0), point(3.5)]);
         curve.smooth_monotone();
         let energies: Vec<f64> = (1..=5).map(|w| curve.energy(w)).collect();
         for pair in energies.windows(2) {

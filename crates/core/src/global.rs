@@ -182,7 +182,9 @@ pub fn exhaustive_partition(
             return;
         }
         let cores_left = curves.len() - core - 1;
-        let max_here = remaining.saturating_sub(cores_left).min(curves[core].max_ways());
+        let max_here = remaining
+            .saturating_sub(cores_left)
+            .min(curves[core].max_ways());
         for w in 1..=max_here {
             current.push(w);
             recurse(curves, core + 1, remaining - w, current, best);
@@ -229,7 +231,10 @@ mod tests {
         let result = optimize_partition(&curves, 16).unwrap();
         assert_eq!(result.len(), 2);
         assert_eq!(result[0].0 + result[1].0, 16);
-        assert_eq!(result[0].0, 15, "the sloped curve should take all but one way");
+        assert_eq!(
+            result[0].0, 15,
+            "the sloped curve should take all but one way"
+        );
         assert_eq!(result[1].0, 1);
     }
 

@@ -40,12 +40,13 @@
 //! | [`rma::CoordinatedRma::paper2`] | RM3 | core size + VF + ways | MLP-aware (Model 3) |
 //! | [`rma::CoordinatedRma::with_model`] | — | configurable | Model 1 / 2 / 3 / perfect |
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod curve;
 pub mod global;
 pub mod local;
+pub mod memo;
 pub mod model;
 pub mod overhead;
 pub mod rma;
@@ -53,6 +54,7 @@ pub mod rma;
 pub use curve::{CurvePoint, EnergyCurve};
 pub use global::{exhaustive_partition, optimize_partition};
 pub use local::{LocalOptimizer, LocalOptimizerConfig};
+pub use memo::{CurveCache, CurveKey};
 pub use model::{AnalyticalEnergyModel, ModelKind, PerformanceModel, Prediction};
 pub use overhead::OverheadModel;
 pub use rma::{CoordinatedRma, RmaConfig};

@@ -134,7 +134,9 @@ impl LocalOptimizer {
     pub fn evaluations_per_invocation(&self) -> usize {
         // Worst case: every (ways, size) pair scans all VF levels, plus one
         // baseline prediction for the target.
-        self.platform.llc.associativity * self.candidate_sizes().len() * self.candidate_freqs().len()
+        self.platform.llc.associativity
+            * self.candidate_sizes().len()
+            * self.candidate_freqs().len()
             + 1
     }
 }
@@ -159,9 +161,18 @@ mod tests {
             .map(|w| (1_200_000.0 * (0.92f64).powi(w)) as u64)
             .collect();
         let leading = vec![
-            misses.iter().map(|&m| (m as f64 * 0.95) as u64).collect::<Vec<_>>(),
-            misses.iter().map(|&m| (m as f64 * 0.60) as u64).collect::<Vec<_>>(),
-            misses.iter().map(|&m| (m as f64 * 0.35) as u64).collect::<Vec<_>>(),
+            misses
+                .iter()
+                .map(|&m| (m as f64 * 0.95) as u64)
+                .collect::<Vec<_>>(),
+            misses
+                .iter()
+                .map(|&m| (m as f64 * 0.60) as u64)
+                .collect::<Vec<_>>(),
+            misses
+                .iter()
+                .map(|&m| (m as f64 * 0.35) as u64)
+                .collect::<Vec<_>>(),
         ];
         CoreObservation {
             app: AppId(0),
@@ -222,12 +233,12 @@ mod tests {
         let curve = opt.energy_curve(&observation(), QosSpec::STRICT);
         let baseline_ways = platform().baseline_ways_per_core();
         let at_baseline = curve.point(baseline_ways).unwrap();
-        match curve.point(1) {
-            Some(p) => assert!(
+        // An infeasible point at one way is also acceptable.
+        if let Some(p) = curve.point(1) {
+            assert!(
                 p.freq >= at_baseline.freq,
                 "a starved cache-sensitive app must clock up"
-            ),
-            None => {} // infeasible is also acceptable
+            );
         }
     }
 

@@ -157,6 +157,7 @@ impl AnalyticalEnergyModel {
 
     /// Predicted energy of one interval at configuration `(size, freq, ways)`
     /// given the predicted time and misses.
+    #[allow(clippy::too_many_arguments)]
     pub fn energy(
         &self,
         observation: &CoreObservation,
@@ -179,8 +180,7 @@ impl AnalyticalEnergyModel {
         let llc_dynamic = observation.stats.llc_accesses as f64 * p.llc_access_energy;
         let llc_static = p.llc_static_power_per_way * ways as f64 * predicted_time;
         let dram_dynamic = predicted_misses as f64 * p.dram_access_energy;
-        let dram_background =
-            p.dram_background_power / platform.num_cores as f64 * predicted_time;
+        let dram_background = p.dram_background_power / platform.num_cores as f64 * predicted_time;
 
         core_dynamic + core_static + llc_dynamic + llc_static + dram_dynamic + dram_background
     }
@@ -272,9 +272,18 @@ mod tests {
         let baseline = SystemSetting::baseline(&p).core(qosrm_types::CoreId(0));
         let misses: Vec<u64> = (0..16).map(|w| 800_000 - 30_000 * w as u64).collect();
         let leading = vec![
-            misses.iter().map(|&m| (m as f64 * 0.95) as u64).collect::<Vec<_>>(),
-            misses.iter().map(|&m| (m as f64 * 0.60) as u64).collect::<Vec<_>>(),
-            misses.iter().map(|&m| (m as f64 * 0.35) as u64).collect::<Vec<_>>(),
+            misses
+                .iter()
+                .map(|&m| (m as f64 * 0.95) as u64)
+                .collect::<Vec<_>>(),
+            misses
+                .iter()
+                .map(|&m| (m as f64 * 0.60) as u64)
+                .collect::<Vec<_>>(),
+            misses
+                .iter()
+                .map(|&m| (m as f64 * 0.35) as u64)
+                .collect::<Vec<_>>(),
         ];
         CoreObservation {
             app: AppId(0),
@@ -291,7 +300,11 @@ mod tests {
                 ways: baseline.ways,
             },
             miss_profile: MissProfile::new(misses),
-            mlp_profile: if with_mlp { Some(MlpProfile::new(leading)) } else { None },
+            mlp_profile: if with_mlp {
+                Some(MlpProfile::new(leading))
+            } else {
+                None
+            },
             scaling_profile: if with_mlp {
                 Some(CoreScalingProfile::new(vec![1.4, 1.1, 0.9]))
             } else {
@@ -368,7 +381,10 @@ mod tests {
                 < 1e-12
         );
         // Without the ILP monitor the same CPI is used for every size.
-        assert_eq!(m3.exec_cpi(&obs, CoreSizeIdx(0)), m3.exec_cpi(&obs, CoreSizeIdx(2)));
+        assert_eq!(
+            m3.exec_cpi(&obs, CoreSizeIdx(0)),
+            m3.exec_cpi(&obs, CoreSizeIdx(2))
+        );
     }
 
     #[test]

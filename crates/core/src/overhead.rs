@@ -74,7 +74,10 @@ mod tests {
         // Same order of magnitude as the paper's 18K/40K/67K measurements.
         assert!(two > 5_000 && two < 40_000, "two-core estimate {two}");
         assert!(four > 15_000 && four < 80_000, "four-core estimate {four}");
-        assert!(eight > 25_000 && eight < 140_000, "eight-core estimate {eight}");
+        assert!(
+            eight > 25_000 && eight < 140_000,
+            "eight-core estimate {eight}"
+        );
     }
 
     #[test]

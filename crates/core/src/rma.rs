@@ -3,12 +3,14 @@
 use crate::curve::EnergyCurve;
 use crate::global::optimize_partition;
 use crate::local::{LocalOptimizer, LocalOptimizerConfig};
+use crate::memo::{self, CurveCache, CurveKey};
 use crate::model::ModelKind;
 use crate::overhead::OverheadModel;
 use power_model::EnergyParams;
 use qosrm_types::{
     CoreId, CoreObservation, CoreSetting, PlatformConfig, QosSpec, ResourceManager, SystemSetting,
 };
+use std::sync::Arc;
 
 /// Configuration of a [`CoordinatedRma`].
 #[derive(Debug, Clone)]
@@ -68,6 +70,29 @@ impl RmaConfig {
 /// One instance manages the whole system: it keeps the most recent energy
 /// curve of every core and, at each invocation, recomputes the invoking
 /// core's curve and re-runs the global optimization over all cores.
+///
+/// # Example
+///
+/// Build the paper's managers and inspect their cost (the co-phase
+/// simulator drives them through [`qosrm_types::ResourceManager`]):
+///
+/// ```
+/// use qosrm_core::CoordinatedRma;
+/// use qosrm_types::{PlatformConfig, QosSpec, ResourceManager};
+///
+/// let platform = PlatformConfig::paper2(4);
+/// let qos = vec![QosSpec::STRICT; 4];
+///
+/// let rm2 = CoordinatedRma::paper1(&platform, qos.clone());
+/// let rm3 = CoordinatedRma::paper2(&platform, qos);
+/// assert_eq!(rm2.name(), "CombinedRMA-Model2");
+/// assert_eq!(rm3.name(), "CoordCoreRMA-Model3");
+///
+/// // Paper I reports < 40K instructions per 4-core invocation; RM3 pays
+/// // more because it also explores the core-size dimension.
+/// assert!(rm2.invocation_overhead_instructions(4) < 40_000);
+/// assert!(rm3.invocation_overhead_instructions(4) > rm2.invocation_overhead_instructions(4));
+/// ```
 #[derive(Debug, Clone)]
 pub struct CoordinatedRma {
     platform: PlatformConfig,
@@ -76,6 +101,12 @@ pub struct CoordinatedRma {
     overhead: OverheadModel,
     curves: Vec<Option<EnergyCurve>>,
     name: String,
+    /// Optional shared memoization cache for energy curves; see
+    /// [`CoordinatedRma::with_curve_cache`].
+    curve_cache: Option<Arc<CurveCache>>,
+    /// Digest of everything besides `(qos, observation)` that determines a
+    /// curve: platform, control knobs, model kind and energy calibration.
+    config_key: CurveKey,
 }
 
 impl CoordinatedRma {
@@ -91,6 +122,13 @@ impl CoordinatedRma {
             },
         );
         let name = Self::default_name(&config);
+        let config_key = memo::fingerprint(&(
+            platform.clone(),
+            config.control_dvfs,
+            config.control_core_size,
+            config.model,
+            config.energy_params,
+        ));
         CoordinatedRma {
             platform: platform.clone(),
             curves: vec![None; platform.num_cores],
@@ -98,6 +136,8 @@ impl CoordinatedRma {
             overhead: OverheadModel::default(),
             config,
             name,
+            curve_cache: None,
+            config_key,
         }
     }
 
@@ -196,6 +236,18 @@ impl CoordinatedRma {
         self
     }
 
+    /// Attaches a shared energy-curve memoization cache.
+    ///
+    /// Curves are pure functions of `(configuration, QoS, observation)`, so
+    /// a cache shared between managers — across the scenarios of a sweep and
+    /// across threads — returns bit-identical curves while skipping the
+    /// per-invocation model evaluations whenever an observation recurs. See
+    /// [`CurveCache`] for the key derivation.
+    pub fn with_curve_cache(mut self, cache: Arc<CurveCache>) -> Self {
+        self.curve_cache = Some(cache);
+        self
+    }
+
     /// The QoS specification of `core`.
     fn qos_of(&self, core: CoreId) -> QosSpec {
         self.config
@@ -235,9 +287,16 @@ impl ResourceManager for CoordinatedRma {
             self.curves = vec![None; current.num_cores()];
         }
 
-        // Step 1-3: models + local optimization produce this core's curve.
+        // Step 1-3: models + local optimization produce this core's curve
+        // (answered from the shared cache when the observation recurs).
         let qos = self.qos_of(core);
-        let curve = self.optimizer.energy_curve(observation, qos);
+        let curve = match &self.curve_cache {
+            Some(cache) => cache
+                .get_or_compute(memo::curve_key(self.config_key, qos, observation), || {
+                    self.optimizer.energy_curve(observation, qos)
+                }),
+            None => self.optimizer.energy_curve(observation, qos),
+        };
         if !curve.any_feasible() {
             // Defensive: even the baseline allocation appears infeasible
             // (can only happen through extreme modeling error); keep the
@@ -352,9 +411,18 @@ mod tests {
             .map(|w| (1_500_000.0 * (0.85f64).powi(w)) as u64)
             .collect();
         let leading = vec![
-            misses.iter().map(|&m| (m as f64 * 0.97) as u64).collect::<Vec<_>>(),
-            misses.iter().map(|&m| (m as f64 * 0.92) as u64).collect::<Vec<_>>(),
-            misses.iter().map(|&m| (m as f64 * 0.88) as u64).collect::<Vec<_>>(),
+            misses
+                .iter()
+                .map(|&m| (m as f64 * 0.97) as u64)
+                .collect::<Vec<_>>(),
+            misses
+                .iter()
+                .map(|&m| (m as f64 * 0.92) as u64)
+                .collect::<Vec<_>>(),
+            misses
+                .iter()
+                .map(|&m| (m as f64 * 0.88) as u64)
+                .collect::<Vec<_>>(),
         ];
         observation_from(app, misses, leading, baseline_ways, vec![1.45, 1.2, 1.1])
     }
@@ -365,9 +433,18 @@ mod tests {
         let baseline_ways = p.baseline_ways_per_core();
         let misses: Vec<u64> = (0..16).map(|_| 900_000u64).collect();
         let leading = vec![
-            misses.iter().map(|&m| (m as f64 * 0.70) as u64).collect::<Vec<_>>(),
-            misses.iter().map(|&m| (m as f64 * 0.40) as u64).collect::<Vec<_>>(),
-            misses.iter().map(|&m| (m as f64 * 0.20) as u64).collect::<Vec<_>>(),
+            misses
+                .iter()
+                .map(|&m| (m as f64 * 0.70) as u64)
+                .collect::<Vec<_>>(),
+            misses
+                .iter()
+                .map(|&m| (m as f64 * 0.40) as u64)
+                .collect::<Vec<_>>(),
+            misses
+                .iter()
+                .map(|&m| (m as f64 * 0.20) as u64)
+                .collect::<Vec<_>>(),
         ];
         observation_from(app, misses, leading, baseline_ways, vec![1.2, 0.9, 0.7])
     }
@@ -420,7 +497,10 @@ mod tests {
 
     /// Feeds one observation per core and returns the setting decided at the
     /// last invocation.
-    fn run_all_cores(manager: &mut CoordinatedRma, observations: Vec<CoreObservation>) -> SystemSetting {
+    fn run_all_cores(
+        manager: &mut CoordinatedRma,
+        observations: Vec<CoreObservation>,
+    ) -> SystemSetting {
         let p = platform();
         let mut setting = SystemSetting::baseline(&p);
         manager.reset(p.num_cores);
@@ -562,13 +642,22 @@ mod tests {
     #[test]
     fn names_reflect_scheme_and_model() {
         let p = platform();
-        assert_eq!(CoordinatedRma::paper1(&p, vec![]).name(), "CombinedRMA-Model2");
-        assert_eq!(CoordinatedRma::paper2(&p, vec![]).name(), "CoordCoreRMA-Model3");
+        assert_eq!(
+            CoordinatedRma::paper1(&p, vec![]).name(),
+            "CombinedRMA-Model2"
+        );
+        assert_eq!(
+            CoordinatedRma::paper2(&p, vec![]).name(),
+            "CoordCoreRMA-Model3"
+        );
         assert_eq!(
             CoordinatedRma::partitioning_only(&p, vec![]).name(),
             "PartitioningRMA-Model2"
         );
-        assert_eq!(CoordinatedRma::dvfs_only(&p, vec![]).name(), "DvfsRMA-Model2");
+        assert_eq!(
+            CoordinatedRma::dvfs_only(&p, vec![]).name(),
+            "DvfsRMA-Model2"
+        );
         assert_eq!(
             CoordinatedRma::with_model(&p, vec![], ModelKind::Perfect, true)
                 .with_name("RM3-Oracle")
@@ -584,7 +673,10 @@ mod tests {
         let rm3 = CoordinatedRma::paper2(&p, vec![QosSpec::STRICT; 4]);
         let rm2_cost = rm2.invocation_overhead_instructions(4);
         let rm3_cost = rm3.invocation_overhead_instructions(4);
-        assert!(rm2_cost < 40_000, "Paper I reports < 40K instructions, got {rm2_cost}");
+        assert!(
+            rm2_cost < 40_000,
+            "Paper I reports < 40K instructions, got {rm2_cost}"
+        );
         assert!(rm3_cost < 100_000);
         assert!(rm3_cost > rm2_cost);
         assert!(rm3.invocation_overhead_instructions(8) > rm3_cost);

@@ -6,8 +6,8 @@ use qosrm_core::{
     LocalOptimizerConfig, ModelKind,
 };
 use qosrm_types::{
-    AppId, CoreObservation, CoreScalingProfile, CoreSizeIdx, FreqLevel, IntervalStats,
-    MissProfile, MlpProfile, PlatformConfig, QosSpec,
+    AppId, CoreObservation, CoreScalingProfile, CoreSizeIdx, FreqLevel, IntervalStats, MissProfile,
+    MlpProfile, PlatformConfig, QosSpec,
 };
 
 fn curve_strategy(max_ways: usize) -> impl Strategy<Value = EnergyCurve> {

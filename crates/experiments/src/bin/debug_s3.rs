@@ -83,7 +83,12 @@ fn main() {
     );
     for size in 0..3usize {
         for f in (0..13usize).rev() {
-            let m = gt.metrics(phase, qosrm_types::CoreSizeIdx(size), qosrm_types::FreqLevel(f), 4);
+            let m = gt.metrics(
+                phase,
+                qosrm_types::CoreSizeIdx(size),
+                qosrm_types::FreqLevel(f),
+                4,
+            );
             if m.time_seconds <= base.time_seconds {
                 continue;
             }
@@ -125,9 +130,6 @@ fn main() {
             managed.per_app[i].energy_joules
         );
     }
-    println!(
-        "breakdown baseline: {:?}",
-        baseline.energy_breakdown
-    );
+    println!("breakdown baseline: {:?}", baseline.energy_breakdown);
     println!("breakdown managed:  {:?}", managed.energy_breakdown);
 }

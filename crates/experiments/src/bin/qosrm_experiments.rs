@@ -40,8 +40,10 @@ fn parse_args() -> Result<Args, String> {
                 args.json_out = Some(PathBuf::from(path));
             }
             "--help" | "-h" => {
-                return Err("usage: qosrm-experiments [--quick] [--cache-dir DIR] [--json FILE] [e1..e9]"
-                    .to_string());
+                return Err(
+                    "usage: qosrm-experiments [--quick] [--cache-dir DIR] [--json FILE] [e1..e9]"
+                        .to_string(),
+                );
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other}"));

@@ -1,13 +1,15 @@
 //! Shared experiment infrastructure: database construction/caching and
 //! workload execution helpers.
 
+use crate::sweep::SweepOptions;
+use qosrm_core::CurveCache;
 use qosrm_types::{PlatformConfig, QosSpec, ResourceManager};
-use rma_sim::{compare, Comparison, CophaseSimulator, SimulationOptions, SimulationResult};
+use rma_sim::{Comparison, CophaseSimulator, SimulationOptions, SimulationResult};
 use simdb::builder::{build_database_for_mixes, BuildOptions};
 use simdb::SimDb;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use workload::WorkloadMix;
 
 /// Shared state of an experiment session.
@@ -17,6 +19,12 @@ pub struct ExperimentContext {
     pub quick: bool,
     /// Optional directory where simulation databases are cached as JSON.
     pub cache_dir: Option<PathBuf>,
+    /// How `sweep::run` executes grids (parallel + memoized by default).
+    pub sweep: SweepOptions,
+    /// Energy-curve memoization cache shared by every memoized sweep of the
+    /// session (keys include platform/config digests, so scenarios from
+    /// different grids never collide).
+    curve_cache: Arc<CurveCache>,
     databases: Mutex<HashMap<String, SimDb>>,
 }
 
@@ -26,6 +34,8 @@ impl ExperimentContext {
         ExperimentContext {
             quick,
             cache_dir: None,
+            sweep: SweepOptions::default(),
+            curve_cache: Arc::new(CurveCache::new()),
             databases: Mutex::new(HashMap::new()),
         }
     }
@@ -34,6 +44,18 @@ impl ExperimentContext {
     pub fn with_cache_dir(mut self, dir: PathBuf) -> Self {
         self.cache_dir = Some(dir);
         self
+    }
+
+    /// Overrides the sweep execution options (e.g. to force the serial
+    /// reference path).
+    pub fn with_sweep_options(mut self, options: SweepOptions) -> Self {
+        self.sweep = options;
+        self
+    }
+
+    /// The session-wide energy-curve cache.
+    pub fn curve_cache(&self) -> &Arc<CurveCache> {
+        &self.curve_cache
     }
 
     /// Limits a workload list according to the quick mode (keeps a
@@ -57,6 +79,11 @@ impl ExperimentContext {
 
     /// Returns (building and caching if necessary) the simulation database
     /// covering `mixes` on `platform`.
+    ///
+    /// The cache key digests the *full* platform configuration: the
+    /// simulator takes its platform from the database, so two platforms
+    /// differing in any parameter (e.g. only the baseline VF level, as in
+    /// E4's sensitivity axes) must never share a database.
     pub fn database(&self, platform: &PlatformConfig, mixes: &[WorkloadMix]) -> SimDb {
         let mut names: Vec<&str> = mixes
             .iter()
@@ -64,10 +91,11 @@ impl ExperimentContext {
             .collect();
         names.sort_unstable();
         names.dedup();
+        let platform_digest = qosrm_core::memo::fingerprint(platform);
         let key = format!(
-            "{}cores-{}sizes-{}-{}",
-            platform.num_cores,
-            platform.num_core_sizes(),
+            "{:016x}{:016x}-{}-{}",
+            platform_digest.0,
+            platform_digest.1,
             if self.quick { "quick" } else { "full" },
             names.join(",")
         );
@@ -88,14 +116,15 @@ impl ExperimentContext {
         } else {
             build_database_for_mixes(platform, mixes, &options)
         };
-        self.databases
-            .lock()
-            .unwrap()
-            .insert(key, db.clone());
+        self.databases.lock().unwrap().insert(key, db.clone());
         db
     }
 
     /// Runs `mix` under `manager` and compares against the baseline run.
+    ///
+    /// One-shot convenience over [`CophaseSimulator::run_comparison`]; loops
+    /// that evaluate several managers on one workload should construct the
+    /// simulator once and reuse the baseline instead.
     pub fn run_and_compare(
         &self,
         db: &SimDb,
@@ -107,9 +136,7 @@ impl ExperimentContext {
         let simulator =
             CophaseSimulator::new(db, mix, options).expect("workload matches database platform");
         let baseline = simulator.run_baseline();
-        let managed = simulator.run(manager);
-        let comparison = compare(&baseline, &managed, qos);
-        (comparison, managed)
+        simulator.run_comparison(manager, &baseline, qos)
     }
 
     /// Runs `mix` under `manager` returning only the comparison.

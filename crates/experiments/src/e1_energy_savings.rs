@@ -5,10 +5,14 @@
 //! to 14 % on 8-core workloads, 6 % on average in both cases; a
 //! partitioning-only RMA saves only 1–2 % on average; workloads with no
 //! cache-sensitive application see no benefit (or a slight loss).
+//!
+//! The experiment is one declarative [`ScenarioGrid`]: two platform axes
+//! (the 4-core and 8-core Paper I machines, each with its workloads), a
+//! strict QoS point, and the RM2/RM1 variant pair.
 
 use crate::context::{max, mean, ExperimentContext};
 use crate::report::{ExperimentReport, ReportRow};
-use qosrm_core::CoordinatedRma;
+use crate::sweep::{self, PlatformAxis, QosAxis, RmaVariant, ScenarioGrid};
 use qosrm_types::{PlatformConfig, QosSpec};
 use rma_sim::SimulationOptions;
 use workload::paper1_workloads;
@@ -21,29 +25,37 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
          (4-core and 8-core workloads, strict QoS)",
     );
 
-    for &num_cores in &[4usize, 8] {
-        let platform = PlatformConfig::paper1(num_cores);
-        let mixes = ctx.limit_workloads(paper1_workloads(num_cores));
-        let db = ctx.database(&platform, &mixes);
-        let qos = vec![QosSpec::STRICT; num_cores];
+    let grid = ScenarioGrid {
+        platforms: [4usize, 8]
+            .iter()
+            .map(|&num_cores| {
+                PlatformAxis::new(
+                    format!("paper1-{num_cores}c"),
+                    PlatformConfig::paper1(num_cores),
+                    ctx.limit_workloads(paper1_workloads(num_cores)),
+                )
+            })
+            .collect(),
+        qos: vec![QosAxis::uniform("strict", QosSpec::STRICT)],
+        variants: vec![RmaVariant::Paper1, RmaVariant::PartitioningOnly],
         // Paper I platform: no core re-configuration, no MLP-ATD hardware.
-        let options = SimulationOptions {
+        options: SimulationOptions {
             provide_mlp_profiles: false,
             ..Default::default()
-        };
+        },
+    };
+    let result = sweep::run(&grid, ctx);
 
+    for axis in &grid.platforms {
+        let num_cores = axis.platform.num_cores;
         let mut combined_savings = Vec::new();
         let mut partitioning_savings = Vec::new();
         let mut violations = 0usize;
 
-        for mix in &mixes {
-            let mut combined = CoordinatedRma::paper1(&platform, qos.clone());
-            let combined_cmp =
-                ctx.comparison(&db, mix, &mut combined, &qos, options.clone());
-
-            let mut partitioning = CoordinatedRma::partitioning_only(&platform, qos.clone());
+        for mix in &axis.mixes {
+            let combined_cmp = result.expect_comparison(&axis.label, &mix.name, "strict", "RM2");
             let partitioning_cmp =
-                ctx.comparison(&db, mix, &mut partitioning, &qos, options.clone());
+                result.expect_comparison(&axis.label, &mix.name, "strict", "RM1");
 
             combined_savings.push(combined_cmp.energy_savings);
             partitioning_savings.push(partitioning_cmp.energy_savings);
@@ -52,7 +64,10 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
             report.push_row(
                 ReportRow::new(format!("{} ({}c)", mix.name, num_cores))
                     .with("Combined savings %", combined_cmp.energy_savings * 100.0)
-                    .with("Partitioning savings %", partitioning_cmp.energy_savings * 100.0)
+                    .with(
+                        "Partitioning savings %",
+                        partitioning_cmp.energy_savings * 100.0,
+                    )
                     .with("QoS violations", combined_cmp.num_violations() as f64),
             );
         }

@@ -51,8 +51,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
             let mut perfect =
                 CoordinatedRma::with_model(&platform, qos.clone(), ModelKind::Perfect, false)
                     .with_name("CombinedRMA-Perfect");
-            let perfect_cmp =
-                ctx.comparison(&db, mix, &mut perfect, &qos, perfect_options.clone());
+            let perfect_cmp = ctx.comparison(&db, mix, &mut perfect, &qos, perfect_options.clone());
 
             analytic_savings.push(analytic_cmp.energy_savings);
             perfect_savings.push(perfect_cmp.energy_savings);

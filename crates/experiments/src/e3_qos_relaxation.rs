@@ -4,16 +4,24 @@
 //! savings of the Combined RMA (with perfect models) grow to 17 % on average
 //! and up to 29 % at roughly 40 % longer execution time, with diminishing
 //! returns as the constraint is relaxed further (the sweep goes to 80 %).
+//!
+//! The experiment is one declarative [`ScenarioGrid`]: a single Paper I
+//! platform axis, one QoS axis point per relaxation level, and the
+//! perfect-model Combined RMA as the only variant.
 
 use crate::context::{max, mean, ExperimentContext};
 use crate::report::{ExperimentReport, ReportRow};
-use qosrm_core::{CoordinatedRma, ModelKind};
+use crate::sweep::{self, PlatformAxis, QosAxis, RmaVariant, ScenarioGrid};
+use qosrm_core::ModelKind;
 use qosrm_types::{PlatformConfig, QosSpec};
 use rma_sim::SimulationOptions;
 use workload::paper1_workloads;
 
 /// The relaxation points of the sweep (fraction of extra execution time).
 pub const RELAXATION_POINTS: &[f64] = &[0.0, 0.1, 0.2, 0.3, 0.4, 0.6, 0.8];
+
+/// Variant label of the perfect-model Combined RMA.
+const VARIANT: &str = "CombinedRMA-Perfect";
 
 /// Runs the experiment.
 pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
@@ -32,7 +40,6 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
     } else {
         all_mixes.into_iter().step_by(2).collect()
     };
-    let db = ctx.database(&platform, &mixes);
 
     let relaxations: &[f64] = if ctx.quick {
         &[0.0, 0.4]
@@ -40,21 +47,37 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
         RELAXATION_POINTS
     };
 
-    let mut savings_at_40 = Vec::new();
-    for &relaxation in relaxations {
-        let qos = vec![QosSpec::relaxed_by(relaxation); 4];
-        let options = SimulationOptions {
+    let grid = ScenarioGrid {
+        platforms: vec![PlatformAxis::new("paper1-4c", platform, mixes)],
+        qos: relaxations
+            .iter()
+            .map(|&relaxation| {
+                QosAxis::uniform(
+                    format!("relaxation {:.0}%", relaxation * 100.0),
+                    QosSpec::relaxed_by(relaxation),
+                )
+            })
+            .collect(),
+        variants: vec![RmaVariant::WithModel {
+            model: ModelKind::Perfect,
+            control_core_size: false,
+            name: VARIANT.to_string(),
+        }],
+        options: SimulationOptions {
             provide_mlp_profiles: false,
             provide_perfect_tables: true,
             ..Default::default()
-        };
+        },
+    };
+    let result = sweep::run(&grid, ctx);
+
+    let axis = &grid.platforms[0];
+    let mut savings_at_40 = Vec::new();
+    for (qos_axis, &relaxation) in grid.qos.iter().zip(relaxations) {
         let mut savings = Vec::new();
         let mut violations = 0usize;
-        for mix in &mixes {
-            let mut manager =
-                CoordinatedRma::with_model(&platform, qos.clone(), ModelKind::Perfect, false)
-                    .with_name("CombinedRMA-Perfect");
-            let cmp = ctx.comparison(&db, mix, &mut manager, &qos, options.clone());
+        for mix in &axis.mixes {
+            let cmp = result.expect_comparison(&axis.label, &mix.name, &qos_axis.label, VARIANT);
             savings.push(cmp.energy_savings);
             violations += cmp.num_violations();
         }
@@ -62,7 +85,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
             savings_at_40 = savings.clone();
         }
         report.push_row(
-            ReportRow::new(format!("relaxation {:.0}%", relaxation * 100.0))
+            ReportRow::new(qos_axis.label.clone())
                 .with("Avg savings %", mean(&savings) * 100.0)
                 .with("Max savings %", max(&savings) * 100.0)
                 .with("QoS violations", violations as f64),

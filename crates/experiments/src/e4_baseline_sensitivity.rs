@@ -5,10 +5,14 @@
 //! the QoS target (a higher baseline leaves more headroom to trade), and
 //! relaxing the QoS target for only a subset of the applications yields a
 //! proportional share of the full-relaxation savings.
+//!
+//! Two declarative [`ScenarioGrid`]s: the first sweeps the baseline VF level
+//! as a platform axis (strict QoS), the second sweeps partial relaxation as
+//! a per-core QoS axis on the default platform.
 
 use crate::context::{mean, ExperimentContext};
 use crate::report::{ExperimentReport, ReportRow};
-use qosrm_core::CoordinatedRma;
+use crate::sweep::{self, PlatformAxis, QosAxis, RmaVariant, ScenarioGrid};
 use qosrm_types::{FreqLevel, PlatformConfig, QosSpec};
 use rma_sim::SimulationOptions;
 use workload::paper1_workloads;
@@ -28,47 +32,85 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
     };
 
     // Part 1: baseline VF sensitivity. Levels 4 / 6 / 8 = 1.6 / 2.0 / 2.4 GHz.
-    for &baseline_level in &[4usize, 6, 8] {
-        let mut platform = PlatformConfig::paper1(4);
-        platform.vf = platform.vf.with_baseline(FreqLevel(baseline_level)).unwrap();
-        let db = ctx.database(&platform, &mixes);
-        let qos = vec![QosSpec::STRICT; 4];
-        let mut savings = Vec::new();
-        for mix in &mixes {
-            let mut manager = CoordinatedRma::paper1(&platform, qos.clone());
-            let cmp = ctx.comparison(&db, mix, &mut manager, &qos, options.clone());
-            savings.push(cmp.energy_savings);
-        }
-        let freq_ghz = platform.vf.point(FreqLevel(baseline_level)).freq_ghz;
+    let vf_grid = ScenarioGrid {
+        platforms: [4usize, 6, 8]
+            .iter()
+            .map(|&baseline_level| {
+                let mut platform = PlatformConfig::paper1(4);
+                platform.vf = platform
+                    .vf
+                    .with_baseline(FreqLevel(baseline_level))
+                    .unwrap();
+                let freq_ghz = platform.vf.point(FreqLevel(baseline_level)).freq_ghz;
+                PlatformAxis::new(
+                    format!("baseline {freq_ghz:.1} GHz"),
+                    platform,
+                    mixes.clone(),
+                )
+            })
+            .collect(),
+        qos: vec![QosAxis::uniform("strict", QosSpec::STRICT)],
+        variants: vec![RmaVariant::Paper1],
+        options: options.clone(),
+    };
+    let vf_result = sweep::run(&vf_grid, ctx);
+    for axis in &vf_grid.platforms {
+        let savings: Vec<f64> = axis
+            .mixes
+            .iter()
+            .map(|mix| {
+                vf_result
+                    .expect_comparison(&axis.label, &mix.name, "strict", "RM2")
+                    .energy_savings
+            })
+            .collect();
         report.push_row(
-            ReportRow::new(format!("baseline {freq_ghz:.1} GHz"))
-                .with("Avg savings %", mean(&savings) * 100.0),
+            ReportRow::new(axis.label.clone()).with("Avg savings %", mean(&savings) * 100.0),
         );
     }
 
     // Part 2: partial relaxation — relax 0 / 1 / 2 / 4 of the 4 applications
     // by 40 % while the rest stay strict.
-    let platform = PlatformConfig::paper1(4);
-    let db = ctx.database(&platform, &mixes);
-    for &relaxed_apps in &[0usize, 1, 2, 4] {
-        let qos: Vec<QosSpec> = (0..4)
-            .map(|i| {
-                if i < relaxed_apps {
-                    QosSpec::relaxed_by(0.4)
-                } else {
-                    QosSpec::STRICT
-                }
+    let partial_grid = ScenarioGrid {
+        platforms: vec![PlatformAxis::new(
+            "paper1-4c",
+            PlatformConfig::paper1(4),
+            mixes.clone(),
+        )],
+        qos: [0usize, 1, 2, 4]
+            .iter()
+            .map(|&relaxed_apps| {
+                QosAxis::per_core(
+                    format!("{relaxed_apps}/4 apps relaxed by 40%"),
+                    (0..4)
+                        .map(|i| {
+                            if i < relaxed_apps {
+                                QosSpec::relaxed_by(0.4)
+                            } else {
+                                QosSpec::STRICT
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+        variants: vec![RmaVariant::Paper1],
+        options,
+    };
+    let partial_result = sweep::run(&partial_grid, ctx);
+    let axis = &partial_grid.platforms[0];
+    for qos_axis in &partial_grid.qos {
+        let savings: Vec<f64> = axis
+            .mixes
+            .iter()
+            .map(|mix| {
+                partial_result
+                    .expect_comparison(&axis.label, &mix.name, &qos_axis.label, "RM2")
+                    .energy_savings
             })
             .collect();
-        let mut savings = Vec::new();
-        for mix in &mixes {
-            let mut manager = CoordinatedRma::paper1(&platform, qos.clone());
-            let cmp = ctx.comparison(&db, mix, &mut manager, &qos, options.clone());
-            savings.push(cmp.energy_savings);
-        }
         report.push_row(
-            ReportRow::new(format!("{relaxed_apps}/4 apps relaxed by 40%"))
-                .with("Avg savings %", mean(&savings) * 100.0),
+            ReportRow::new(qos_axis.label.clone()).with("Avg savings %", mean(&savings) * 100.0),
         );
     }
 

@@ -49,11 +49,7 @@ mod tests {
     fn overhead_is_below_paper_bound() {
         let ctx = ExperimentContext::new(true);
         let report = run(&ctx);
-        let four_core = report
-            .rows
-            .iter()
-            .find(|r| r.label == "4-core")
-            .unwrap();
+        let four_core = report.rows.iter().find(|r| r.label == "4-core").unwrap();
         assert!(four_core.get("Instructions / invocation").unwrap() < 40_000.0);
         assert!(four_core.get("% of 100M interval").unwrap() < 0.1);
     }

@@ -4,10 +4,14 @@
 //! (Paper II) across all 16 combinations of application categories
 //! (cache sensitivity × parallelism sensitivity), RM1 is rarely effective and
 //! RM3 substantially improves on RM2 in 12 of the 16 mixes.
+//!
+//! The experiment is one declarative [`ScenarioGrid`]: the Paper II 4-core
+//! platform with the sixteen category mixes, strict QoS, and all three
+//! manager variants.
 
 use crate::context::ExperimentContext;
 use crate::report::{ExperimentReport, ReportRow};
-use qosrm_core::CoordinatedRma;
+use crate::sweep::{self, PlatformAxis, QosAxis, RmaVariant, ScenarioGrid};
 use qosrm_types::{PlatformConfig, QosSpec};
 use rma_sim::SimulationOptions;
 use workload::paper2_sixteen_mixes;
@@ -19,26 +23,34 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
         "Paper II: RM1 / RM2 / RM3 energy savings across the sixteen pairwise category mixes",
     );
 
-    let platform = PlatformConfig::paper2(4);
     let all = paper2_sixteen_mixes();
     let selected: Vec<_> = if ctx.quick {
         all.into_iter().take(4).collect()
     } else {
         all
     };
-    let mixes: Vec<_> = selected.iter().map(|(_, _, m)| m.clone()).collect();
-    let db = ctx.database(&platform, &mixes);
-    let qos = vec![QosSpec::STRICT; 4];
-    let options = SimulationOptions::default();
+    let grid = ScenarioGrid {
+        platforms: vec![PlatformAxis::new(
+            "paper2-4c",
+            PlatformConfig::paper2(4),
+            selected.iter().map(|(_, _, m)| m.clone()).collect(),
+        )],
+        qos: vec![QosAxis::uniform("strict", QosSpec::STRICT)],
+        variants: vec![
+            RmaVariant::PartitioningOnly,
+            RmaVariant::Paper1,
+            RmaVariant::Paper2,
+        ],
+        options: SimulationOptions::default(),
+    };
+    let result = sweep::run(&grid, ctx);
 
+    let axis = &grid.platforms[0];
     let mut rm3_substantially_better = 0usize;
-    for ((cat_a, cat_b, _), mix) in selected.iter().zip(mixes.iter()) {
-        let mut rm1 = CoordinatedRma::partitioning_only(&platform, qos.clone());
-        let rm1_cmp = ctx.comparison(&db, mix, &mut rm1, &qos, options.clone());
-        let mut rm2 = CoordinatedRma::paper1(&platform, qos.clone());
-        let rm2_cmp = ctx.comparison(&db, mix, &mut rm2, &qos, options.clone());
-        let mut rm3 = CoordinatedRma::paper2(&platform, qos.clone());
-        let rm3_cmp = ctx.comparison(&db, mix, &mut rm3, &qos, options.clone());
+    for (cat_a, cat_b, mix) in &selected {
+        let rm1_cmp = result.expect_comparison(&axis.label, &mix.name, "strict", "RM1");
+        let rm2_cmp = result.expect_comparison(&axis.label, &mix.name, "strict", "RM2");
+        let rm3_cmp = result.expect_comparison(&axis.label, &mix.name, "strict", "RM3");
 
         // "Substantially better": at least 2 percentage points more savings.
         if rm3_cmp.energy_savings - rm2_cmp.energy_savings > 0.02 {
@@ -57,7 +69,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
         "RM3 substantially improves on RM2 (> 2 pp) in {} of {} mixes (paper: 12 of 16); \
          RM1 alone is rarely effective",
         rm3_substantially_better,
-        mixes.len(),
+        axis.mixes.len(),
     ));
     report
 }
@@ -71,8 +83,16 @@ mod tests {
     fn rm3_is_at_least_as_good_as_rm1_on_average() {
         let ctx = ExperimentContext::new(true);
         let report = run(&ctx);
-        let rm1: Vec<f64> = report.rows.iter().filter_map(|r| r.get("RM1 savings %")).collect();
-        let rm3: Vec<f64> = report.rows.iter().filter_map(|r| r.get("RM3 savings %")).collect();
+        let rm1: Vec<f64> = report
+            .rows
+            .iter()
+            .filter_map(|r| r.get("RM1 savings %"))
+            .collect();
+        let rm3: Vec<f64> = report
+            .rows
+            .iter()
+            .filter_map(|r| r.get("RM3 savings %"))
+            .collect();
         assert!(!rm3.is_empty());
         assert!(mean(&rm3) >= mean(&rm1) - 0.5);
     }

@@ -7,10 +7,14 @@
 //! * Scenario 2 — RM2 and RM3 are comparable (up to 10 %, 5 % on average);
 //! * Scenario 3 — only RM3 is effective (up to 11 %, 8.5 % on average);
 //! * Scenario 4 — neither saves a significant amount of energy.
+//!
+//! The experiment is one declarative [`ScenarioGrid`]: the Paper II 4-core
+//! platform with the scenario workloads, strict QoS, and the RM2/RM3
+//! variant pair.
 
 use crate::context::{max, mean, ExperimentContext};
 use crate::report::{ExperimentReport, ReportRow};
-use qosrm_core::CoordinatedRma;
+use crate::sweep::{self, PlatformAxis, QosAxis, RmaVariant, ScenarioGrid};
 use qosrm_types::{PlatformConfig, QosSpec};
 use rma_sim::SimulationOptions;
 use workload::paper2_scenario_workloads;
@@ -23,7 +27,6 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
          strict QoS)",
     );
 
-    let platform = PlatformConfig::paper2(4);
     let scenario_mixes = paper2_scenario_workloads(4);
     let scenario_mixes: Vec<_> = if ctx.quick {
         // One workload per scenario in quick mode.
@@ -35,19 +38,25 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
     } else {
         scenario_mixes
     };
-    let mixes: Vec<_> = scenario_mixes.iter().map(|(_, m)| m.clone()).collect();
-    let db = ctx.database(&platform, &mixes);
-    let qos = vec![QosSpec::STRICT; 4];
-    let options = SimulationOptions::default();
+    let grid = ScenarioGrid {
+        platforms: vec![PlatformAxis::new(
+            "paper2-4c",
+            PlatformConfig::paper2(4),
+            scenario_mixes.iter().map(|(_, m)| m.clone()).collect(),
+        )],
+        qos: vec![QosAxis::uniform("strict", QosSpec::STRICT)],
+        variants: vec![RmaVariant::Paper1, RmaVariant::Paper2],
+        options: SimulationOptions::default(),
+    };
+    let result = sweep::run(&grid, ctx);
 
+    let axis = &grid.platforms[0];
     let mut per_scenario_rm2: Vec<Vec<f64>> = vec![Vec::new(); 5];
     let mut per_scenario_rm3: Vec<Vec<f64>> = vec![Vec::new(); 5];
 
     for (scenario, mix) in &scenario_mixes {
-        let mut rm2 = CoordinatedRma::paper1(&platform, qos.clone());
-        let rm2_cmp = ctx.comparison(&db, mix, &mut rm2, &qos, options.clone());
-        let mut rm3 = CoordinatedRma::paper2(&platform, qos.clone());
-        let rm3_cmp = ctx.comparison(&db, mix, &mut rm3, &qos, options.clone());
+        let rm2_cmp = result.expect_comparison(&axis.label, &mix.name, "strict", "RM2");
+        let rm3_cmp = result.expect_comparison(&axis.label, &mix.name, "strict", "RM3");
 
         per_scenario_rm2[*scenario].push(rm2_cmp.energy_savings);
         per_scenario_rm3[*scenario].push(rm3_cmp.energy_savings);

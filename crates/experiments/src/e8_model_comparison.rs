@@ -6,13 +6,25 @@
 //! and Model 3 also improves the expected value and standard deviation of the
 //! violations (by 49 % and 26 % versus Model 2). The weighted average energy
 //! savings are 10 % / 7 % / 5 % with Model 3 / 2 / 1.
+//!
+//! The experiment is one declarative [`ScenarioGrid`]: the Paper II 4-core
+//! platform with the scenario workloads, strict QoS, and one
+//! [`RmaVariant::WithModel`] per performance model.
 
 use crate::context::{mean, ExperimentContext};
 use crate::report::{ExperimentReport, ReportRow};
-use qosrm_core::{CoordinatedRma, ModelKind};
+use crate::sweep::{self, PlatformAxis, QosAxis, RmaVariant, ScenarioGrid};
+use qosrm_core::ModelKind;
 use qosrm_types::{PlatformConfig, QosSpec};
 use rma_sim::SimulationOptions;
 use workload::paper2_scenario_workloads;
+
+/// The three model variants of the study, in presentation order.
+const MODELS: [(&str, ModelKind); 3] = [
+    ("Model 1 (no overlap)", ModelKind::SimpleLatency),
+    ("Model 2 (constant MLP)", ModelKind::ConstantMlp),
+    ("Model 3 (MLP-aware)", ModelKind::MlpAware),
+];
 
 /// Runs the experiment.
 pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
@@ -22,34 +34,41 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
          energy savings of RM3 driven by Model 1, Model 2 and Model 3",
     );
 
-    let platform = PlatformConfig::paper2(4);
     let scenario_mixes = paper2_scenario_workloads(4);
     let scenario_mixes: Vec<_> = if ctx.quick {
         scenario_mixes.into_iter().take(3).collect()
     } else {
         scenario_mixes
     };
-    let mixes: Vec<_> = scenario_mixes.iter().map(|(_, m)| m.clone()).collect();
-    let db = ctx.database(&platform, &mixes);
-    let qos = vec![QosSpec::STRICT; 4];
-    let options = SimulationOptions::default();
+    let grid = ScenarioGrid {
+        platforms: vec![PlatformAxis::new(
+            "paper2-4c",
+            PlatformConfig::paper2(4),
+            scenario_mixes.iter().map(|(_, m)| m.clone()).collect(),
+        )],
+        qos: vec![QosAxis::uniform("strict", QosSpec::STRICT)],
+        variants: MODELS
+            .iter()
+            .map(|(label, kind)| RmaVariant::WithModel {
+                model: *kind,
+                control_core_size: true,
+                name: format!("RM3-{label}"),
+            })
+            .collect(),
+        options: SimulationOptions::default(),
+    };
+    let result = sweep::run(&grid, ctx);
 
-    let models = [
-        ("Model 1 (no overlap)", ModelKind::SimpleLatency),
-        ("Model 2 (constant MLP)", ModelKind::ConstantMlp),
-        ("Model 3 (MLP-aware)", ModelKind::MlpAware),
-    ];
-
+    let axis = &grid.platforms[0];
     let mut summaries = Vec::new();
-    for (label, kind) in models {
+    for (label, _) in MODELS {
+        let variant = format!("RM3-{label}");
         let mut savings = Vec::new();
         let mut probabilities = Vec::new();
         let mut expected_values = Vec::new();
         let mut stds = Vec::new();
-        for mix in &mixes {
-            let mut manager = CoordinatedRma::with_model(&platform, qos.clone(), kind, true)
-                .with_name(format!("RM3-{label}"));
-            let cmp = ctx.comparison(&db, mix, &mut manager, &qos, options.clone());
+        for mix in &axis.mixes {
+            let cmp = result.expect_comparison(&axis.label, &mix.name, "strict", &variant);
             savings.push(cmp.energy_savings);
             probabilities.push(cmp.interval_stats.probability());
             expected_values.push(cmp.interval_stats.expected_magnitude());

@@ -1,13 +1,20 @@
 //! # experiments
 //!
 //! Experiment runners that regenerate every table and figure of the paper's
-//! evaluation (see `DESIGN.md` for the experiment index E1–E9 and
-//! `EXPERIMENTS.md` for paper-reported versus measured values).
+//! evaluation (the experiment index E1–E9 and its mapping to paper figures
+//! and tables lives in `crates/README.md`).
 //!
 //! Each experiment module exposes a `run(&ExperimentContext) -> ExperimentReport`
 //! function; the `qosrm-experiments` binary runs them all (or a selection) and
 //! prints the same rows/series the paper reports. The expensive
 //! simulation-results database is built once per platform and cached on disk.
+//!
+//! The baseline-comparison experiments (E1, E3, E4, E6, E7, E8) are
+//! declarative [`sweep::ScenarioGrid`]s over the parallel scenario-sweep
+//! engine in [`sweep`]. E2 still drives the simulator directly because its
+//! two variants run under *different* simulation options (a grid shares one
+//! options struct), and E5/E9 measure invocation overhead rather than
+//! baseline comparisons.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -23,9 +30,14 @@ pub mod e7_scenario_savings;
 pub mod e8_model_comparison;
 pub mod e9_overhead_scaling;
 pub mod report;
+pub mod sweep;
 
 pub use context::ExperimentContext;
 pub use report::{ExperimentReport, ReportRow};
+pub use sweep::{
+    PlatformAxis, QosAxis, QosPolicy, RmaVariant, ScenarioGrid, ScenarioKey, ScenarioOutcome,
+    SweepOptions, SweepResult,
+};
 
 /// Identifiers of all experiments, in execution order.
 pub const ALL_EXPERIMENTS: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];

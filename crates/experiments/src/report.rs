@@ -73,7 +73,11 @@ impl ExperimentReport {
     /// Renders the report as an aligned text table.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("## {} — {}\n\n", self.id.to_uppercase(), self.title));
+        out.push_str(&format!(
+            "## {} — {}\n\n",
+            self.id.to_uppercase(),
+            self.title
+        ));
 
         if !self.rows.is_empty() {
             // Collect the union of columns, preserving first-seen order.
@@ -92,10 +96,7 @@ impl ExperimentReport {
                 .chain(std::iter::once("workload".len()))
                 .max()
                 .unwrap_or(8);
-            let col_width = columns
-                .iter()
-                .map(|c| c.len().max(10))
-                .collect::<Vec<_>>();
+            let col_width = columns.iter().map(|c| c.len().max(10)).collect::<Vec<_>>();
 
             out.push_str(&format!("{:<label_width$}", "workload"));
             for (c, w) in columns.iter().zip(&col_width) {
@@ -131,7 +132,9 @@ mod tests {
 
     #[test]
     fn row_accessors() {
-        let row = ReportRow::new("W1").with("savings", 0.12).with("violations", 1.0);
+        let row = ReportRow::new("W1")
+            .with("savings", 0.12)
+            .with("violations", 1.0);
         assert_eq!(row.get("savings"), Some(0.12));
         assert_eq!(row.get("missing"), None);
     }
@@ -140,7 +143,11 @@ mod tests {
     fn render_contains_all_labels_and_columns() {
         let mut report = ExperimentReport::new("e1", "Energy savings");
         report.push_row(ReportRow::new("W4-00").with("RM2 savings %", 6.0));
-        report.push_row(ReportRow::new("W4-01").with("RM2 savings %", 18.0).with("RM1 savings %", 1.0));
+        report.push_row(
+            ReportRow::new("W4-01")
+                .with("RM2 savings %", 18.0)
+                .with("RM1 savings %", 1.0),
+        );
         report.push_summary("average savings 6%");
         let text = report.render();
         assert!(text.contains("E1"));

@@ -130,13 +130,10 @@ impl EnergyModel {
 
         let core_dynamic =
             usage.instructions as f64 * p.core_epi_nominal * usage.dynamic_epi_scale * dyn_v;
-        let core_static = p.core_static_power_nominal
-            * usage.static_power_scale
-            * stat_v
-            * usage.time_seconds;
+        let core_static =
+            p.core_static_power_nominal * usage.static_power_scale * stat_v * usage.time_seconds;
         let llc_dynamic = usage.llc_accesses as f64 * p.llc_access_energy;
-        let llc_static =
-            p.llc_static_power_per_way * usage.llc_ways as f64 * usage.time_seconds;
+        let llc_static = p.llc_static_power_per_way * usage.llc_ways as f64 * usage.time_seconds;
         let dram_dynamic = usage.llc_misses as f64 * p.dram_access_energy;
         let dram_background =
             p.dram_background_power * usage.dram_background_share * usage.time_seconds;
@@ -242,8 +239,7 @@ mod tests {
         let mut few = usage();
         few.llc_misses = 100_000;
         assert!(
-            model.interval_energy(&few).dram_dynamic
-                < model.interval_energy(&usage()).dram_dynamic
+            model.interval_energy(&few).dram_dynamic < model.interval_energy(&usage()).dram_dynamic
         );
     }
 

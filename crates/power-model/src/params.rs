@@ -64,7 +64,10 @@ impl EnergyParams {
             ("dram_access_energy", self.dram_access_energy),
             ("dram_background_power", self.dram_background_power),
             ("dvfs_transition_energy", self.dvfs_transition_energy),
-            ("reconfig_transition_energy", self.reconfig_transition_energy),
+            (
+                "reconfig_transition_energy",
+                self.reconfig_transition_energy,
+            ),
         ];
         for (name, v) in fields {
             if !(v.is_finite() && v > 0.0) {
@@ -94,14 +97,20 @@ mod tests {
 
     #[test]
     fn validation_rejects_nonpositive() {
-        let mut p = EnergyParams::default();
-        p.core_epi_nominal = 0.0;
+        let p = EnergyParams {
+            core_epi_nominal: 0.0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = EnergyParams::default();
-        p.dram_access_energy = f64::NAN;
+        let p = EnergyParams {
+            dram_access_energy: f64::NAN,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = EnergyParams::default();
-        p.llc_static_power_per_way = -1.0;
+        let p = EnergyParams {
+            llc_static_power_per_way: -1.0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
     }
 

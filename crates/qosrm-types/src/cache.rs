@@ -91,7 +91,11 @@ impl WayMask {
             return WayMask(0);
         }
         debug_assert!(start + count <= 64);
-        let ones = if count >= 64 { u64::MAX } else { (1u64 << count) - 1 };
+        let ones = if count >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << count) - 1
+        };
         WayMask(ones << start)
     }
 
@@ -145,7 +149,7 @@ impl WayPartition {
         if num_cores == 0 {
             return Err(QosrmError::InvalidPlatform("no cores".into()));
         }
-        if associativity % num_cores != 0 {
+        if !associativity.is_multiple_of(num_cores) {
             return Err(QosrmError::InvalidPlatform(format!(
                 "associativity {associativity} not divisible by {num_cores} cores"
             )));
@@ -189,7 +193,7 @@ impl WayPartition {
         if self.ways.is_empty() {
             return Err(QosrmError::InvalidSetting("empty way partition".into()));
         }
-        if self.ways.iter().any(|&w| w == 0) {
+        if self.ways.contains(&0) {
             return Err(QosrmError::InvalidSetting(
                 "every core must receive at least one LLC way".into(),
             ));

@@ -218,7 +218,7 @@ impl PlatformConfig {
             return Err(QosrmError::InvalidPlatform("num_cores must be > 0".into()));
         }
         self.llc.validate()?;
-        if self.llc.associativity % self.num_cores != 0 {
+        if !self.llc.associativity.is_multiple_of(self.num_cores) {
             return Err(QosrmError::InvalidPlatform(format!(
                 "LLC associativity {} is not divisible by {} cores (baseline equal partition impossible)",
                 self.llc.associativity, self.num_cores

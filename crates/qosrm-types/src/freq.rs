@@ -199,21 +199,36 @@ mod tests {
     #[test]
     fn monotonicity_is_enforced() {
         let bad = vec![
-            VfPoint { freq_ghz: 1.0, voltage: 0.8 },
-            VfPoint { freq_ghz: 0.9, voltage: 0.9 },
+            VfPoint {
+                freq_ghz: 1.0,
+                voltage: 0.8,
+            },
+            VfPoint {
+                freq_ghz: 0.9,
+                voltage: 0.9,
+            },
         ];
         assert!(VfTable::new(bad, FreqLevel(0)).is_err());
 
         let bad_v = vec![
-            VfPoint { freq_ghz: 1.0, voltage: 0.9 },
-            VfPoint { freq_ghz: 1.2, voltage: 0.8 },
+            VfPoint {
+                freq_ghz: 1.0,
+                voltage: 0.9,
+            },
+            VfPoint {
+                freq_ghz: 1.2,
+                voltage: 0.8,
+            },
         ];
         assert!(VfTable::new(bad_v, FreqLevel(0)).is_err());
     }
 
     #[test]
     fn baseline_out_of_range_rejected() {
-        let pts = vec![VfPoint { freq_ghz: 1.0, voltage: 0.8 }];
+        let pts = vec![VfPoint {
+            freq_ghz: 1.0,
+            voltage: 0.8,
+        }];
         assert!(VfTable::new(pts, FreqLevel(3)).is_err());
     }
 
@@ -249,7 +264,10 @@ mod tests {
 
     #[test]
     fn period_and_hz() {
-        let p = VfPoint { freq_ghz: 2.0, voltage: 1.0 };
+        let p = VfPoint {
+            freq_ghz: 2.0,
+            voltage: 1.0,
+        };
         assert!((p.period_ns() - 0.5).abs() < 1e-12);
         assert!((p.freq_hz() - 2.0e9).abs() < 1.0);
     }

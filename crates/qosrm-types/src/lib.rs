@@ -21,7 +21,7 @@
 //! voltage–frequency level, a per-core micro-architecture size and an LLC
 //! way-partition.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod cache;

@@ -2,10 +2,10 @@
 //! simulator (or a real system's interrupt handler) and the resource
 //! management algorithms.
 
+use crate::freq::FreqLevel;
 use crate::ids::{AppId, CoreId, CoreSizeIdx};
 use crate::setting::SystemSetting;
 use crate::stats::{CoreScalingProfile, IntervalStats, MissProfile, MlpProfile};
-use crate::freq::FreqLevel;
 use serde::{Deserialize, Serialize};
 
 /// Ground-truth performance and energy of one core for a single

@@ -23,7 +23,9 @@ pub struct QosSpec {
 
 impl QosSpec {
     /// Strict QoS: no slowdown relative to the baseline is tolerated.
-    pub const STRICT: QosSpec = QosSpec { allowed_slowdown: 1.0 };
+    pub const STRICT: QosSpec = QosSpec {
+        allowed_slowdown: 1.0,
+    };
 
     /// Creates a QoS spec allowing the given relative slowdown (e.g. `0.4`
     /// allows 40 % longer execution time).
@@ -106,8 +108,16 @@ mod tests {
     #[test]
     fn validation() {
         assert!(QosSpec::STRICT.validate().is_ok());
-        assert!(QosSpec { allowed_slowdown: 0.9 }.validate().is_err());
-        assert!(QosSpec { allowed_slowdown: f64::NAN }.validate().is_err());
+        assert!(QosSpec {
+            allowed_slowdown: 0.9
+        }
+        .validate()
+        .is_err());
+        assert!(QosSpec {
+            allowed_slowdown: f64::NAN
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -64,9 +64,7 @@ impl ResourceManager for StaticSettingManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qosrm_types::{
-        CoreSizeIdx, FreqLevel, IntervalStats, MissProfile, PlatformConfig, AppId,
-    };
+    use qosrm_types::{AppId, CoreSizeIdx, FreqLevel, IntervalStats, MissProfile, PlatformConfig};
 
     fn observation() -> CoreObservation {
         CoreObservation {

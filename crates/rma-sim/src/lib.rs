@@ -27,5 +27,7 @@ pub mod result;
 pub mod simulator;
 
 pub use baseline::{BaselineManager, StaticSettingManager};
-pub use result::{compare, AppResult, Comparison, IntervalRecord, IntervalViolationStats, SimulationResult};
+pub use result::{
+    compare, AppResult, Comparison, IntervalRecord, IntervalViolationStats, SimulationResult,
+};
 pub use simulator::{CophaseSimulator, SimulationOptions};

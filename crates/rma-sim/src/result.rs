@@ -240,7 +240,11 @@ fn interval_violations(
         0.0
     };
     let std = if violations > 1 {
-        (magnitudes.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / violations as f64)
+        (magnitudes
+            .iter()
+            .map(|m| (m - mean) * (m - mean))
+            .sum::<f64>()
+            / violations as f64)
             .sqrt()
     } else {
         0.0

@@ -63,6 +63,36 @@ struct CoreState {
 }
 
 /// The co-phase simulator for one workload on one platform.
+///
+/// # Example
+///
+/// Simulate a 2-application workload under RM2 and compare against the
+/// baseline run (quick characterization keeps the doctest fast):
+///
+/// ```
+/// use qosrm_core::CoordinatedRma;
+/// use qosrm_types::{PlatformConfig, QosSpec};
+/// use rma_sim::{CophaseSimulator, SimulationOptions};
+/// use simdb::builder::{build_database_for_mixes, BuildOptions};
+/// use workload::WorkloadMix;
+///
+/// let platform = PlatformConfig::small_for_tests(2);
+/// let mix = WorkloadMix::new("demo", vec!["mcf_like", "gamess_like"]);
+/// let db = build_database_for_mixes(
+///     &platform,
+///     std::slice::from_ref(&mix),
+///     &BuildOptions::quick_for_tests(&platform),
+/// );
+///
+/// let simulator = CophaseSimulator::new(&db, &mix, SimulationOptions::default()).unwrap();
+/// let baseline = simulator.run_baseline();
+/// let qos = vec![QosSpec::STRICT; 2];
+/// let mut manager = CoordinatedRma::paper1(&platform, qos.clone());
+/// let (comparison, managed) = simulator.run_comparison(&mut manager, &baseline, &qos);
+///
+/// assert_eq!(managed.per_app.len(), 2);
+/// assert!(comparison.energy_savings.is_finite());
+/// ```
 pub struct CophaseSimulator {
     db: SimDb,
     ground_truth: GroundTruth,
@@ -72,7 +102,11 @@ pub struct CophaseSimulator {
 
 impl CophaseSimulator {
     /// Creates a simulator for `mix`, taking the platform from the database.
-    pub fn new(db: &SimDb, mix: &WorkloadMix, options: SimulationOptions) -> Result<Self, QosrmError> {
+    pub fn new(
+        db: &SimDb,
+        mix: &WorkloadMix,
+        options: SimulationOptions,
+    ) -> Result<Self, QosrmError> {
         let platform = db.platform().clone();
         if mix.num_cores() != platform.num_cores {
             return Err(QosrmError::InvalidWorkload(format!(
@@ -104,6 +138,25 @@ impl CophaseSimulator {
         self.run(&mut manager)
     }
 
+    /// Runs the workload under `manager` and compares it against an already
+    /// computed `baseline` run of the same workload.
+    ///
+    /// The baseline run depends only on the database, the workload and the
+    /// simulation options — not on the manager or the QoS targets — so sweep
+    /// loops that evaluate many managers over one workload compute it once
+    /// and reuse it here instead of re-simulating it per comparison (see
+    /// `experiments::sweep`).
+    pub fn run_comparison(
+        &self,
+        manager: &mut dyn ResourceManager,
+        baseline: &SimulationResult,
+        qos: &[qosrm_types::QosSpec],
+    ) -> (crate::result::Comparison, SimulationResult) {
+        let managed = self.run(manager);
+        let comparison = crate::result::compare(baseline, &managed, qos);
+        (comparison, managed)
+    }
+
     /// Runs the workload under `manager` until every application has
     /// completed one full round.
     pub fn run(&self, manager: &mut dyn ResourceManager) -> SimulationResult {
@@ -111,11 +164,8 @@ impl CophaseSimulator {
         let num_cores = platform.num_cores;
         manager.reset(num_cores);
 
-        let transition_model = TransitionModel::new(
-            self.options.transition_costs,
-            platform.llc,
-            platform.memory,
-        );
+        let transition_model =
+            TransitionModel::new(self.options.transition_costs, platform.llc, platform.memory);
 
         let mut cores: Vec<CoreState> = self
             .mix
@@ -187,7 +237,9 @@ impl CophaseSimulator {
                 if !core.done {
                     core.round_time += dt;
                     // Charge energy proportionally to executed instructions.
-                    let phase = core.record.phase(core.record.trace.phase_at(core.interval_idx));
+                    let phase = core
+                        .record
+                        .phase(core.record.trace.phase_at(core.interval_idx));
                     let core_setting = setting.core(CoreId(i));
                     let outcome = self.ground_truth.timing(
                         phase,
@@ -203,13 +255,15 @@ impl CophaseSimulator {
                         &outcome,
                     );
                     let fraction = (executed / interval_instructions).min(1.0);
-                    let mut scaled = EnergyBreakdown::default();
-                    scaled.core_dynamic = energy.core_dynamic * fraction;
-                    scaled.core_static = energy.core_static * fraction;
-                    scaled.llc_dynamic = energy.llc_dynamic * fraction;
-                    scaled.llc_static = energy.llc_static * fraction;
-                    scaled.dram_dynamic = energy.dram_dynamic * fraction;
-                    scaled.dram_background = energy.dram_background * fraction;
+                    let scaled = EnergyBreakdown {
+                        core_dynamic: energy.core_dynamic * fraction,
+                        core_static: energy.core_static * fraction,
+                        llc_dynamic: energy.llc_dynamic * fraction,
+                        llc_static: energy.llc_static * fraction,
+                        dram_dynamic: energy.dram_dynamic * fraction,
+                        dram_background: energy.dram_background * fraction,
+                        ..Default::default()
+                    };
                     core.round_energy.accumulate(&scaled);
                 }
             }
@@ -239,13 +293,21 @@ impl CophaseSimulator {
             }
 
             // Invoke the resource manager on the finishing core.
-            let observation = self.build_observation(&cores[next_core], next_core, finished_setting, finished_phase_id);
+            let observation = self.build_observation(
+                &cores[next_core],
+                next_core,
+                finished_setting,
+                finished_phase_id,
+            );
             let new_setting = manager.on_interval(CoreId(next_core), &observation, &setting);
             rma_invocations += 1;
             let overhead_instr = manager.invocation_overhead_instructions(num_cores);
             rma_overhead_instructions += overhead_instr;
             // RMA software overhead runs on the invoking core.
-            let freq_hz = platform.vf.point(setting.core(CoreId(next_core)).freq).freq_hz();
+            let freq_hz = platform
+                .vf
+                .point(setting.core(CoreId(next_core)).freq)
+                .freq_hz();
             cores[next_core].pending_overhead += overhead_instr as f64 / freq_hz;
 
             // Apply the new setting if it is valid and different.
@@ -333,7 +395,10 @@ impl CophaseSimulator {
         let perfect: Option<ConfigTable> = if self.options.provide_perfect_tables {
             // Perfect foresight of the upcoming interval's phase.
             let next_phase = core.record.trace.phase_at(core.interval_idx);
-            Some(self.ground_truth.config_table(core.record.phase(next_phase)))
+            Some(
+                self.ground_truth
+                    .config_table(core.record.phase(next_phase)),
+            )
         } else {
             None
         };
@@ -465,7 +530,10 @@ mod tests {
             ..Default::default()
         };
         let sim = CophaseSimulator::new(&db, &mix(), options).unwrap();
-        let mut probe = Probe { saw_perfect: false, saw_mlp: false };
+        let mut probe = Probe {
+            saw_perfect: false,
+            saw_mlp: false,
+        };
         sim.run(&mut probe);
         assert!(probe.saw_perfect);
         assert!(!probe.saw_mlp);

@@ -133,8 +133,14 @@ mod tests {
         let platform = PlatformConfig::paper2(4);
         let options = BuildOptions::quick_for_tests(&platform);
         let mixes = vec![
-            WorkloadMix::new("a", vec!["gamess_like", "povray_like", "gamess_like", "povray_like"]),
-            WorkloadMix::new("b", vec!["povray_like", "gamess_like", "povray_like", "gamess_like"]),
+            WorkloadMix::new(
+                "a",
+                vec!["gamess_like", "povray_like", "gamess_like", "povray_like"],
+            ),
+            WorkloadMix::new(
+                "b",
+                vec!["povray_like", "gamess_like", "povray_like", "gamess_like"],
+            ),
         ];
         let db = build_database_for_mixes(&platform, &mixes, &options);
         assert_eq!(db.len(), 2);

@@ -176,9 +176,15 @@ mod tests {
             exec_cpi: vec![1.3, 1.0, 0.8],
             misses_per_way: (0..16).map(|w| 900_000 - 40_000 * w as u64).collect(),
             leading_misses: vec![
-                (0..16).map(|w| ((900_000 - 40_000 * w as u64) as f64 * 0.9) as u64).collect(),
-                (0..16).map(|w| ((900_000 - 40_000 * w as u64) as f64 * 0.6) as u64).collect(),
-                (0..16).map(|w| ((900_000 - 40_000 * w as u64) as f64 * 0.4) as u64).collect(),
+                (0..16)
+                    .map(|w| ((900_000 - 40_000 * w as u64) as f64 * 0.9) as u64)
+                    .collect(),
+                (0..16)
+                    .map(|w| ((900_000 - 40_000 * w as u64) as f64 * 0.6) as u64)
+                    .collect(),
+                (0..16)
+                    .map(|w| ((900_000 - 40_000 * w as u64) as f64 * 0.4) as u64)
+                    .collect(),
             ],
             atd_misses_per_way: (0..16).map(|w| 900_000 - 40_000 * w as u64).collect(),
             atd_leading_misses: vec![vec![0; 16], vec![0; 16], vec![0; 16]],

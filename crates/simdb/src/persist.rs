@@ -7,12 +7,18 @@
 
 use crate::record::SimDb;
 use qosrm_types::QosrmError;
+use serde::{Deserialize, Serialize};
 use std::fs;
 use std::path::Path;
 
-/// Saves a database to `path` as pretty-printed JSON.
-pub fn save(db: &SimDb, path: &Path) -> Result<(), QosrmError> {
-    let json = serde_json::to_string(db).map_err(|e| QosrmError::Io(e.to_string()))?;
+/// Saves any serializable value to `path` as JSON, creating parent
+/// directories as needed.
+///
+/// Shared by the database cache and by downstream result tables (e.g. the
+/// sweep results of `experiments::sweep`), so everything the pipeline
+/// persists goes through one code path.
+pub fn save_json<T: Serialize>(value: &T, path: &Path) -> Result<(), QosrmError> {
+    let json = serde_json::to_string(value).map_err(|e| QosrmError::Io(e.to_string()))?;
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             fs::create_dir_all(parent)?;
@@ -22,20 +28,27 @@ pub fn save(db: &SimDb, path: &Path) -> Result<(), QosrmError> {
     Ok(())
 }
 
+/// Loads any deserializable value from the JSON file at `path`.
+pub fn load_json<T: Deserialize>(path: &Path) -> Result<T, QosrmError> {
+    let json = fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(|e| QosrmError::Io(e.to_string()))
+}
+
+/// Saves a database to `path` as JSON.
+pub fn save(db: &SimDb, path: &Path) -> Result<(), QosrmError> {
+    save_json(db, path)
+}
+
 /// Loads a database from `path`.
 pub fn load(path: &Path) -> Result<SimDb, QosrmError> {
-    let json = fs::read_to_string(path)?;
-    let db: SimDb = serde_json::from_str(&json).map_err(|e| QosrmError::Io(e.to_string()))?;
+    let db: SimDb = load_json(path)?;
     db.validate()?;
     Ok(db)
 }
 
 /// Loads a cached database if `path` exists, otherwise builds it with
 /// `build` and saves the result.
-pub fn load_or_build(
-    path: &Path,
-    build: impl FnOnce() -> SimDb,
-) -> Result<SimDb, QosrmError> {
+pub fn load_or_build(path: &Path, build: impl FnOnce() -> SimDb) -> Result<SimDb, QosrmError> {
     if path.exists() {
         if let Ok(db) = load(path) {
             return Ok(db);

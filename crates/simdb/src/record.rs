@@ -147,8 +147,14 @@ mod tests {
             phases: vec![tiny_phase(), tiny_phase()],
             trace: PhaseTrace::generate(&[0.5, 0.5], 10, 3, 1).unwrap(),
             category: AppCategory {
-                paper1: Paper1Category { memory_intensive: false, cache_sensitive: false },
-                paper2: Paper2Category { cache_sensitive: false, parallelism_sensitive: false },
+                paper1: Paper1Category {
+                    memory_intensive: false,
+                    cache_sensitive: false,
+                },
+                paper2: Paper2Category {
+                    cache_sensitive: false,
+                    parallelism_sensitive: false,
+                },
             },
         }
     }

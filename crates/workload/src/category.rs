@@ -80,10 +80,22 @@ impl Paper2Category {
     /// pairwise mixes of the Paper II analysis).
     pub fn all() -> [Paper2Category; 4] {
         [
-            Paper2Category { cache_sensitive: true, parallelism_sensitive: true },
-            Paper2Category { cache_sensitive: true, parallelism_sensitive: false },
-            Paper2Category { cache_sensitive: false, parallelism_sensitive: true },
-            Paper2Category { cache_sensitive: false, parallelism_sensitive: false },
+            Paper2Category {
+                cache_sensitive: true,
+                parallelism_sensitive: true,
+            },
+            Paper2Category {
+                cache_sensitive: true,
+                parallelism_sensitive: false,
+            },
+            Paper2Category {
+                cache_sensitive: false,
+                parallelism_sensitive: true,
+            },
+            Paper2Category {
+                cache_sensitive: false,
+                parallelism_sensitive: false,
+            },
         ]
     }
 }
@@ -107,7 +119,11 @@ pub fn classify(
     thresholds: &CategoryThresholds,
 ) -> AppCategory {
     let total_weight: f64 = phases.iter().map(|(_, w)| w).sum();
-    let norm = if total_weight > 0.0 { total_weight } else { 1.0 };
+    let norm = if total_weight > 0.0 {
+        total_weight
+    } else {
+        1.0
+    };
 
     let max_ways = phases
         .first()
@@ -129,8 +145,7 @@ pub fn classify(
         let sizes = phase.num_core_sizes();
         if sizes >= 2 {
             let small = phase.mlp_at(CoreSizeIdx(0), baseline_ways.min(phase.max_ways()));
-            let large =
-                phase.mlp_at(CoreSizeIdx(sizes - 1), baseline_ways.min(phase.max_ways()));
+            let large = phase.mlp_at(CoreSizeIdx(sizes - 1), baseline_ways.min(phase.max_ways()));
             if small > 0.0 {
                 mlp_variation += w * ((large - small) / small).max(0.0);
             }
@@ -176,9 +191,18 @@ mod tests {
             .phases
             .iter()
             .enumerate()
-            .map(|(i, spec)| (characterizer.characterize(spec, b.phase_seed(i)), weights[i]))
+            .map(|(i, spec)| {
+                (
+                    characterizer.characterize(spec, b.phase_seed(i)),
+                    weights[i],
+                )
+            })
             .collect();
-        classify(&phases, platform.baseline_ways_per_core(), &CategoryThresholds::default())
+        classify(
+            &phases,
+            platform.baseline_ways_per_core(),
+            &CategoryThresholds::default(),
+        )
     }
 
     #[test]
@@ -220,11 +244,19 @@ mod tests {
     #[test]
     fn labels_cover_all_cases() {
         assert_eq!(
-            Paper1Category { memory_intensive: true, cache_sensitive: false }.label(),
+            Paper1Category {
+                memory_intensive: true,
+                cache_sensitive: false
+            }
+            .label(),
             "MI-CI"
         );
         assert_eq!(
-            Paper1Category { memory_intensive: false, cache_sensitive: true }.label(),
+            Paper1Category {
+                memory_intensive: false,
+                cache_sensitive: true
+            }
+            .label(),
             "CI-CS"
         );
         assert_eq!(Paper2Category::all().len(), 4);

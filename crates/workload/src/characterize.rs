@@ -128,8 +128,7 @@ impl PhaseCharacterizer {
         let assoc = self.config.sim_llc.associativity;
         let sim_instructions =
             (self.platform.interval_instructions / self.config.scale).max(10_000);
-        let warm_instructions =
-            (sim_instructions as f64 * self.config.warmup_fraction) as u64;
+        let warm_instructions = (sim_instructions as f64 * self.config.warmup_fraction) as u64;
 
         // Scale the phase's working sets down to the simulated LLC.
         let mut scaled = spec.clone();
@@ -219,7 +218,9 @@ mod tests {
     fn configs_are_valid() {
         let p = platform();
         assert!(CharacterizationConfig::for_platform(&p).validate().is_ok());
-        assert!(CharacterizationConfig::quick_for_tests(&p).validate().is_ok());
+        assert!(CharacterizationConfig::quick_for_tests(&p)
+            .validate()
+            .is_ok());
         let mut bad = CharacterizationConfig::for_platform(&p);
         bad.warmup_fraction = 2.0;
         assert!(bad.validate().is_err());

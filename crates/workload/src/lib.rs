@@ -42,7 +42,7 @@ pub use category::{classify, AppCategory, CategoryThresholds, Paper1Category, Pa
 pub use characterize::{CharacterizationConfig, PhaseCharacterizer};
 pub use mixes::{
     paper1_workloads, paper2_category_representatives, paper2_scenario_workloads,
-    paper2_sixteen_mixes, WorkloadMix,
+    paper2_sixteen_mixes, validate_mix_axis, WorkloadMix,
 };
 pub use phase::{PhaseSpec, Region};
 pub use simpoint::{cluster_slices, SliceFeatures};

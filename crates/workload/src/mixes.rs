@@ -53,6 +53,32 @@ impl WorkloadMix {
     }
 }
 
+/// Validates that a mix list can serve as a sweep axis: every mix valid,
+/// every mix the same width, and names unique (scenario results are keyed by
+/// mix name, so duplicates would make sweep cells ambiguous).
+pub fn validate_mix_axis(mixes: &[WorkloadMix]) -> Result<(), QosrmError> {
+    let mut seen = std::collections::HashSet::new();
+    for mix in mixes {
+        mix.validate()?;
+        if mix.num_cores() != mixes[0].num_cores() {
+            return Err(QosrmError::InvalidWorkload(format!(
+                "workload {} has {} applications but {} has {}",
+                mix.name,
+                mix.num_cores(),
+                mixes[0].name,
+                mixes[0].num_cores()
+            )));
+        }
+        if !seen.insert(mix.name.as_str()) {
+            return Err(QosrmError::InvalidWorkload(format!(
+                "duplicate workload name {} in sweep axis",
+                mix.name
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Category pools used to compose the mixes.
 mod pools {
     /// Memory-intensive, cache-sensitive, dependent misses (CS-PI).
@@ -154,10 +180,7 @@ pub fn paper1_workloads(num_cores: usize) -> Vec<WorkloadMix> {
             };
             benchmarks.push(name);
         }
-        mixes.push(WorkloadMix::new(
-            format!("W{num_cores}-{i:02}"),
-            benchmarks,
-        ));
+        mixes.push(WorkloadMix::new(format!("W{num_cores}-{i:02}"), benchmarks));
     }
     mixes
 }
@@ -208,21 +231,103 @@ pub fn paper2_scenario_workloads(num_cores: usize) -> Vec<(usize, WorkloadMix)> 
     );
     let four_core: Vec<(usize, WorkloadMix)> = vec![
         // Scenario 1: CS-PS + CS-PI / CI-PS mixes.
-        (1, WorkloadMix::new("S1-a", vec!["soplex_like", "gems_fdtd_like", "mcf_like", "libquantum_like"])),
-        (1, WorkloadMix::new("S1-b", vec!["sphinx3_like", "soplex_like", "lbm_like", "omnetpp_like"])),
-        (1, WorkloadMix::new("S1-c", vec!["gems_fdtd_like", "cactusadm_like", "bwaves_like", "mcf_like"])),
+        (
+            1,
+            WorkloadMix::new(
+                "S1-a",
+                vec![
+                    "soplex_like",
+                    "gems_fdtd_like",
+                    "mcf_like",
+                    "libquantum_like",
+                ],
+            ),
+        ),
+        (
+            1,
+            WorkloadMix::new(
+                "S1-b",
+                vec!["sphinx3_like", "soplex_like", "lbm_like", "omnetpp_like"],
+            ),
+        ),
+        (
+            1,
+            WorkloadMix::new(
+                "S1-c",
+                vec![
+                    "gems_fdtd_like",
+                    "cactusadm_like",
+                    "bwaves_like",
+                    "mcf_like",
+                ],
+            ),
+        ),
         // Scenario 2: CS-PI + compute.
-        (2, WorkloadMix::new("S2-a", vec!["mcf_like", "omnetpp_like", "gamess_like", "povray_like"])),
-        (2, WorkloadMix::new("S2-b", vec!["astar_like", "xalancbmk_like", "namd_like", "hmmer_like"])),
-        (2, WorkloadMix::new("S2-c", vec!["mcf_like", "astar_like", "calculix_like", "gobmk_like"])),
+        (
+            2,
+            WorkloadMix::new(
+                "S2-a",
+                vec!["mcf_like", "omnetpp_like", "gamess_like", "povray_like"],
+            ),
+        ),
+        (
+            2,
+            WorkloadMix::new(
+                "S2-b",
+                vec!["astar_like", "xalancbmk_like", "namd_like", "hmmer_like"],
+            ),
+        ),
+        (
+            2,
+            WorkloadMix::new(
+                "S2-c",
+                vec!["mcf_like", "astar_like", "calculix_like", "gobmk_like"],
+            ),
+        ),
         // Scenario 3: streaming / parallelism-sensitive, cache-insensitive.
-        (3, WorkloadMix::new("S3-a", vec!["libquantum_like", "lbm_like", "milc_like", "leslie3d_like"])),
-        (3, WorkloadMix::new("S3-b", vec!["bwaves_like", "zeusmp_like", "libquantum_like", "milc_like"])),
-        (3, WorkloadMix::new("S3-c", vec!["lbm_like", "leslie3d_like", "zeusmp_like", "bwaves_like"])),
+        (
+            3,
+            WorkloadMix::new(
+                "S3-a",
+                vec!["libquantum_like", "lbm_like", "milc_like", "leslie3d_like"],
+            ),
+        ),
+        (
+            3,
+            WorkloadMix::new(
+                "S3-b",
+                vec!["bwaves_like", "zeusmp_like", "libquantum_like", "milc_like"],
+            ),
+        ),
+        (
+            3,
+            WorkloadMix::new(
+                "S3-c",
+                vec!["lbm_like", "leslie3d_like", "zeusmp_like", "bwaves_like"],
+            ),
+        ),
         // Scenario 4: compute-bound / insensitive.
-        (4, WorkloadMix::new("S4-a", vec!["gamess_like", "povray_like", "gobmk_like", "sjeng_like"])),
-        (4, WorkloadMix::new("S4-b", vec!["namd_like", "hmmer_like", "perlbench_like", "h264ref_like"])),
-        (4, WorkloadMix::new("S4-c", vec!["calculix_like", "gromacs_like", "gamess_like", "sjeng_like"])),
+        (
+            4,
+            WorkloadMix::new(
+                "S4-a",
+                vec!["gamess_like", "povray_like", "gobmk_like", "sjeng_like"],
+            ),
+        ),
+        (
+            4,
+            WorkloadMix::new(
+                "S4-b",
+                vec!["namd_like", "hmmer_like", "perlbench_like", "h264ref_like"],
+            ),
+        ),
+        (
+            4,
+            WorkloadMix::new(
+                "S4-c",
+                vec!["calculix_like", "gromacs_like", "gamess_like", "sjeng_like"],
+            ),
+        ),
     ];
     if num_cores == 4 {
         return four_core;
@@ -268,16 +373,19 @@ mod tests {
     #[test]
     fn all_mixes_reference_existing_benchmarks() {
         for mix in paper1_workloads(4).iter().chain(paper1_workloads(8).iter()) {
-            mix.validate().unwrap_or_else(|e| panic!("{}: {e}", mix.name));
+            mix.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", mix.name));
         }
         for (_, mix) in paper2_scenario_workloads(4)
             .iter()
             .chain(paper2_scenario_workloads(8).iter())
         {
-            mix.validate().unwrap_or_else(|e| panic!("{}: {e}", mix.name));
+            mix.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", mix.name));
         }
         for (_, _, mix) in paper2_sixteen_mixes() {
-            mix.validate().unwrap_or_else(|e| panic!("{}: {e}", mix.name));
+            mix.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", mix.name));
         }
     }
 
@@ -325,7 +433,10 @@ mod tests {
     fn validation_catches_unknown_benchmarks() {
         let bad = WorkloadMix::new("bad", vec!["mcf_like", "unknown_like"]);
         assert!(bad.validate().is_err());
-        let empty = WorkloadMix { name: "e".into(), benchmarks: vec![] };
+        let empty = WorkloadMix {
+            name: "e".into(),
+            benchmarks: vec![],
+        };
         assert!(empty.validate().is_err());
     }
 }

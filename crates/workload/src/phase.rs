@@ -120,7 +120,10 @@ impl PhaseSpec {
         PhaseSpec {
             name: name.into(),
             apki: 1.0,
-            regions: vec![Region { lines: 256, weight: 1.0 }],
+            regions: vec![Region {
+                lines: 256,
+                weight: 1.0,
+            }],
             streaming_fraction: 0.02,
             burst_len: 1,
             intra_burst_gap: 10,
@@ -135,7 +138,10 @@ impl PhaseSpec {
         PhaseSpec {
             name: name.into(),
             apki,
-            regions: vec![Region { lines: 512, weight: 1.0 }],
+            regions: vec![Region {
+                lines: 512,
+                weight: 1.0,
+            }],
             streaming_fraction: 0.85,
             burst_len,
             intra_burst_gap: 8,
@@ -146,17 +152,19 @@ impl PhaseSpec {
 
     /// A cache-sensitive phase with pointer-chasing style dependent misses
     /// (low MLP on every core size).
-    pub fn cache_sensitive_dependent(
-        name: impl Into<String>,
-        apki: f64,
-        ws_lines: u64,
-    ) -> Self {
+    pub fn cache_sensitive_dependent(name: impl Into<String>, apki: f64, ws_lines: u64) -> Self {
         PhaseSpec {
             name: name.into(),
             apki,
             regions: vec![
-                Region { lines: ws_lines, weight: 0.8 },
-                Region { lines: ws_lines / 8, weight: 0.2 },
+                Region {
+                    lines: ws_lines,
+                    weight: 0.8,
+                },
+                Region {
+                    lines: ws_lines / 8,
+                    weight: 0.2,
+                },
             ],
             streaming_fraction: 0.05,
             burst_len: 1,
@@ -172,8 +180,14 @@ impl PhaseSpec {
             name: name.into(),
             apki,
             regions: vec![
-                Region { lines: ws_lines, weight: 0.7 },
-                Region { lines: ws_lines / 4, weight: 0.3 },
+                Region {
+                    lines: ws_lines,
+                    weight: 0.7,
+                },
+                Region {
+                    lines: ws_lines / 4,
+                    weight: 0.3,
+                },
             ],
             streaming_fraction: 0.10,
             burst_len: 12,

@@ -133,9 +133,8 @@ pub fn cluster_slices(
             if members.is_empty() {
                 continue;
             }
-            for d in 0..dim {
-                centroid[d] =
-                    members.iter().map(|m| m.values[d]).sum::<f64>() / members.len() as f64;
+            for (d, slot) in centroid.iter_mut().enumerate() {
+                *slot = members.iter().map(|m| m.values[d]).sum::<f64>() / members.len() as f64;
             }
         }
         if !changed {
@@ -202,8 +201,14 @@ mod tests {
         let w_first = clustering.weights[first];
         assert!((w_first - 20.0 / 30.0).abs() < 1e-9);
         // Representatives belong to their own cluster.
-        assert_eq!(clustering.assignments[clustering.representatives[first]], first);
-        assert_eq!(clustering.assignments[clustering.representatives[second]], second);
+        assert_eq!(
+            clustering.assignments[clustering.representatives[first]],
+            first
+        );
+        assert_eq!(
+            clustering.assignments[clustering.representatives[second]],
+            second
+        );
     }
 
     #[test]

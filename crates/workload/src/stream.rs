@@ -157,7 +157,10 @@ mod tests {
         let spec = PhaseSpec {
             name: "cs".into(),
             apki: 15.0,
-            regions: vec![Region { lines: ws_lines, weight: 1.0 }],
+            regions: vec![Region {
+                lines: ws_lines,
+                weight: 1.0,
+            }],
             streaming_fraction: 0.0,
             burst_len: 2,
             intra_burst_gap: 15,

@@ -109,7 +109,8 @@ mod archetype {
         apki: f64,
         ws_ways: u64,
     ) -> (Vec<PhaseSpec>, Vec<f64>) {
-        let main = PhaseSpec::cache_sensitive_dependent(format!("{name}.main"), apki, ways(ws_ways));
+        let main =
+            PhaseSpec::cache_sensitive_dependent(format!("{name}.main"), apki, ways(ws_ways));
         let mut small = PhaseSpec::cache_sensitive_dependent(
             format!("{name}.small_ws"),
             apki * 0.7,
@@ -149,7 +150,10 @@ mod archetype {
         let main = PhaseSpec {
             name: format!("{name}.main"),
             apki,
-            regions: vec![Region { lines: ways(128), weight: 1.0 }],
+            regions: vec![Region {
+                lines: ways(128),
+                weight: 1.0,
+            }],
             streaming_fraction: 0.05,
             burst_len: 1,
             intra_burst_gap: 25,
@@ -168,11 +172,7 @@ mod archetype {
     /// width buys well under 2x IPC, so the exponent stays moderate.
     pub fn compute_ilp_sensitive(name: &str, exec_cpi: f64) -> (Vec<PhaseSpec>, Vec<f64>) {
         let main = PhaseSpec::compute_bound(format!("{name}.main"), exec_cpi, 0.4);
-        let mut memory = PhaseSpec::cache_sensitive_bursty(
-            format!("{name}.memory"),
-            4.0,
-            ways(2),
-        );
+        let mut memory = PhaseSpec::cache_sensitive_bursty(format!("{name}.memory"), 4.0, ways(2));
         memory.ilp = IlpParams::new(exec_cpi * 1.1, 0.35);
         (vec![main, memory], vec![0.8, 0.2])
     }
@@ -180,11 +180,8 @@ mod archetype {
     /// Compute-intensive with weak ILP sensitivity (branchy integer codes).
     pub fn compute_ilp_insensitive(name: &str, exec_cpi: f64) -> (Vec<PhaseSpec>, Vec<f64>) {
         let main = PhaseSpec::compute_bound(format!("{name}.main"), exec_cpi, 0.1);
-        let mut memory = PhaseSpec::cache_sensitive_dependent(
-            format!("{name}.memory"),
-            3.0,
-            ways(2),
-        );
+        let mut memory =
+            PhaseSpec::cache_sensitive_dependent(format!("{name}.memory"), 3.0, ways(2));
         memory.ilp = IlpParams::new(exec_cpi * 1.05, 0.1);
         (vec![main, memory], vec![0.85, 0.15])
     }
@@ -283,6 +280,19 @@ pub fn benchmark_names() -> Vec<&'static str> {
 }
 
 /// Looks up a benchmark profile by name.
+///
+/// # Example
+///
+/// ```
+/// use workload::{benchmark, benchmark_names};
+///
+/// // Every suite member resolves to a valid multi-phase profile.
+/// let mcf = benchmark("mcf_like").expect("mcf_like is in the suite");
+/// assert!(!mcf.phases.is_empty());
+/// assert!(mcf.validate().is_ok());
+/// assert!(benchmark_names().contains(&"mcf_like"));
+/// assert!(benchmark("not_a_benchmark").is_none());
+/// ```
 pub fn benchmark(name: &str) -> Option<BenchmarkProfile> {
     let (phases, phase_weights, trace_intervals) = build(name)?;
     Some(BenchmarkProfile {
@@ -358,7 +368,10 @@ mod tests {
             .filter(|b| b.phases[0].streaming_fraction > 0.5)
             .count();
         let compute = suite.iter().filter(|b| b.phases[0].apki <= 2.0).count();
-        assert!(dependent_cs >= 4, "dependent cache-sensitive: {dependent_cs}");
+        assert!(
+            dependent_cs >= 4,
+            "dependent cache-sensitive: {dependent_cs}"
+        );
         assert!(streaming >= 4, "streaming: {streaming}");
         assert!(compute >= 6, "compute-bound: {compute}");
     }

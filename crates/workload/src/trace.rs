@@ -58,7 +58,9 @@ impl PhaseTrace {
             ));
         }
         if length == 0 {
-            return Err(QosrmError::InvalidWorkload("trace length must be > 0".into()));
+            return Err(QosrmError::InvalidWorkload(
+                "trace length must be > 0".into(),
+            ));
         }
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mean_run = mean_run_length.max(1);
@@ -152,7 +154,11 @@ mod tests {
     fn traces_have_runs_not_noise() {
         let trace = PhaseTrace::generate(&[0.5, 0.5], 300, 10, 3).unwrap();
         // With mean run length 10, far fewer than 150 switches are expected.
-        assert!(trace.num_switches() < 80, "switches={}", trace.num_switches());
+        assert!(
+            trace.num_switches() < 80,
+            "switches={}",
+            trace.num_switches()
+        );
         assert!(trace.num_switches() > 2);
     }
 

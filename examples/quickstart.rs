@@ -63,9 +63,18 @@ fn main() {
     // 4. Compare.
     let cmp = compare(&baseline, &managed, &qos);
     println!("\nmanager: {}", managed.manager);
-    println!("system energy baseline: {:.3} J", baseline.system_energy_joules);
-    println!("system energy managed:  {:.3} J", managed.system_energy_joules);
-    println!("energy savings:         {:.1} %", cmp.energy_savings * 100.0);
+    println!(
+        "system energy baseline: {:.3} J",
+        baseline.system_energy_joules
+    );
+    println!(
+        "system energy managed:  {:.3} J",
+        managed.system_energy_joules
+    );
+    println!(
+        "energy savings:         {:.1} %",
+        cmp.energy_savings * 100.0
+    );
     println!("RMA invocations:        {}", managed.rma_invocations);
     println!("setting changes:        {}", managed.setting_changes);
     for (i, app) in managed.per_app.iter().enumerate() {

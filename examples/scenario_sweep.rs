@@ -1,0 +1,86 @@
+//! Scenario-sweep engine: evaluate a whole scenario family declaratively.
+//!
+//! Every experiment in the paper is "run these mixes on this platform under
+//! these QoS targets with these managers, against the baseline". The sweep
+//! engine turns that into data: this example declares a `ScenarioGrid` with
+//! three QoS points × two manager variants over four Paper I workloads,
+//! runs it (parallel, with the shared energy-curve memoization cache) and
+//! prints the result table plus the cache statistics. Adding a new
+//! scenario study is just another axis entry — no new loops.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example scenario_sweep
+//! ```
+
+use experiments::sweep::{self, PlatformAxis, QosAxis, RmaVariant, ScenarioGrid};
+use experiments::ExperimentContext;
+use qosrm_types::{PlatformConfig, QosSpec};
+use rma_sim::SimulationOptions;
+use workload::paper1_workloads;
+
+fn main() {
+    // Quick mode keeps the database characterization coarse so the example
+    // finishes in seconds; the grid itself is what a full study would use.
+    let ctx = ExperimentContext::new(true);
+
+    let grid = ScenarioGrid {
+        platforms: vec![PlatformAxis::new(
+            "paper1-4c",
+            PlatformConfig::paper1(4),
+            ctx.limit_workloads(paper1_workloads(4)),
+        )],
+        qos: vec![
+            QosAxis::uniform("strict", QosSpec::STRICT),
+            QosAxis::uniform("relaxed 20%", QosSpec::relaxed_by(0.2)),
+            QosAxis::uniform("relaxed 40%", QosSpec::relaxed_by(0.4)),
+        ],
+        variants: vec![RmaVariant::Paper1, RmaVariant::PartitioningOnly],
+        options: SimulationOptions {
+            provide_mlp_profiles: false, // Paper I platform: plain ATD only
+            ..Default::default()
+        },
+    };
+
+    println!(
+        "Sweeping {} scenarios ({} mixes x {} QoS points x {} variants)...\n",
+        grid.len(),
+        grid.platforms.iter().map(|a| a.mixes.len()).sum::<usize>(),
+        grid.qos.len(),
+        grid.variants.len()
+    );
+    let result = sweep::run(&grid, &ctx);
+
+    println!(
+        "{:<10} {:>14} {:>12} {:>12} {:>12}",
+        "workload", "QoS", "RM2 sav %", "RM1 sav %", "violations"
+    );
+    let axis = &grid.platforms[0];
+    for mix in &axis.mixes {
+        for qos_axis in &grid.qos {
+            let rm2 = result.expect_comparison(&axis.label, &mix.name, &qos_axis.label, "RM2");
+            let rm1 = result.expect_comparison(&axis.label, &mix.name, &qos_axis.label, "RM1");
+            println!(
+                "{:<10} {:>14} {:>12.2} {:>12.2} {:>12}",
+                mix.name,
+                qos_axis.label,
+                rm2.energy_savings * 100.0,
+                rm1.energy_savings * 100.0,
+                rm2.num_violations()
+            );
+        }
+    }
+
+    let cache = ctx.curve_cache();
+    println!(
+        "\nenergy-curve cache: {} entries, {} hits / {} misses ({:.1}% hit rate)",
+        cache.len(),
+        cache.hits(),
+        cache.misses(),
+        cache.hit_rate() * 100.0
+    );
+    println!(
+        "(the sweep computed each distinct (config, QoS, observation) curve once \
+         and reused it everywhere else)"
+    );
+}

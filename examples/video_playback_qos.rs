@@ -59,7 +59,10 @@ fn main() {
     let mixed_cmp = compare(&baseline, &mixed_run, &mixed_qos);
 
     println!("workload: {:?}\n", mix.benchmarks);
-    println!("scenario A (all strict):          savings {:.1} %", strict_cmp.energy_savings * 100.0);
+    println!(
+        "scenario A (all strict):          savings {:.1} %",
+        strict_cmp.energy_savings * 100.0
+    );
     println!(
         "scenario B (batch relaxed by 40%): savings {:.1} %\n",
         mixed_cmp.energy_savings * 100.0
@@ -77,10 +80,7 @@ fn main() {
     }
     // The decoder keeps its deadline even though everything around it slowed
     // down to save energy.
-    let decoder_ok = mixed_cmp
-        .violations
-        .iter()
-        .all(|v| v.app.index() != 0);
+    let decoder_ok = mixed_cmp.violations.iter().all(|v| v.app.index() != 0);
     println!(
         "\ndecoder frame-rate constraint respected: {}",
         if decoder_ok { "yes" } else { "NO" }

@@ -1,0 +1,28 @@
+//! # qosrm — QoS-driven coordinated resource management
+//!
+//! Facade crate for the workspace reproducing *"QoS-Driven Coordinated
+//! Management of Resources to Save Energy in Multi-Core Systems"* (Nejat,
+//! Pericàs, Stenström — IPDPS 2019) and its Paper II extension.
+//!
+//! The implementation lives in the `crates/` members (see
+//! `crates/README.md` for the architecture); this package owns the
+//! repository-level integration tests and the runnable examples, and
+//! re-exports the member crates under one roof:
+//!
+//! * [`types`] — shared vocabulary (platform, settings, QoS, observations);
+//! * [`core`] — the resource managers RM1/RM2/RM3 and their optimizers;
+//! * [`workload`] — the synthetic benchmark suite and workload mixes;
+//! * [`simdb`] — the simulation-results database;
+//! * [`sim`] — the co-phase proxy simulator;
+//! * [`experiments`] — the E1–E9 experiment runners and the scenario-sweep
+//!   engine.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use experiments;
+pub use qosrm_core as core;
+pub use qosrm_types as types;
+pub use rma_sim as sim;
+pub use simdb;
+pub use workload;

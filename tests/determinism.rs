@@ -11,7 +11,10 @@ use simdb::builder::{build_database_for_mixes, BuildOptions};
 use workload::{benchmark, PhaseCharacterizer, WorkloadMix};
 
 fn mix() -> WorkloadMix {
-    WorkloadMix::new("det", vec!["mcf_like", "lbm_like", "gamess_like", "soplex_like"])
+    WorkloadMix::new(
+        "det",
+        vec!["mcf_like", "lbm_like", "gamess_like", "soplex_like"],
+    )
 }
 
 #[test]
@@ -53,7 +56,10 @@ fn database_and_simulation_are_deterministic() {
 fn database_survives_a_json_roundtrip() {
     let platform = PlatformConfig::paper2(4);
     let options = BuildOptions::quick_for_tests(&platform);
-    let mix = WorkloadMix::new("det-persist", vec!["mcf_like", "gamess_like", "gamess_like", "mcf_like"]);
+    let mix = WorkloadMix::new(
+        "det-persist",
+        vec!["mcf_like", "gamess_like", "gamess_like", "mcf_like"],
+    );
     let db = build_database_for_mixes(&platform, std::slice::from_ref(&mix), &options);
 
     let dir = std::env::temp_dir().join("qosrm-integration");

@@ -75,7 +75,11 @@ fn dvfs_only_cannot_save_energy_under_strict_qos() {
     let cmp = run(&db, &mix, &mut dvfs, &qos, false);
     // The paper: "an RMA that controls only DVFS cannot save energy without
     // degrading the performance".
-    assert!(cmp.energy_savings.abs() < 0.02, "got {:.3}", cmp.energy_savings);
+    assert!(
+        cmp.energy_savings.abs() < 0.02,
+        "got {:.3}",
+        cmp.energy_savings
+    );
     assert!(cmp.violations.is_empty());
 }
 
@@ -85,7 +89,12 @@ fn rm3_beats_rm2_when_parallelism_sensitivity_is_present() {
     // Scenario-1 style mix: cache-sensitive + parallelism-sensitive apps.
     let mix = WorkloadMix::new(
         "shape-s1",
-        vec!["soplex_like", "gems_fdtd_like", "mcf_like", "libquantum_like"],
+        vec![
+            "soplex_like",
+            "gems_fdtd_like",
+            "mcf_like",
+            "libquantum_like",
+        ],
     );
     let db = build(&platform, &mix);
     let qos = vec![QosSpec::STRICT; 4];
@@ -95,7 +104,11 @@ fn rm3_beats_rm2_when_parallelism_sensitivity_is_present() {
     let mut rm3 = CoordinatedRma::paper2(&platform, qos.clone());
     let rm3_cmp = run(&db, &mix, &mut rm3, &qos, true);
 
-    assert!(rm3_cmp.energy_savings > 0.05, "RM3 got {:.3}", rm3_cmp.energy_savings);
+    assert!(
+        rm3_cmp.energy_savings > 0.05,
+        "RM3 got {:.3}",
+        rm3_cmp.energy_savings
+    );
     assert!(
         rm3_cmp.energy_savings > rm2_cmp.energy_savings + 0.01,
         "RM3 must add savings over RM2 in scenario 1 ({:.3} vs {:.3})",
@@ -121,7 +134,11 @@ fn no_manager_saves_much_on_purely_compute_bound_mixes() {
 
     // The paper's scenario 4: all-insensitive workloads leave (almost) no
     // room — and must in particular never cost a lot of energy.
-    assert!(rm2_cmp.energy_savings.abs() < 0.05, "RM2 {:.3}", rm2_cmp.energy_savings);
+    assert!(
+        rm2_cmp.energy_savings.abs() < 0.05,
+        "RM2 {:.3}",
+        rm2_cmp.energy_savings
+    );
     assert!(
         rm3_cmp.energy_savings > -0.02 && rm3_cmp.energy_savings < 0.08,
         "RM3 {:.3}",
@@ -162,5 +179,8 @@ fn relaxing_qos_increases_savings_monotonically() {
         );
         previous = cmp.energy_savings;
     }
-    assert!(previous > 0.10, "40% relaxation should unlock >10% savings, got {previous:.3}");
+    assert!(
+        previous > 0.10,
+        "40% relaxation should unlock >10% savings, got {previous:.3}"
+    );
 }

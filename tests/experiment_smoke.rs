@@ -38,7 +38,10 @@ fn paper1_energy_experiment_produces_positive_average_savings() {
         .filter_map(|r| r.get("Combined savings %"))
         .collect();
     let avg = savings.iter().sum::<f64>() / savings.len() as f64;
-    assert!(avg > 1.0, "average combined savings should be positive, got {avg:.2}%");
+    assert!(
+        avg > 1.0,
+        "average combined savings should be positive, got {avg:.2}%"
+    );
     // The rendered table mentions both managers.
     let rendered = e1.render();
     assert!(rendered.contains("Combined savings %"));

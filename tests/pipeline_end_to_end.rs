@@ -43,7 +43,10 @@ fn full_pipeline_runs_and_saves_energy_without_violations_in_aggregate() {
     }
     // The manager was actually exercised.
     assert!(managed.rma_invocations > 0);
-    assert!(managed.setting_changes > 0, "RM3 should change the setting on this mix");
+    assert!(
+        managed.setting_changes > 0,
+        "RM3 should change the setting on this mix"
+    );
     // A cache-sensitive + streaming + compute mix is the favourable case:
     // energy must go down, not up.
     assert!(
@@ -130,5 +133,8 @@ fn eight_core_pipeline_completes() {
     let managed = simulator.run(&mut manager);
     let cmp = compare(&baseline, &managed, &qos);
     assert_eq!(managed.per_app.len(), 8);
-    assert!(cmp.energy_savings > -0.05, "managed run must not waste energy grossly");
+    assert!(
+        cmp.energy_savings > -0.05,
+        "managed run must not waste energy grossly"
+    );
 }

@@ -90,8 +90,7 @@ fn relaxed_targets_bound_the_slowdown() {
     };
     let simulator = CophaseSimulator::new(&db, &mix, options).expect("valid workload");
     let baseline = simulator.run_baseline();
-    let mut manager =
-        CoordinatedRma::with_model(&platform, qos.clone(), ModelKind::Perfect, false);
+    let mut manager = CoordinatedRma::with_model(&platform, qos.clone(), ModelKind::Perfect, false);
     let managed = simulator.run(&mut manager);
     let cmp = compare(&baseline, &managed, &qos);
     assert!(cmp.violations.is_empty(), "{:?}", cmp.violations);
@@ -126,8 +125,7 @@ fn per_app_qos_is_respected_when_only_some_apps_are_relaxed() {
     };
     let simulator = CophaseSimulator::new(&db, &mix, options).expect("valid workload");
     let baseline = simulator.run_baseline();
-    let mut manager =
-        CoordinatedRma::with_model(&platform, qos.clone(), ModelKind::Perfect, false);
+    let mut manager = CoordinatedRma::with_model(&platform, qos.clone(), ModelKind::Perfect, false);
     let managed = simulator.run(&mut manager);
     let cmp = compare(&baseline, &managed, &qos);
     assert!(cmp.violations.is_empty(), "{:?}", cmp.violations);

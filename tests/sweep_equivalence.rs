@@ -1,0 +1,92 @@
+//! Execution-mode equivalence of the scenario-sweep engine.
+//!
+//! The sweep options (`parallel`, `memoize`) are pure execution switches:
+//! serial, parallel and parallel+memoized runs of the same grid must produce
+//! bit-identical result tables, and the experiments built on the engine must
+//! render byte-identical reports in every mode.
+
+use experiments::sweep::{self, PlatformAxis, QosAxis, RmaVariant, ScenarioGrid, SweepOptions};
+use experiments::{run_experiment, ExperimentContext};
+use qosrm_types::{PlatformConfig, QosSpec};
+use rma_sim::SimulationOptions;
+use workload::paper1_workloads;
+
+fn grid(ctx: &ExperimentContext) -> ScenarioGrid {
+    ScenarioGrid {
+        platforms: vec![PlatformAxis::new(
+            "paper1-4c",
+            PlatformConfig::paper1(4),
+            ctx.limit_workloads(paper1_workloads(4))
+                .into_iter()
+                .take(2)
+                .collect(),
+        )],
+        qos: vec![
+            QosAxis::uniform("strict", QosSpec::STRICT),
+            QosAxis::uniform("relaxed 40%", QosSpec::relaxed_by(0.4)),
+        ],
+        variants: vec![RmaVariant::Paper1, RmaVariant::PartitioningOnly],
+        options: SimulationOptions {
+            provide_mlp_profiles: false,
+            ..Default::default()
+        },
+    }
+}
+
+#[test]
+fn serial_parallel_and_memoized_sweeps_are_bit_identical() {
+    // Separate contexts so each mode starts from a cold curve cache.
+    let serial_ctx = ExperimentContext::new(true).with_sweep_options(SweepOptions::serial());
+    let parallel_ctx = ExperimentContext::new(true).with_sweep_options(SweepOptions {
+        parallel: true,
+        memoize: false,
+    });
+    let memoized_ctx = ExperimentContext::new(true).with_sweep_options(SweepOptions {
+        parallel: true,
+        memoize: true,
+    });
+
+    let serial = sweep::run(&grid(&serial_ctx), &serial_ctx);
+    let parallel = sweep::run(&grid(&parallel_ctx), &parallel_ctx);
+    let memoized = sweep::run(&grid(&memoized_ctx), &memoized_ctx);
+
+    assert_eq!(serial, parallel, "parallel execution changed sweep results");
+    assert_eq!(serial, memoized, "curve memoization changed sweep results");
+
+    // The memoized run actually exercised the cache.
+    assert_eq!(
+        serial_ctx.curve_cache().hits() + serial_ctx.curve_cache().misses(),
+        0
+    );
+    assert!(memoized_ctx.curve_cache().hits() > 0, "cache never hit");
+    assert!(
+        memoized_ctx.curve_cache().misses() > 0,
+        "cache never filled"
+    );
+}
+
+#[test]
+fn experiment_reports_render_identically_in_every_mode() {
+    let serial_ctx = ExperimentContext::new(true).with_sweep_options(SweepOptions::serial());
+    let default_ctx = ExperimentContext::new(true);
+    // e3 exercises the perfect-table digest branch of the curve-cache key.
+    for id in ["e1", "e3", "e7"] {
+        let serial = run_experiment(id, &serial_ctx).unwrap().render();
+        let fast = run_experiment(id, &default_ctx).unwrap().render();
+        assert_eq!(serial, fast, "{id} rendered differently across sweep modes");
+    }
+}
+
+#[test]
+fn memoization_pays_off_within_one_sweep() {
+    let ctx = ExperimentContext::new(true);
+    let result = sweep::run(&grid(&ctx), &ctx);
+    assert_eq!(result.scenarios.len(), 8);
+    let cache = ctx.curve_cache();
+    let total = cache.hits() + cache.misses();
+    assert!(
+        cache.hit_rate() > 0.2,
+        "expected recurring observations across scenarios, hit rate {:.3} of {total}",
+        cache.hit_rate()
+    );
+}

@@ -1,0 +1,244 @@
+//! Offline wall-clock benchmark harness with a criterion-compatible API.
+//!
+//! Implements the subset of the `criterion` surface the workspace benches
+//! use: [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple: each benchmark runs one warm-up
+//! invocation followed by `sample_size` timed invocations and reports
+//! min / median / mean / max wall-clock time (plus element throughput when
+//! configured). There is no outlier analysis or HTML report — the goal is a
+//! stable, dependency-free way to track relative performance.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.default_sample_size;
+        println!("\n## {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function(&mut self, label: &str, routine: impl FnMut(&mut Bencher)) {
+        let sample_size = self.default_sample_size;
+        run_benchmark(label, sample_size, None, routine);
+    }
+}
+
+/// Identifier combining a function name and a parameter, e.g.
+/// `paper2_rm3/8`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Units processed per iteration, used to derive throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares how many units one iteration processes.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` under `label`.
+    pub fn bench_function(&mut self, label: &str, routine: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, label);
+        run_benchmark(&full, self.sample_size, self.throughput, routine);
+        self
+    }
+
+    /// Benchmarks `routine` with an input value under a parameterized id.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.label);
+        run_benchmark(&full, self.sample_size, self.throughput, |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (flushes nothing; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to benchmark routines; [`Bencher::iter`] performs the measurement.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` once for warm-up and `sample_size` timed times.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        std::hint::black_box(routine());
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut routine: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    routine(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<50} (no samples — routine never called iter)");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort();
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    print!(
+        "{label:<50} median {} (mean {}, min {}, max {}, n={})",
+        fmt_duration(median),
+        fmt_duration(mean),
+        fmt_duration(min),
+        fmt_duration(max),
+        sorted.len()
+    );
+    if let Some(tp) = throughput {
+        let per_second = |units: u64| units as f64 / median.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Elements(n) => print!("  [{:.3} Melem/s]", per_second(n) / 1e6),
+            Throughput::Bytes(n) => print!("  [{:.3} MiB/s]", per_second(n) / (1 << 20) as f64),
+        }
+    }
+    println!();
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        let mut calls = 0usize;
+        group.sample_size(3).bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.throughput(Throughput::Elements(10)).bench_with_input(
+            BenchmarkId::new("with_input", 4),
+            &4usize,
+            |b, &n| b.iter(|| n * 2),
+        );
+        group.finish();
+        // 1 warm-up + 3 samples for the first bench.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_duration(Duration::from_micros(1500)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with("s"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Offline, API-compatible subset of `rayon`.
+//!
+//! Implements the fork-join slice of the rayon API this workspace uses —
+//! `par_iter()` / `into_par_iter()` with `enumerate` / `map` / `collect` /
+//! `for_each` — on real OS threads (`std::thread::scope`), with dynamic
+//! work distribution via an atomic index and order-preserving collection.
+//!
+//! The thread count is `std::thread::available_parallelism()`, capped by the
+//! item count; on a single-CPU machine everything degrades gracefully to a
+//! sequential loop with no thread overhead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel call will use for `len` items.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Evaluates `f(0..len)` across worker threads, returning results in index
+/// order. Items are claimed dynamically (atomic counter) so uneven work
+/// loads balance across threads.
+fn execute<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was claimed")
+        })
+        .collect()
+}
+
+/// Borrowing parallel iterator over a slice (`par_iter()`).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Pairs every item with its index, like `Iterator::enumerate`.
+    pub fn enumerate(self) -> ParEnumerate<'a, T> {
+        ParEnumerate { items: self.items }
+    }
+
+    /// Maps every item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        execute(self.items.len(), |i| f(&self.items[i]));
+    }
+}
+
+/// Result of [`ParIter::map`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Collects the mapped values, preserving item order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        execute(self.items.len(), |i| (self.f)(&self.items[i]))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Result of [`ParIter::enumerate`].
+pub struct ParEnumerate<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParEnumerate<'a, T> {
+    /// Maps every `(index, &item)` pair through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParEnumerateMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn((usize, &'a T)) -> R + Sync,
+    {
+        ParEnumerateMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Result of [`ParEnumerate::map`].
+pub struct ParEnumerateMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParEnumerateMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn((usize, &'a T)) -> R + Sync,
+{
+    /// Collects the mapped values, preserving item order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        execute(self.items.len(), |i| (self.f)((i, &self.items[i])))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Owning parallel iterator (`into_par_iter()`).
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParIter<T> {
+    /// Maps every owned item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> IntoParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        IntoParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Result of [`IntoParIter::map`].
+pub struct IntoParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> IntoParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Collects the mapped values, preserving item order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let slots: Vec<Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|item| Mutex::new(Some(item)))
+            .collect();
+        let f = &self.f;
+        execute(slots.len(), |i| {
+            let item = slots[i]
+                .lock()
+                .expect("item slot poisoned")
+                .take()
+                .expect("each item is claimed once");
+            f(item)
+        })
+        .into_iter()
+        .collect()
+    }
+}
+
+/// Traits the workspace imports via `rayon::prelude::*`.
+pub mod prelude {
+    use super::{IntoParIter, ParIter};
+
+    /// `par_iter()` on borrowable collections.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The borrowed item type.
+        type Item: 'a;
+        /// Returns a borrowing parallel iterator.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// `into_par_iter()` on owning collections.
+    pub trait IntoParallelIterator {
+        /// The owned item type.
+        type Item;
+        /// Returns an owning parallel iterator.
+        fn into_par_iter(self) -> IntoParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> IntoParIter<T> {
+            IntoParIter { items: self }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_map_sees_correct_indices() {
+        let input = vec!["a", "b", "c", "d"];
+        let tagged: Vec<String> = input
+            .par_iter()
+            .enumerate()
+            .map(|(i, s)| format!("{i}:{s}"))
+            .collect();
+        assert_eq!(tagged, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn into_par_iter_moves_items() {
+        let input: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = input.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 100);
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[99], 2);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let input: Vec<u32> = (0..257).collect();
+        input.par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+    }
+}
