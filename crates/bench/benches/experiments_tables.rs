@@ -43,7 +43,9 @@ fn run_workload(
     make_manager: impl Fn() -> Box<dyn ResourceManager>,
 ) -> f64 {
     let mut manager = make_manager();
-    let result = simulator.run(manager.as_mut());
+    let result = simulator
+        .run(manager.as_mut())
+        .expect("bench workload must finish within the event budget");
     result.system_energy_joules
 }
 

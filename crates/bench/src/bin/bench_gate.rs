@@ -1,0 +1,10 @@
+//! The CI performance-regression gate: runs the fixed simulator-loop and
+//! global-optimizer workloads, writes `BENCH_*.json` reports and fails when
+//! wall time regresses beyond the tolerance. See [`qosrm_bench::gate`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(qosrm_bench::gate::gate_main(&args) as u8)
+}

@@ -1,0 +1,684 @@
+//! The CI performance-regression gate.
+//!
+//! [`bench_gate`](../../bench_gate/index.html) (the `bench_gate` binary) runs
+//! two fixed, deterministic workloads — the co-phase simulator loop on a
+//! quick-grid workload and the global way-partition optimizer on a synthetic
+//! curve set — and emits machine-readable reports:
+//!
+//! * `BENCH_simulator.json` — wall time, event count and events/second of the
+//!   simulator loop;
+//! * `BENCH_global_opt.json` — wall time, call count and min-plus convolution
+//!   operations of the global optimizer.
+//!
+//! In check mode (the default, what CI runs) the fresh reports are written to
+//! `target/bench-gate/` and compared against the baselines committed at the
+//! repository root; the process exits non-zero when wall time regresses by
+//! more than the tolerance (20% by default) or when a deterministic counter
+//! (events, convolution ops) drifts without a baseline refresh. In
+//! `--update` mode the fresh reports overwrite the committed baselines.
+//!
+//! Wall times are **calibration normalized** before comparison: every run
+//! also times a fixed pure-CPU calibration loop and records its throughput
+//! in the report, and the checker rescales the fresh wall time by the ratio
+//! of the two calibration throughputs. A committed baseline therefore
+//! transfers between machines (a CI runner half as fast as the laptop that
+//! recorded the baseline sees its wall times halved before the tolerance
+//! test), so the band measures the code, not the hardware.
+
+use qosrm_core::{
+    optimize_partition_with_stats, CoordinatedRma, CurveCache, CurvePoint, EnergyCurve, PruneStats,
+};
+use qosrm_types::{CoreSizeIdx, FreqLevel, PlatformConfig, QosSpec};
+use rma_sim::{CophaseSimulator, SimulationOptions};
+use serde::{Deserialize, Serialize};
+use simdb::builder::{build_database_for_mixes, BuildOptions};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+use workload::paper1_workloads;
+
+/// Schema tag embedded in every report so downstream tooling can detect
+/// format changes.
+pub const SCHEMA: &str = "qosrm-bench-gate/v1";
+
+/// Default relative wall-time regression tolerated before the gate fails.
+pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// Iterations of the calibration loop (sized for tens of milliseconds).
+const CALIBRATION_ITERS: u64 = 40_000_000;
+
+/// Measures a fixed pure-CPU workload (xorshift + float accumulate) and
+/// returns its throughput in iterations/second. The workload is identical
+/// on every machine, so the ratio of two calibration throughputs estimates
+/// the single-thread speed ratio of the machines that produced them —
+/// which is what [`compare_simulator`]/[`compare_global_opt`] use to
+/// normalize wall times measured on different hardware.
+pub fn calibrate() -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut acc = 0.0f64;
+        let start = Instant::now();
+        for _ in 0..CALIBRATION_ITERS {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc += (x & 0xffff) as f64;
+        }
+        // The accumulator must escape *before* the clock is read so the
+        // compiler cannot sink the loop out of the timed region.
+        std::hint::black_box(acc);
+        let wall = start.elapsed().as_secs_f64();
+        best = best.min(wall);
+    }
+    CALIBRATION_ITERS as f64 / best.max(f64::MIN_POSITIVE)
+}
+
+/// Report of the simulator-loop benchmark (`BENCH_simulator.json`).
+///
+/// Two sub-benchmarks share the fixed quick-grid workload: `loop_*` drives
+/// the event loop under the no-op baseline manager (the simulator loop in
+/// isolation — the number the 'simulator speedup' headline refers to), and
+/// `managed_*` runs strict and 30%-relaxed RM2 with a warm shared curve
+/// cache (the production sweep configuration), covering the observation and
+/// reconfiguration paths.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulatorReport {
+    /// Report schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Benchmark identifier (`"simulator"`).
+    pub bench: String,
+    /// Human-readable description of the fixed workload.
+    pub workload: String,
+    /// Measured repetitions of the workload (best time is reported).
+    pub repetitions: usize,
+    /// Best wall time of one baseline-manager repetition, in seconds.
+    pub loop_wall_seconds: f64,
+    /// Global events per baseline-manager repetition (deterministic).
+    pub loop_events: u64,
+    /// Events per second of the isolated simulator loop.
+    pub loop_events_per_sec: f64,
+    /// Best wall time of one managed repetition, in seconds.
+    pub managed_wall_seconds: f64,
+    /// Global events per managed repetition (deterministic).
+    pub managed_events: u64,
+    /// Events per second of the managed configuration.
+    pub managed_events_per_sec: f64,
+    /// Throughput of the fixed calibration loop on the measuring machine
+    /// (used to normalize wall times across machines).
+    pub calibration_ops_per_sec: f64,
+}
+
+/// Report of the global-optimizer benchmark (`BENCH_global_opt.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GlobalOptReport {
+    /// Report schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Benchmark identifier (`"global_opt"`).
+    pub bench: String,
+    /// Human-readable description of the fixed curve set.
+    pub workload: String,
+    /// Measured repetitions of the call set (best time is reported).
+    pub repetitions: usize,
+    /// Best wall time of one repetition, in seconds.
+    pub wall_seconds: f64,
+    /// `optimize_partition` calls per repetition.
+    pub calls: u64,
+    /// Min-plus convolution candidate evaluations per repetition
+    /// (deterministic; drops when lower-bound pruning improves).
+    pub convolution_ops: u64,
+    /// Split candidates skipped by lower-bound pruning per repetition.
+    pub pruned_ops: u64,
+    /// Convolution operations per second at the best wall time.
+    pub ops_per_sec: f64,
+    /// Throughput of the fixed calibration loop on the measuring machine
+    /// (used to normalize wall times across machines).
+    pub calibration_ops_per_sec: f64,
+}
+
+/// The fixed quick-grid workload driven through the simulator loop:
+/// two 4-core Paper I mixes, each under the baseline manager, strict RM2 and
+/// 30%-relaxed RM2.
+fn simulator_workload() -> (PlatformConfig, Vec<workload::WorkloadMix>) {
+    let platform = PlatformConfig::paper1(4);
+    let mixes: Vec<_> = paper1_workloads(4).into_iter().take(2).collect();
+    (platform, mixes)
+}
+
+/// Baseline-manager rounds per loop repetition (sized so one repetition is
+/// long enough to time reliably on a shared CI runner).
+const LOOP_ROUNDS: usize = 300;
+/// Managed rounds per managed repetition.
+const MANAGED_ROUNDS: usize = 5;
+
+/// Runs the simulator-loop benchmark. `calibration_ops_per_sec` is the
+/// machine's [`calibrate`] measurement, recorded in the report so later
+/// checks can normalize across machines.
+pub fn run_simulator_bench(repetitions: usize, calibration_ops_per_sec: f64) -> SimulatorReport {
+    let (platform, mixes) = simulator_workload();
+    let db = build_database_for_mixes(&platform, &mixes, &BuildOptions::quick_for_tests(&platform));
+    let options = SimulationOptions {
+        provide_mlp_profiles: false,
+        ..Default::default()
+    };
+    let sims: Vec<CophaseSimulator> = mixes
+        .iter()
+        .map(|mix| CophaseSimulator::new(&db, mix, options.clone()).expect("fixed workload"))
+        .collect();
+
+    // Part 1: the event loop in isolation (no-op baseline manager).
+    let run_loop = || -> u64 {
+        let mut events = 0u64;
+        for _ in 0..LOOP_ROUNDS {
+            for sim in &sims {
+                let baseline = sim.run_baseline().expect("baseline within event budget");
+                events += baseline.rma_invocations;
+            }
+        }
+        events
+    };
+
+    // Part 2: managed runs with a warm shared energy-curve cache, as the
+    // production sweep engine executes them: the warm-up repetition fills
+    // the cache, so the measured repetitions exercise the simulator's
+    // observation and reconfiguration paths rather than the manager's model
+    // evaluations. The (deterministic) baseline runs are computed once
+    // outside the timed region so they cannot dilute the managed signal.
+    let curve_cache = Arc::new(CurveCache::default());
+    let baselines: Vec<_> = sims
+        .iter()
+        .map(|sim| sim.run_baseline().expect("baseline within event budget"))
+        .collect();
+    let run_managed = || -> u64 {
+        let mut events = 0u64;
+        for _ in 0..MANAGED_ROUNDS {
+            for (sim, baseline) in sims.iter().zip(&baselines) {
+                for qos in [QosSpec::STRICT, QosSpec::relaxed_by(0.3)] {
+                    let qos = vec![qos; platform.num_cores];
+                    let mut manager = CoordinatedRma::paper1(&platform, qos.clone())
+                        .with_curve_cache(curve_cache.clone());
+                    let (_, managed) = sim
+                        .run_comparison(&mut manager, baseline, &qos)
+                        .expect("managed run within event budget");
+                    events += managed.rma_invocations;
+                }
+            }
+        }
+        events
+    };
+
+    // Warm-up runs (page cache, branch predictors, curve cache), then
+    // best-of-N for each part.
+    let loop_events = run_loop();
+    let mut loop_best = f64::INFINITY;
+    for _ in 0..repetitions.max(1) {
+        let start = Instant::now();
+        let run_events = run_loop();
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(
+            run_events, loop_events,
+            "simulator loop must be deterministic"
+        );
+        loop_best = loop_best.min(wall);
+    }
+    let managed_events = run_managed();
+    let mut managed_best = f64::INFINITY;
+    for _ in 0..repetitions.max(1) {
+        let start = Instant::now();
+        let run_events = run_managed();
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(
+            run_events, managed_events,
+            "managed runs must be deterministic"
+        );
+        managed_best = managed_best.min(wall);
+    }
+
+    SimulatorReport {
+        schema: SCHEMA.to_string(),
+        bench: "simulator".to_string(),
+        workload: format!(
+            "paper1-4c quick grid, 2 mixes: loop = {LOOP_ROUNDS}x baseline; managed = \
+             {MANAGED_ROUNDS}x (RM2-strict + RM2-relaxed30, warm curve cache)"
+        ),
+        repetitions: repetitions.max(1),
+        loop_wall_seconds: loop_best,
+        loop_events,
+        loop_events_per_sec: loop_events as f64 / loop_best.max(f64::MIN_POSITIVE),
+        managed_wall_seconds: managed_best,
+        managed_events,
+        managed_events_per_sec: managed_events as f64 / managed_best.max(f64::MIN_POSITIVE),
+        calibration_ops_per_sec,
+    }
+}
+
+/// Deterministic synthetic curve set exercising concave, flat, bumpy
+/// (non-concave) and partially infeasible shapes.
+fn synthetic_curves(cores: usize, ways: usize) -> Vec<EnergyCurve> {
+    (0..cores)
+        .map(|c| {
+            let infeasible_prefix = c % 3;
+            let base = 6.0 + c as f64 * 1.3;
+            let slope = 0.15 + 0.08 * (c % 4) as f64;
+            EnergyCurve::new(
+                (1..=ways)
+                    .map(|w| {
+                        if w <= infeasible_prefix {
+                            return None;
+                        }
+                        let bump = if c % 3 == 0 {
+                            ((w * (c + 2)) % 5) as f64 * 0.12
+                        } else {
+                            0.0
+                        };
+                        Some(CurvePoint {
+                            energy_joules: (base - slope * w as f64 + bump).max(0.05),
+                            freq: FreqLevel(w % 13),
+                            core_size: CoreSizeIdx(w % 3),
+                            time_seconds: 0.05,
+                        })
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Runs the global-optimizer benchmark. `calibration_ops_per_sec` is the
+/// machine's [`calibrate`] measurement, recorded in the report so later
+/// checks can normalize across machines.
+pub fn run_global_opt_bench(repetitions: usize, calibration_ops_per_sec: f64) -> GlobalOptReport {
+    let cases: Vec<(Vec<EnergyCurve>, usize)> = [(4, 16), (8, 16), (8, 32), (16, 32)]
+        .into_iter()
+        .map(|(cores, ways)| (synthetic_curves(cores, ways), ways))
+        .collect();
+    const CALLS_PER_CASE: usize = 200;
+
+    let run_once = || -> (u64, PruneStats) {
+        let mut calls = 0u64;
+        let mut stats = PruneStats::default();
+        for (curves, ways) in &cases {
+            for _ in 0..CALLS_PER_CASE {
+                let (result, s) = optimize_partition_with_stats(curves, *ways);
+                assert!(result.is_some(), "synthetic curve set must be feasible");
+                stats.ops += s.ops;
+                stats.pruned += s.pruned;
+                calls += 1;
+            }
+        }
+        (calls, stats)
+    };
+
+    let (calls, stats) = run_once();
+    let mut best = f64::INFINITY;
+    for _ in 0..repetitions.max(1) {
+        let start = Instant::now();
+        let (run_calls, run_stats) = run_once();
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(run_calls, calls);
+        assert_eq!(
+            run_stats.ops, stats.ops,
+            "convolution must be deterministic"
+        );
+        best = best.min(wall);
+    }
+
+    GlobalOptReport {
+        schema: SCHEMA.to_string(),
+        bench: "global_opt".to_string(),
+        workload: "synthetic curves: (cores, ways) in {(4,16),(8,16),(8,32),(16,32)} x 200 calls"
+            .to_string(),
+        repetitions: repetitions.max(1),
+        wall_seconds: best,
+        calls,
+        convolution_ops: stats.ops,
+        pruned_ops: stats.pruned,
+        ops_per_sec: stats.ops as f64 / best.max(f64::MIN_POSITIVE),
+        calibration_ops_per_sec,
+    }
+}
+
+/// Outcome of comparing one fresh report against its committed baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GateOutcome {
+    /// Within tolerance.
+    Pass,
+    /// Wall time regressed beyond the tolerance band.
+    WallRegression(String),
+    /// A deterministic counter drifted, which means the workload itself
+    /// changed and the baseline must be refreshed deliberately.
+    CounterDrift(String),
+}
+
+/// Compares a fresh wall time against a baseline wall time, normalizing by
+/// the two machines' calibration throughputs (`new * new_calib / old_calib`
+/// re-expresses the fresh measurement in baseline-machine seconds).
+fn check_wall(
+    name: &str,
+    new: f64,
+    old: f64,
+    new_calib: f64,
+    old_calib: f64,
+    tolerance: f64,
+) -> GateOutcome {
+    let scale = if new_calib > 0.0 && old_calib > 0.0 {
+        new_calib / old_calib
+    } else {
+        1.0
+    };
+    let normalized = new * scale;
+    if normalized > old * (1.0 + tolerance) {
+        GateOutcome::WallRegression(format!(
+            "{name}: wall time regressed {:.1}% (baseline {:.4}s, now {:.4}s normalized \
+             ({:.4}s raw, machine-speed ratio {:.2}), tolerance {:.0}%)",
+            (normalized / old - 1.0) * 100.0,
+            old,
+            normalized,
+            new,
+            scale,
+            tolerance * 100.0
+        ))
+    } else {
+        GateOutcome::Pass
+    }
+}
+
+fn check_counter(name: &str, counter: &str, new: u64, old: u64) -> GateOutcome {
+    if new != old {
+        GateOutcome::CounterDrift(format!(
+            "{name}: {counter} changed from {old} to {new}; if intentional, refresh the \
+             baseline with `cargo run --release -p qosrm-bench --bin bench_gate -- --update`"
+        ))
+    } else {
+        GateOutcome::Pass
+    }
+}
+
+/// Compares a fresh simulator report against the committed baseline.
+pub fn compare_simulator(
+    new: &SimulatorReport,
+    baseline: &SimulatorReport,
+    tolerance: f64,
+) -> Vec<GateOutcome> {
+    vec![
+        check_wall(
+            "simulator loop",
+            new.loop_wall_seconds,
+            baseline.loop_wall_seconds,
+            new.calibration_ops_per_sec,
+            baseline.calibration_ops_per_sec,
+            tolerance,
+        ),
+        check_wall(
+            "simulator managed",
+            new.managed_wall_seconds,
+            baseline.managed_wall_seconds,
+            new.calibration_ops_per_sec,
+            baseline.calibration_ops_per_sec,
+            tolerance,
+        ),
+        check_counter(
+            "simulator",
+            "loop_events",
+            new.loop_events,
+            baseline.loop_events,
+        ),
+        check_counter(
+            "simulator",
+            "managed_events",
+            new.managed_events,
+            baseline.managed_events,
+        ),
+    ]
+}
+
+/// Compares a fresh global-optimizer report against the committed baseline.
+pub fn compare_global_opt(
+    new: &GlobalOptReport,
+    baseline: &GlobalOptReport,
+    tolerance: f64,
+) -> Vec<GateOutcome> {
+    vec![
+        check_wall(
+            "global_opt",
+            new.wall_seconds,
+            baseline.wall_seconds,
+            new.calibration_ops_per_sec,
+            baseline.calibration_ops_per_sec,
+            tolerance,
+        ),
+        check_counter(
+            "global_opt",
+            "convolution_ops",
+            new.convolution_ops,
+            baseline.convolution_ops,
+        ),
+    ]
+}
+
+/// The repository root (the bench crate lives at `crates/bench`).
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+fn read_json<T: Deserialize>(path: &Path) -> Result<T, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+fn write_json<T: Serialize>(path: &Path, value: &T) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+    }
+    let mut text = serde_json::to_string_pretty(value)
+        .map_err(|e| format!("cannot serialize {}: {e}", path.display()))?;
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Entry point of the `bench_gate` binary. Returns the process exit code.
+pub fn gate_main(args: &[String]) -> i32 {
+    let mut update = false;
+    let mut tolerance = std::env::var("QOSRM_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_TOLERANCE);
+    let mut repetitions = 3usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--update" => update = true,
+            "--check" => update = false,
+            "--tolerance" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => tolerance = t,
+                _ => {
+                    eprintln!("--tolerance requires a non-negative number");
+                    return 2;
+                }
+            },
+            "--repetitions" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(r) if r >= 1 => repetitions = r,
+                _ => {
+                    eprintln!("--repetitions requires a positive integer");
+                    return 2;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_gate [--check|--update] [--tolerance FRAC] [--repetitions N]"
+                );
+                return 0;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                return 2;
+            }
+        }
+    }
+
+    let root = repo_root();
+    let calibration = calibrate();
+    println!("calibration: {:.0} ops/s", calibration);
+    let simulator = run_simulator_bench(repetitions, calibration);
+    println!(
+        "simulator loop: {:.4}s best of {}, {} events, {:.0} events/s",
+        simulator.loop_wall_seconds,
+        simulator.repetitions,
+        simulator.loop_events,
+        simulator.loop_events_per_sec
+    );
+    println!(
+        "simulator managed: {:.4}s best of {}, {} events, {:.0} events/s",
+        simulator.managed_wall_seconds,
+        simulator.repetitions,
+        simulator.managed_events,
+        simulator.managed_events_per_sec
+    );
+    let global = run_global_opt_bench(repetitions, calibration);
+    println!(
+        "global_opt: {:.4}s best of {}, {} calls, {} convolution ops ({} pruned), {:.0} ops/s",
+        global.wall_seconds,
+        global.repetitions,
+        global.calls,
+        global.convolution_ops,
+        global.pruned_ops,
+        global.ops_per_sec
+    );
+
+    let (sim_path, opt_path) = if update {
+        (
+            root.join("BENCH_simulator.json"),
+            root.join("BENCH_global_opt.json"),
+        )
+    } else {
+        let out = root.join("target/bench-gate");
+        (
+            out.join("BENCH_simulator.json"),
+            out.join("BENCH_global_opt.json"),
+        )
+    };
+    for (path, result) in [
+        (&sim_path, write_json(&sim_path, &simulator)),
+        (&opt_path, write_json(&opt_path, &global)),
+    ] {
+        if let Err(e) = result {
+            eprintln!("{e}");
+            return 2;
+        }
+        println!("wrote {}", path.display());
+    }
+    if update {
+        println!("baselines refreshed");
+        return 0;
+    }
+
+    let sim_baseline: SimulatorReport = match read_json(&root.join("BENCH_simulator.json")) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("no committed baseline; run with --update to create one");
+            return 2;
+        }
+    };
+    let opt_baseline: GlobalOptReport = match read_json(&root.join("BENCH_global_opt.json")) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("no committed baseline; run with --update to create one");
+            return 2;
+        }
+    };
+
+    let mut failed = false;
+    for outcome in compare_simulator(&simulator, &sim_baseline, tolerance)
+        .into_iter()
+        .chain(compare_global_opt(&global, &opt_baseline, tolerance))
+    {
+        match outcome {
+            GateOutcome::Pass => {}
+            GateOutcome::WallRegression(msg) | GateOutcome::CounterDrift(msg) => {
+                eprintln!("FAIL: {msg}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        1
+    } else {
+        println!("perf gate passed (tolerance {:.0}%)", tolerance * 100.0);
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simulator_report(wall: f64, events: u64) -> SimulatorReport {
+        SimulatorReport {
+            schema: SCHEMA.to_string(),
+            bench: "simulator".to_string(),
+            workload: "test".to_string(),
+            repetitions: 1,
+            loop_wall_seconds: wall,
+            loop_events: events,
+            loop_events_per_sec: events as f64 / wall,
+            managed_wall_seconds: wall,
+            managed_events: events,
+            managed_events_per_sec: events as f64 / wall,
+            calibration_ops_per_sec: 1_000_000.0,
+        }
+    }
+
+    #[test]
+    fn wall_regression_is_detected_beyond_tolerance() {
+        let base = simulator_report(1.0, 100);
+        let ok = simulator_report(1.15, 100);
+        let bad = simulator_report(1.25, 100);
+        assert!(compare_simulator(&ok, &base, 0.20)
+            .iter()
+            .all(|o| *o == GateOutcome::Pass));
+        assert!(compare_simulator(&bad, &base, 0.20)
+            .iter()
+            .any(|o| matches!(o, GateOutcome::WallRegression(_))));
+    }
+
+    #[test]
+    fn wall_comparison_is_calibration_normalized() {
+        let base = simulator_report(1.0, 100);
+        // The same code on a machine half as fast: raw wall doubles but so
+        // does the gap in calibration throughput — normalization cancels it.
+        let mut slow = simulator_report(2.0, 100);
+        slow.calibration_ops_per_sec = base.calibration_ops_per_sec / 2.0;
+        assert!(compare_simulator(&slow, &base, 0.20)
+            .iter()
+            .all(|o| *o == GateOutcome::Pass));
+        // A genuine 2x regression on an identical machine still fails.
+        let regressed = simulator_report(2.0, 100);
+        assert!(compare_simulator(&regressed, &base, 0.20)
+            .iter()
+            .any(|o| matches!(o, GateOutcome::WallRegression(_))));
+    }
+
+    #[test]
+    fn counter_drift_is_a_hard_failure() {
+        let base = simulator_report(1.0, 100);
+        let drifted = simulator_report(0.5, 101);
+        assert!(compare_simulator(&drifted, &base, 0.20)
+            .iter()
+            .any(|o| matches!(o, GateOutcome::CounterDrift(_))));
+    }
+
+    #[test]
+    fn synthetic_curves_are_deterministic_and_feasible() {
+        let a = synthetic_curves(8, 16);
+        let b = synthetic_curves(8, 16);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|c| c.any_feasible()));
+    }
+}

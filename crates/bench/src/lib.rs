@@ -19,6 +19,8 @@
 
 #![warn(missing_docs)]
 
+pub mod gate;
+
 use qosrm_types::{
     CoreId, CoreObservation, CoreScalingProfile, MissProfile, MlpProfile, PlatformConfig,
     SystemSetting,

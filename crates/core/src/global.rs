@@ -9,99 +9,269 @@
 //! chosen splits are then unwound to produce the per-core allocation. The
 //! cost is `O(cores · ways²)`, independent of the number of VF levels and
 //! core sizes already folded into the curves.
+//!
+//! # Implementation notes
+//!
+//! The reduction is laid out in a **flat arena** rather than a boxed tree:
+//! node metadata lives in one `Vec<NodeData>` indexed by `NodeId`, and the
+//! combined energy/split tables of all inner nodes share two flat buffers
+//! (each node owns a contiguous `[offset, offset + len)` slice). This keeps
+//! the whole reduction in a handful of allocations and the convolution scans
+//! on dense, cache-friendly rows.
+//!
+//! The convolution itself is **pruned with energy lower bounds**: every node
+//! records the minimum energy over all of its feasible budgets, and a split
+//! candidate is skipped when `left(w) + min(right)` already cannot beat the
+//! incumbent. Because the bound is a true lower bound and the incumbent
+//! comparison is strict (`<`), pruning never changes the computed energies
+//! *or* the recorded argmin splits — results are bit-identical to the naive
+//! scan, as [`optimize_partition_unpruned`] and the property tests in
+//! `tests/properties.rs` verify.
 
 use crate::curve::{CurvePoint, EnergyCurve};
 
-/// A node of the reduction tree.
-enum Node<'a> {
-    Leaf {
-        core: usize,
-        curve: &'a EnergyCurve,
-    },
-    Inner {
-        /// `energy[w - 1]` = minimum combined energy with `w` total ways.
-        energy: Vec<f64>,
-        /// `split[w - 1]` = ways given to the left child at the optimum.
-        split: Vec<usize>,
-        left: Box<Node<'a>>,
-        right: Box<Node<'a>>,
-    },
+/// Work counters of one global optimization call.
+///
+/// `ops` counts evaluated split candidates (one addition + comparison each);
+/// `pruned` counts the candidates skipped by the lower-bound test. The
+/// `bench_gate` perf harness tracks `ops` across releases: a rise without a
+/// workload change means the pruning regressed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Split candidates evaluated by the min-plus convolution.
+    pub ops: u64,
+    /// Split candidates skipped by the lower-bound test.
+    pub pruned: u64,
 }
 
-impl Node<'_> {
-    fn energy_at(&self, ways: usize) -> f64 {
-        match self {
-            Node::Leaf { curve, .. } => curve.energy(ways),
-            Node::Inner { energy, .. } => {
-                if ways == 0 || ways > energy.len() {
-                    f64::INFINITY
-                } else {
-                    energy[ways - 1]
+/// Index of a node in the reduction arena.
+type NodeId = usize;
+
+/// Flat-arena node. Every node — leaf or inner — owns a dense row of the
+/// shared `energy` buffer (`f64::INFINITY` marks infeasible budgets), so the
+/// convolution scans contiguous memory with no per-candidate dispatch.
+struct NodeData {
+    /// For leaves, the input curve index; for inner nodes, `usize::MAX`.
+    core: usize,
+    /// Children (`NodeId`s); only meaningful for inner nodes.
+    left: NodeId,
+    right: NodeId,
+    /// Start of this node's row in the shared `energy`/`split` buffers.
+    offset: usize,
+    /// Number of leaves beneath this node (every leaf needs ≥ 1 way).
+    leaves: usize,
+    /// Largest way budget covered by this node's curve (the row length).
+    max_ways: usize,
+    /// Lower bound: minimum energy over every feasible budget of this node,
+    /// `f64::INFINITY` when nothing is feasible.
+    min_energy: f64,
+}
+
+/// The reduction arena: all node metadata plus the shared combined-curve
+/// storage.
+struct Arena {
+    nodes: Vec<NodeData>,
+    /// `energy[node.offset + w - 1]` = minimum energy of `node` with `w`
+    /// total ways.
+    energy: Vec<f64>,
+    /// `split[node.offset + w - 1]` = ways given to the left child at that
+    /// optimum (inner nodes; leaf rows stay zero).
+    split: Vec<usize>,
+}
+
+impl Arena {
+    fn new(curves: &[EnergyCurve], cap: usize) -> Self {
+        // cores leaves + (cores - 1) inner nodes, each row at most cap wide.
+        let mut arena = Arena {
+            nodes: Vec::with_capacity(2 * curves.len()),
+            energy: Vec::with_capacity(2 * curves.len() * cap),
+            split: Vec::with_capacity(2 * curves.len() * cap),
+        };
+        // Leaf rows: densify each input curve once so the convolution reads
+        // plain `f64` rows for leaves and inner nodes alike.
+        for (core, curve) in curves.iter().enumerate() {
+            let offset = arena.energy.len();
+            let mut min_energy = f64::INFINITY;
+            for w in 1..=curve.max_ways() {
+                let e = curve.energy(w);
+                min_energy = min_energy.min(e);
+                arena.energy.push(e);
+            }
+            arena.nodes.push(NodeData {
+                core,
+                left: NodeId::MAX,
+                right: NodeId::MAX,
+                offset,
+                leaves: 1,
+                max_ways: curve.max_ways(),
+                min_energy,
+            });
+        }
+        arena.split.resize(arena.energy.len(), 0);
+        arena
+    }
+
+    #[inline]
+    fn energy_at(&self, node: NodeId, ways: usize) -> f64 {
+        let n = &self.nodes[node];
+        if ways == 0 || ways > n.max_ways {
+            f64::INFINITY
+        } else {
+            self.energy[n.offset + ways - 1]
+        }
+    }
+
+    /// Combines two nodes by min-plus convolution over the way budget,
+    /// capping the combined curve at `cap` ways (the LLC associativity)
+    /// since larger budgets can never be requested.
+    ///
+    /// When `prune` is set, split candidates whose lower bound cannot beat
+    /// the incumbent are skipped; the recorded energies and argmin splits are
+    /// identical either way because the bound is conservative and the
+    /// incumbent test is strict.
+    fn combine(
+        &mut self,
+        left: NodeId,
+        right: NodeId,
+        cap: usize,
+        prune: bool,
+        stats: &mut PruneStats,
+    ) -> NodeId {
+        let (left_leaves, left_max, left_offset) = {
+            let n = &self.nodes[left];
+            (n.leaves, n.max_ways, n.offset)
+        };
+        let (right_leaves, right_max, right_offset, right_min) = {
+            let n = &self.nodes[right];
+            (n.leaves, n.max_ways, n.offset, n.min_energy)
+        };
+        let max_total = (left_max + right_max).min(cap);
+        let offset = self.energy.len();
+        self.energy.resize(offset + max_total, f64::INFINITY);
+        self.split.resize(offset + max_total, 0);
+        // Children rows live strictly before `offset`, so the output row can
+        // be written while both input rows are read.
+        let (prev, out_energy) = self.energy.split_at_mut(offset);
+        let left_row = &prev[left_offset..left_offset + left_max];
+        let right_row = &prev[right_offset..right_offset + right_max];
+        let out_split = &mut self.split[offset..];
+
+        let mut node_min = f64::INFINITY;
+        for total in 2..=max_total {
+            // Every child must receive at least one way per leaf beneath it
+            // and no more than its row covers; the bounds encode what the
+            // naive scan would skip, preserving the ascending candidate
+            // order (and thus argmin tie-breaking).
+            let lo = left_leaves.max(total.saturating_sub(right_max));
+            let hi = total.saturating_sub(right_leaves).min(left_max);
+            let mut best = f64::INFINITY;
+            let mut best_split = 0usize;
+            for left_ways in lo..=hi {
+                let left_energy = left_row[left_ways - 1];
+                // Lower bound: even paired with the cheapest share the right
+                // child offers anywhere, this left share cannot beat the
+                // incumbent — the exact sum (≥ the bound) cannot satisfy the
+                // strict `<` below, so skipping preserves the argmin.
+                if prune && left_energy + right_min >= best {
+                    stats.pruned += 1;
+                    continue;
+                }
+                stats.ops += 1;
+                let e = left_energy + right_row[total - left_ways - 1];
+                if e < best {
+                    best = e;
+                    best_split = left_ways;
                 }
             }
+            out_energy[total - 1] = best;
+            out_split[total - 1] = best_split;
+            node_min = node_min.min(best);
         }
+
+        self.nodes.push(NodeData {
+            core: usize::MAX,
+            left,
+            right,
+            offset,
+            leaves: left_leaves + right_leaves,
+            max_ways: max_total,
+            min_energy: node_min,
+        });
+        self.nodes.len() - 1
     }
 
-    fn max_ways(&self) -> usize {
-        match self {
-            Node::Leaf { curve, .. } => curve.max_ways(),
-            Node::Inner { energy, .. } => energy.len(),
-        }
-    }
-
-    fn num_leaves(&self) -> usize {
-        match self {
-            Node::Leaf { .. } => 1,
-            Node::Inner { left, right, .. } => left.num_leaves() + right.num_leaves(),
-        }
-    }
-
-    /// Unwinds the recorded splits, writing each core's allocation.
-    fn assign(&self, ways: usize, out: &mut [Option<usize>]) {
-        match self {
-            Node::Leaf { core, .. } => out[*core] = Some(ways),
-            Node::Inner {
-                split, left, right, ..
-            } => {
-                let left_ways = split[ways - 1];
-                left.assign(left_ways, out);
-                right.assign(ways - left_ways, out);
+    /// Unwinds the recorded splits from `root`, writing each core's
+    /// allocation. Iterative (explicit stack) so deep reductions cannot
+    /// overflow the call stack.
+    fn assign(&self, root: NodeId, ways: usize, out: &mut [Option<usize>]) {
+        let mut stack = vec![(root, ways)];
+        while let Some((node, ways)) = stack.pop() {
+            let n = &self.nodes[node];
+            if n.core != usize::MAX {
+                out[n.core] = Some(ways);
+            } else {
+                let left_ways = self.split[n.offset + ways - 1];
+                stack.push((n.left, left_ways));
+                stack.push((n.right, ways - left_ways));
             }
         }
     }
 }
 
-/// Combines two nodes by min-plus convolution over the way budget, capping
-/// the combined curve at `cap` ways (the LLC associativity) since larger
-/// budgets can never be requested.
-fn combine<'a>(left: Node<'a>, right: Node<'a>, cap: usize) -> Node<'a> {
-    let left_leaves = left.num_leaves();
-    let right_leaves = right.num_leaves();
-    let max_total = (left.max_ways() + right.max_ways()).min(cap);
-    let mut energy = vec![f64::INFINITY; max_total];
-    let mut split = vec![0usize; max_total];
-    for total in 2..=max_total {
-        // Every child must receive at least one way per leaf beneath it.
-        let min_left = left_leaves;
-        let max_left = total.saturating_sub(right_leaves).min(left.max_ways());
-        for left_ways in min_left..=max_left {
-            let right_ways = total - left_ways;
-            if right_ways < right_leaves || right_ways > right.max_ways() {
-                continue;
-            }
-            let e = left.energy_at(left_ways) + right.energy_at(right_ways);
-            if e < energy[total - 1] {
-                energy[total - 1] = e;
-                split[total - 1] = left_ways;
+fn optimize_in_arena(
+    curves: &[EnergyCurve],
+    total_ways: usize,
+    prune: bool,
+) -> (Option<Vec<(usize, CurvePoint)>>, PruneStats) {
+    let mut stats = PruneStats::default();
+    if curves.is_empty() || total_ways < curves.len() {
+        return (None, stats);
+    }
+    // Build the reduction in the arena: pair adjacent nodes until one
+    // remains (the same pairing order as the original boxed tree).
+    let mut arena = Arena::new(curves, total_ways);
+    let mut frontier: Vec<NodeId> = (0..curves.len()).collect();
+    let mut next = Vec::with_capacity(frontier.len().div_ceil(2));
+    while frontier.len() > 1 {
+        next.clear();
+        let mut i = 0;
+        while i < frontier.len() {
+            if i + 1 < frontier.len() {
+                next.push(arena.combine(
+                    frontier[i],
+                    frontier[i + 1],
+                    total_ways,
+                    prune,
+                    &mut stats,
+                ));
+                i += 2;
+            } else {
+                next.push(frontier[i]);
+                i += 1;
             }
         }
+        std::mem::swap(&mut frontier, &mut next);
     }
-    Node::Inner {
-        energy,
-        split,
-        left: Box::new(left),
-        right: Box::new(right),
+    let root = frontier.pop().expect("at least one node");
+    if !arena.energy_at(root, total_ways).is_finite() {
+        return (None, stats);
     }
+
+    let mut allocation: Vec<Option<usize>> = vec![None; curves.len()];
+    arena.assign(root, total_ways, &mut allocation);
+
+    let mut result = Vec::with_capacity(curves.len());
+    for (core, ways) in allocation.into_iter().enumerate() {
+        let Some(ways) = ways else {
+            return (None, stats);
+        };
+        let Some(point) = curves[core].point(ways) else {
+            return (None, stats);
+        };
+        result.push((ways, point));
+    }
+    debug_assert_eq!(result.iter().map(|(w, _)| w).sum::<usize>(), total_ways);
+    (Some(result), stats)
 }
 
 /// Finds the energy-minimal distribution of `total_ways` LLC ways among the
@@ -115,42 +285,28 @@ pub fn optimize_partition(
     curves: &[EnergyCurve],
     total_ways: usize,
 ) -> Option<Vec<(usize, CurvePoint)>> {
-    if curves.is_empty() || total_ways < curves.len() {
-        return None;
-    }
-    // Build the reduction tree: pair adjacent nodes until one remains.
-    let mut nodes: Vec<Node<'_>> = curves
-        .iter()
-        .enumerate()
-        .map(|(core, curve)| Node::Leaf { core, curve })
-        .collect();
-    while nodes.len() > 1 {
-        let mut next = Vec::with_capacity(nodes.len().div_ceil(2));
-        let mut iter = nodes.into_iter();
-        while let Some(left) = iter.next() {
-            match iter.next() {
-                Some(right) => next.push(combine(left, right, total_ways)),
-                None => next.push(left),
-            }
-        }
-        nodes = next;
-    }
-    let root = nodes.pop().expect("at least one node");
-    if !root.energy_at(total_ways).is_finite() {
-        return None;
-    }
+    optimize_in_arena(curves, total_ways, true).0
+}
 
-    let mut allocation: Vec<Option<usize>> = vec![None; curves.len()];
-    root.assign(total_ways, &mut allocation);
+/// Like [`optimize_partition`], additionally returning the [`PruneStats`]
+/// work counters (used by the `bench_gate` perf harness).
+pub fn optimize_partition_with_stats(
+    curves: &[EnergyCurve],
+    total_ways: usize,
+) -> (Option<Vec<(usize, CurvePoint)>>, PruneStats) {
+    optimize_in_arena(curves, total_ways, true)
+}
 
-    let mut result = Vec::with_capacity(curves.len());
-    for (core, ways) in allocation.into_iter().enumerate() {
-        let ways = ways?;
-        let point = curves[core].point(ways)?;
-        result.push((ways, point));
-    }
-    debug_assert_eq!(result.iter().map(|(w, _)| w).sum::<usize>(), total_ways);
-    Some(result)
+/// Reference implementation running the full (unpruned) min-plus convolution.
+///
+/// Exists so tests can assert that lower-bound pruning is behaviour
+/// preserving: [`optimize_partition`] must return bit-identical allocations
+/// and energies for any curve set, including non-concave ones.
+pub fn optimize_partition_unpruned(
+    curves: &[EnergyCurve],
+    total_ways: usize,
+) -> Option<Vec<(usize, CurvePoint)>> {
+    optimize_in_arena(curves, total_ways, false).0
 }
 
 /// Brute-force reference optimizer used to validate
@@ -316,5 +472,38 @@ mod tests {
         let curves = vec![sloped_curve(5.0, 0.3, 16)];
         let result = optimize_partition(&curves, 16).unwrap();
         assert_eq!(result[0].0, 16);
+    }
+
+    #[test]
+    fn pruning_preserves_exact_allocations_and_prunes_work() {
+        // Non-concave curve set with ties and infeasible holes: the hardest
+        // case for an argmin-preserving pruner.
+        let mut bumpy = vec![None];
+        bumpy.extend((2..=16).map(|w| point(9.0 - 0.4 * w as f64 + ((w % 4) as f64) * 0.3)));
+        let curves = vec![
+            sloped_curve(12.0, 0.7, 16),
+            EnergyCurve::new(bumpy),
+            flat_curve(4.0, 16),
+            flat_curve(4.0, 16), // duplicate creates ties
+            sloped_curve(6.0, 0.2, 16),
+        ];
+        let (pruned, stats) = optimize_partition_with_stats(&curves, 16);
+        let unpruned = optimize_partition_unpruned(&curves, 16);
+        assert_eq!(pruned, unpruned, "pruning changed the argmin result");
+        assert!(stats.pruned > 0, "lower bounds should skip some candidates");
+        assert!(stats.ops > 0);
+    }
+
+    #[test]
+    fn stats_count_all_candidates_when_unpruned() {
+        let curves = vec![flat_curve(1.0, 8), flat_curve(2.0, 8)];
+        let (_, pruned_stats) = optimize_in_arena(&curves, 8, true);
+        let (_, full_stats) = optimize_in_arena(&curves, 8, false);
+        assert_eq!(full_stats.pruned, 0);
+        assert_eq!(
+            pruned_stats.ops + pruned_stats.pruned,
+            full_stats.ops,
+            "pruned + evaluated must cover the full candidate set"
+        );
     }
 }

@@ -52,7 +52,10 @@ pub mod overhead;
 pub mod rma;
 
 pub use curve::{CurvePoint, EnergyCurve};
-pub use global::{exhaustive_partition, optimize_partition};
+pub use global::{
+    exhaustive_partition, optimize_partition, optimize_partition_unpruned,
+    optimize_partition_with_stats, PruneStats,
+};
 pub use local::{LocalOptimizer, LocalOptimizerConfig};
 pub use memo::{CurveCache, CurveKey};
 pub use model::{AnalyticalEnergyModel, ModelKind, PerformanceModel, Prediction};

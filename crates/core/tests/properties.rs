@@ -2,8 +2,9 @@
 
 use proptest::prelude::*;
 use qosrm_core::{
-    exhaustive_partition, optimize_partition, CurvePoint, EnergyCurve, LocalOptimizer,
-    LocalOptimizerConfig, ModelKind,
+    exhaustive_partition, optimize_partition, optimize_partition_unpruned,
+    optimize_partition_with_stats, CurvePoint, EnergyCurve, LocalOptimizer, LocalOptimizerConfig,
+    ModelKind,
 };
 use qosrm_types::{
     AppId, CoreObservation, CoreScalingProfile, CoreSizeIdx, FreqLevel, IntervalStats, MissProfile,
@@ -65,6 +66,58 @@ proptest! {
                 prop_assert!(false, "feasibility disagreement: fast={fast:?} brute={brute:?}");
             }
         }
+    }
+
+    /// Lower-bound pruning of the min-plus convolution is behaviour
+    /// preserving: on arbitrary random curves — non-concave energies, random
+    /// leading infeasible prefixes — the pruned reduction returns exactly the
+    /// same allocation (ways, VF level, core size and energy per core) as
+    /// the naive full scan.
+    #[test]
+    fn pruned_convolution_equals_naive_min_plus(
+        curves in prop::collection::vec(curve_strategy(16), 2..6),
+        total_ways in 8usize..17,
+    ) {
+        let (pruned, _stats) = optimize_partition_with_stats(&curves, total_ways);
+        let naive = optimize_partition_unpruned(&curves, total_ways);
+        prop_assert_eq!(&pruned, &naive);
+        // The public entry point is the pruned path.
+        prop_assert_eq!(&pruned, &optimize_partition(&curves, total_ways));
+    }
+
+    /// Same equivalence on curves with interior infeasible holes (a QoS
+    /// target satisfiable at some allocations but not others), the shape
+    /// that makes naive scans skip candidates mid-row.
+    #[test]
+    fn pruned_convolution_equals_naive_with_holes(
+        hole_masks in prop::collection::vec(0u64..65536, 2..5),
+        energy_seed in prop::collection::vec(0.1f64..20.0, 16),
+    ) {
+        let curves: Vec<EnergyCurve> = hole_masks
+            .iter()
+            .enumerate()
+            .map(|(c, &mask)| {
+                EnergyCurve::new(
+                    (0..16)
+                        .map(|w| {
+                            if mask & (1 << w) != 0 {
+                                None
+                            } else {
+                                Some(CurvePoint {
+                                    energy_joules: energy_seed[(w + c) % 16] + c as f64,
+                                    freq: FreqLevel(w % 13),
+                                    core_size: CoreSizeIdx(w % 3),
+                                    time_seconds: 0.05,
+                                })
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let pruned = optimize_partition(&curves, 16);
+        let naive = optimize_partition_unpruned(&curves, 16);
+        prop_assert_eq!(pruned, naive);
     }
 
     /// Smoothing a curve never increases any point's energy and produces a

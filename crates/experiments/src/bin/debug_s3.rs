@@ -113,12 +113,12 @@ fn main() {
     }
 
     let simulator = CophaseSimulator::new(&db, &mix, SimulationOptions::default()).unwrap();
-    let baseline = simulator.run_baseline();
+    let baseline = simulator.run_baseline().unwrap();
     let mut spy = Spy {
         inner: CoordinatedRma::paper2(&platform, qos.clone()),
         printed: 0,
     };
-    let managed = simulator.run(&mut spy);
+    let managed = simulator.run(&mut spy).unwrap();
     let cmp = compare(&baseline, &managed, &qos);
     println!("energy savings: {:.2}%", cmp.energy_savings * 100.0);
     println!("violations: {}", cmp.num_violations());

@@ -135,8 +135,12 @@ impl ExperimentContext {
     ) -> (Comparison, SimulationResult) {
         let simulator =
             CophaseSimulator::new(db, mix, options).expect("workload matches database platform");
-        let baseline = simulator.run_baseline();
-        simulator.run_comparison(manager, &baseline, qos)
+        let baseline = simulator
+            .run_baseline()
+            .expect("baseline run must finish within the event budget");
+        simulator
+            .run_comparison(manager, &baseline, qos)
+            .unwrap_or_else(|e| panic!("managed run failed: {e}"))
     }
 
     /// Runs `mix` under `manager` returning only the comparison.

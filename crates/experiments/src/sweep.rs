@@ -486,13 +486,14 @@ pub fn run_with(
         .collect();
     let baseline_refs: Vec<&CophaseSimulator> =
         simulators.iter().flat_map(|sims| sims.iter()).collect();
+    let run_baseline = |sim: &&CophaseSimulator| -> SimulationResult {
+        sim.run_baseline()
+            .expect("baseline run must finish within the event budget")
+    };
     let baselines_flat: Vec<SimulationResult> = if options.parallel {
-        baseline_refs
-            .par_iter()
-            .map(|sim| sim.run_baseline())
-            .collect()
+        baseline_refs.par_iter().map(run_baseline).collect()
     } else {
-        baseline_refs.iter().map(|sim| sim.run_baseline()).collect()
+        baseline_refs.iter().map(run_baseline).collect()
     };
     let mut baselines: Vec<Vec<SimulationResult>> = Vec::with_capacity(simulators.len());
     let mut flat = baselines_flat.into_iter();
@@ -521,8 +522,9 @@ pub fn run_with(
         if options.memoize {
             manager = manager.with_curve_cache(ctx.curve_cache().clone());
         }
-        let (comparison, _managed) =
-            simulators[a][m].run_comparison(&mut manager, &baselines[a][m], &qos);
+        let (comparison, _managed) = simulators[a][m]
+            .run_comparison(&mut manager, &baselines[a][m], &qos)
+            .unwrap_or_else(|e| panic!("scenario simulation failed: {e}"));
         ScenarioOutcome {
             key: ScenarioKey {
                 platform: axis.label.clone(),

@@ -19,6 +19,16 @@ pub enum QosrmError {
     MissingRecord(String),
     /// An I/O or serialization error while persisting or loading artefacts.
     Io(String),
+    /// The co-phase simulator reached its global event cap before every
+    /// application completed a round (a misbehaving or livelocked manager).
+    EventLimitExceeded {
+        /// Name of the resource manager driving the run.
+        manager: String,
+        /// The event cap that was hit (`SimulationOptions::max_events`).
+        max_events: usize,
+        /// Number of cores that had not finished their round at the cap.
+        unfinished_cores: usize,
+    },
 }
 
 impl fmt::Display for QosrmError {
@@ -29,6 +39,15 @@ impl fmt::Display for QosrmError {
             QosrmError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
             QosrmError::MissingRecord(msg) => write!(f, "missing simulation record: {msg}"),
             QosrmError::Io(msg) => write!(f, "i/o error: {msg}"),
+            QosrmError::EventLimitExceeded {
+                manager,
+                max_events,
+                unfinished_cores,
+            } => write!(
+                f,
+                "simulation under manager {manager} exceeded the {max_events}-event cap \
+                 with {unfinished_cores} unfinished core(s)"
+            ),
         }
     }
 }
@@ -51,6 +70,19 @@ mod tests {
         assert!(err.to_string().contains("ways must be >= 1"));
         let err = QosrmError::MissingRecord("phase3".to_string());
         assert!(err.to_string().contains("phase3"));
+    }
+
+    #[test]
+    fn event_limit_names_manager_and_cap() {
+        let err = QosrmError::EventLimitExceeded {
+            manager: "CombinedRMA-Model2".to_string(),
+            max_events: 2_000_000,
+            unfinished_cores: 3,
+        };
+        let text = err.to_string();
+        assert!(text.contains("CombinedRMA-Model2"));
+        assert!(text.contains("2000000"));
+        assert!(text.contains("3 unfinished"));
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub use freq::{FreqLevel, VfPoint, VfTable};
 pub use ids::{AppId, CoreId, CoreSizeIdx, PhaseId};
 pub use manager::{ConfigMetrics, ConfigTable, CoreObservation, ResourceManager};
 pub use qos::{QosSpec, QosViolation};
-pub use setting::{CoreSetting, SystemSetting};
+pub use setting::{CoreSetting, SettingDelta, SystemSetting};
 pub use stats::{CoreScalingProfile, IntervalStats, MissProfile, MlpProfile};
 
 /// Result alias used across the workspace.

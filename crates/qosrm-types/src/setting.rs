@@ -116,17 +116,28 @@ impl SystemSetting {
     /// between `self` and `other`. Used by the simulator to charge
     /// reconfiguration overheads.
     pub fn diff(&self, other: &SystemSetting) -> Vec<SettingDelta> {
+        let mut deltas = Vec::with_capacity(self.cores.len());
+        self.diff_into(other, &mut deltas);
+        deltas
+    }
+
+    /// Like [`SystemSetting::diff`], but writes into a caller-provided buffer
+    /// so hot loops (the co-phase simulator charges reconfiguration overheads
+    /// on every setting change) can reuse one allocation across events.
+    pub fn diff_into(&self, other: &SystemSetting, out: &mut Vec<SettingDelta>) {
         debug_assert_eq!(self.cores.len(), other.cores.len());
-        self.cores
-            .iter()
-            .zip(other.cores.iter())
-            .map(|(a, b)| SettingDelta {
-                freq_changed: a.freq != b.freq,
-                ways_changed: a.ways != b.ways,
-                core_size_changed: a.core_size != b.core_size,
-                ways_delta: b.ways as isize - a.ways as isize,
-            })
-            .collect()
+        out.clear();
+        out.extend(
+            self.cores
+                .iter()
+                .zip(other.cores.iter())
+                .map(|(a, b)| SettingDelta {
+                    freq_changed: a.freq != b.freq,
+                    ways_changed: a.ways != b.ways,
+                    core_size_changed: a.core_size != b.core_size,
+                    ways_delta: b.ways as isize - a.ways as isize,
+                }),
+        );
     }
 }
 
@@ -204,6 +215,26 @@ mod tests {
         assert!(deltas[1].ways_changed && deltas[1].ways_delta == 2);
         assert!(deltas[2].ways_changed && deltas[2].ways_delta == -2);
         assert!(!deltas[3].any());
+    }
+
+    #[test]
+    fn diff_into_reuses_the_buffer_and_matches_diff() {
+        let p = PlatformConfig::paper2(4);
+        let a = SystemSetting::baseline(&p);
+        let mut b = a.clone();
+        b.core_mut(CoreId(0)).freq = FreqLevel(2);
+        let mut buffer = vec![
+            SettingDelta {
+                freq_changed: true,
+                ways_changed: true,
+                core_size_changed: true,
+                ways_delta: 9,
+            };
+            7
+        ];
+        a.diff_into(&b, &mut buffer);
+        assert_eq!(buffer, a.diff(&b));
+        assert_eq!(buffer.len(), 4);
     }
 
     #[test]

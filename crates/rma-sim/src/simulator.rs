@@ -1,12 +1,35 @@
 //! The co-phase event-driven simulator.
+//!
+//! # Hot-loop design
+//!
+//! The event loop is the inner loop of every experiment, so it avoids
+//! re-deriving state that cannot have changed between events:
+//!
+//! * **Dirty-core tracking** — a core's interval time, full-interval energy
+//!   breakdown and observable statistics are pure functions of its current
+//!   `(phase, setting)`. They are cached per core and recomputed only
+//!   when the core finishes an interval (its phase advances) or a
+//!   reconfiguration actually touches it, instead of once per core per
+//!   global event.
+//! * **Preallocated buffers** — the per-interval record log is allocated
+//!   once at its exact final size, the reconfiguration delta buffer is
+//!   reused across setting changes, and each core owns a reusable
+//!   [`CoreObservation`] whose ATD/MLP/ILP profiles are materialized from a
+//!   per-phase cache only when the finished phase changes (perfect-model
+//!   configuration tables are likewise built once per phase and cloned).
+//!
+//! All cached values are produced by the same pure model calls the naive
+//! loop would make, so results are bit-identical to a cache-free run (the
+//! determinism and sweep-equivalence integration tests lock this in).
 
 use crate::baseline::BaselineManager;
 use crate::result::{AppResult, IntervalRecord, SimulationResult};
 use core_model::{TransitionCosts, TransitionModel};
 use power_model::EnergyBreakdown;
 use qosrm_types::{
-    AppId, ConfigTable, CoreId, CoreObservation, CoreScalingProfile, CoreSetting, MissProfile,
-    MlpProfile, PlatformConfig, QosrmError, ResourceManager, SystemSetting,
+    AppId, ConfigTable, CoreId, CoreObservation, CoreScalingProfile, CoreSetting, CoreSizeIdx,
+    FreqLevel, IntervalStats, MissProfile, MlpProfile, PhaseId, PlatformConfig, QosrmError,
+    ResourceManager, SettingDelta, SystemSetting,
 };
 use simdb::{BenchmarkRecord, GroundTruth, SimDb};
 use workload::WorkloadMix;
@@ -21,8 +44,10 @@ pub struct SimulationOptions {
     /// Paper II hardware support). Without it only the plain ATD miss profile
     /// is available, as in Paper I.
     pub provide_mlp_profiles: bool,
-    /// Safety cap on the number of global events (prevents livelock if a
-    /// manager misbehaves).
+    /// Safety cap on the number of global events. Hitting the cap fails the
+    /// run with [`QosrmError::EventLimitExceeded`] naming the manager — a
+    /// manager that keeps the system livelocked must not silently produce a
+    /// truncated result.
     pub max_events: usize,
     /// Transition-cost constants.
     pub transition_costs: TransitionCosts,
@@ -60,6 +85,147 @@ struct CoreState {
     round_energy: EnergyBreakdown,
     /// Intervals completed in the first round.
     round_intervals: usize,
+    /// Whether the cached `(phase, setting)` state below is stale: set when
+    /// the core's phase advances or a reconfiguration touches the core.
+    dirty: bool,
+    /// The `(phase, setting)` the cached state below was computed for; a
+    /// dirty core whose key is unchanged (same phase again, untouched
+    /// setting) skips the model calls entirely.
+    cached_key: Option<(PhaseId, CoreSetting)>,
+    /// Cached interval execution time at the current `(phase, setting)`.
+    interval_time: f64,
+    /// Cached full-interval energy breakdown at the current
+    /// `(phase, setting)`.
+    interval_energy: EnergyBreakdown,
+}
+
+impl CoreState {
+    /// Recomputes the cached `(phase, setting)` derived state. A dirty mark
+    /// is conservative — when the key turns out unchanged (the phase trace
+    /// repeated a phase, or a reconfiguration left this core alone), the
+    /// cached values are already exact and the model calls are skipped.
+    fn refresh(&mut self, ground_truth: &GroundTruth, setting: CoreSetting) {
+        let phase_id = self.record.trace.phase_at(self.interval_idx);
+        self.dirty = false;
+        if self.cached_key == Some((phase_id, setting)) {
+            return;
+        }
+        let (time, energy) = {
+            let phase = self.record.phase(phase_id);
+            let outcome = ground_truth.timing(phase, setting.core_size, setting.freq, setting.ways);
+            let energy = ground_truth.energy(
+                phase,
+                setting.core_size,
+                setting.freq,
+                setting.ways,
+                &outcome,
+            );
+            (outcome.time_seconds, energy)
+        };
+        self.interval_time = time;
+        self.interval_energy = energy;
+        self.cached_key = Some((phase_id, setting));
+    }
+}
+
+/// Profiles a core exposes for one phase; they do not depend on the setting,
+/// so they are built once per phase and reused for every interval of it.
+struct CachedProfiles {
+    miss: MissProfile,
+    mlp: Option<MlpProfile>,
+    scaling: Option<CoreScalingProfile>,
+}
+
+/// Reusable per-core observation buffer: the [`CoreObservation`] handed to
+/// the manager is updated in place instead of being rebuilt per event.
+struct ObsBuffer {
+    obs: CoreObservation,
+    /// The `(phase, setting)` the buffered `stats` were computed for.
+    stats_key: Option<(PhaseId, CoreSetting)>,
+    /// Phase whose profiles are currently materialized in `obs`.
+    materialized: Option<PhaseId>,
+    /// Lazily built per-phase profile cache.
+    profiles: Vec<Option<CachedProfiles>>,
+    /// Lazily built per-phase perfect-model tables (empty unless the run
+    /// provides perfect tables).
+    perfect: Vec<Option<ConfigTable>>,
+}
+
+impl ObsBuffer {
+    fn new(app: usize, num_phases: usize) -> Self {
+        ObsBuffer {
+            obs: CoreObservation {
+                app: AppId(app),
+                // Placeholder overwritten before the first manager call.
+                stats: IntervalStats {
+                    instructions: 0,
+                    cycles: 0,
+                    exec_cycles: 0,
+                    llc_accesses: 0,
+                    llc_misses: 0,
+                    leading_misses: 0,
+                    elapsed_seconds: 0.0,
+                    freq: FreqLevel(0),
+                    core_size: CoreSizeIdx(0),
+                    ways: 1,
+                },
+                miss_profile: MissProfile::new(vec![0]),
+                mlp_profile: None,
+                scaling_profile: None,
+                perfect: None,
+            },
+            stats_key: None,
+            materialized: None,
+            profiles: (0..num_phases).map(|_| None).collect(),
+            perfect: (0..num_phases).map(|_| None).collect(),
+        }
+    }
+
+    /// Updates the buffered observation for the just-finished interval and
+    /// returns it.
+    #[allow(clippy::too_many_arguments)]
+    fn prepare(
+        &mut self,
+        ground_truth: &GroundTruth,
+        record: &BenchmarkRecord,
+        finished_phase: PhaseId,
+        finished_setting: CoreSetting,
+        next_phase: PhaseId,
+        options: &SimulationOptions,
+    ) -> &CoreObservation {
+        let phase = record.phase(finished_phase);
+        if self.stats_key != Some((finished_phase, finished_setting)) {
+            self.obs.stats = ground_truth.interval_stats(phase, finished_setting);
+            self.stats_key = Some((finished_phase, finished_setting));
+        }
+        if self.materialized != Some(finished_phase) {
+            let cached =
+                self.profiles[finished_phase.index()].get_or_insert_with(|| CachedProfiles {
+                    miss: MissProfile::new(phase.atd_misses_per_way.clone()),
+                    mlp: options
+                        .provide_mlp_profiles
+                        .then(|| MlpProfile::new(phase.atd_leading_misses.clone())),
+                    scaling: options
+                        .provide_mlp_profiles
+                        .then(|| CoreScalingProfile::new(phase.exec_cpi.clone())),
+                });
+            self.obs.miss_profile = cached.miss.clone();
+            self.obs.mlp_profile = cached.mlp.clone();
+            self.obs.scaling_profile = cached.scaling.clone();
+            self.materialized = Some(finished_phase);
+        }
+        self.obs.perfect = if options.provide_perfect_tables {
+            // Perfect foresight of the upcoming interval's phase; the table
+            // covers the whole configuration space, so build it once per
+            // phase and clone it per event.
+            let table = self.perfect[next_phase.index()]
+                .get_or_insert_with(|| ground_truth.config_table(record.phase(next_phase)));
+            Some(table.clone())
+        } else {
+            None
+        };
+        &self.obs
+    }
 }
 
 /// The co-phase simulator for one workload on one platform.
@@ -85,10 +251,12 @@ struct CoreState {
 /// );
 ///
 /// let simulator = CophaseSimulator::new(&db, &mix, SimulationOptions::default()).unwrap();
-/// let baseline = simulator.run_baseline();
+/// let baseline = simulator.run_baseline().unwrap();
 /// let qos = vec![QosSpec::STRICT; 2];
 /// let mut manager = CoordinatedRma::paper1(&platform, qos.clone());
-/// let (comparison, managed) = simulator.run_comparison(&mut manager, &baseline, &qos);
+/// let (comparison, managed) = simulator
+///     .run_comparison(&mut manager, &baseline, &qos)
+///     .unwrap();
 ///
 /// assert_eq!(managed.per_app.len(), 2);
 /// assert!(comparison.energy_savings.is_finite());
@@ -133,7 +301,7 @@ impl CophaseSimulator {
     }
 
     /// Runs the workload under the baseline (no-op) manager.
-    pub fn run_baseline(&self) -> SimulationResult {
+    pub fn run_baseline(&self) -> Result<SimulationResult, QosrmError> {
         let mut manager = BaselineManager;
         self.run(&mut manager)
     }
@@ -151,15 +319,19 @@ impl CophaseSimulator {
         manager: &mut dyn ResourceManager,
         baseline: &SimulationResult,
         qos: &[qosrm_types::QosSpec],
-    ) -> (crate::result::Comparison, SimulationResult) {
-        let managed = self.run(manager);
+    ) -> Result<(crate::result::Comparison, SimulationResult), QosrmError> {
+        let managed = self.run(manager)?;
         let comparison = crate::result::compare(baseline, &managed, qos);
-        (comparison, managed)
+        Ok((comparison, managed))
     }
 
     /// Runs the workload under `manager` until every application has
     /// completed one full round.
-    pub fn run(&self, manager: &mut dyn ResourceManager) -> SimulationResult {
+    ///
+    /// Fails with [`QosrmError::EventLimitExceeded`] when the manager keeps
+    /// the system from finishing within
+    /// [`SimulationOptions::max_events`] global events.
+    pub fn run(&self, manager: &mut dyn ResourceManager) -> Result<SimulationResult, QosrmError> {
         let platform = self.db.platform().clone();
         let num_cores = platform.num_cores;
         manager.reset(num_cores);
@@ -181,50 +353,62 @@ impl CophaseSimulator {
                 round_time: 0.0,
                 round_energy: EnergyBreakdown::default(),
                 round_intervals: 0,
+                dirty: true,
+                cached_key: None,
+                interval_time: 0.0,
+                interval_energy: EnergyBreakdown::default(),
             })
+            .collect();
+        let mut observations: Vec<ObsBuffer> = cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ObsBuffer::new(i, c.record.phases.len()))
             .collect();
 
         let mut setting = SystemSetting::baseline(&platform);
         let mut time = 0.0f64;
-        let mut intervals = Vec::new();
+        // The record log reaches exactly one entry per first-round interval;
+        // allocating it up front keeps emission free of reallocation.
+        let expected_intervals: usize = cores.iter().map(|c| c.record.trace_intervals()).sum();
+        let mut intervals = Vec::with_capacity(expected_intervals);
+        let mut deltas: Vec<SettingDelta> = Vec::with_capacity(num_cores);
         let mut rma_invocations = 0u64;
         let mut rma_overhead_instructions = 0u64;
         let mut setting_changes = 0u64;
         let interval_instructions = platform.interval_instructions as f64;
 
-        for _event in 0..self.options.max_events {
-            if cores.iter().all(|c| c.done) {
-                break;
+        let mut events = 0usize;
+        while !cores.iter().all(|c| c.done) {
+            if events == self.options.max_events {
+                return Err(QosrmError::EventLimitExceeded {
+                    manager: manager.name().to_string(),
+                    max_events: self.options.max_events,
+                    unfinished_cores: cores.iter().filter(|c| !c.done).count(),
+                });
             }
+            events += 1;
 
-            // Per-core interval time at the current setting and phase.
-            let interval_times: Vec<f64> = cores
-                .iter()
-                .enumerate()
-                .map(|(i, c)| {
-                    let phase = c.record.phase(c.record.trace.phase_at(c.interval_idx));
-                    self.ground_truth
-                        .metrics_at(phase, setting.core(CoreId(i)))
-                        .time_seconds
-                })
-                .collect();
-
-            // Next global event: the earliest interval completion.
-            let (next_core, dt) = cores
-                .iter()
-                .enumerate()
-                .map(|(i, c)| {
-                    let remaining_fraction =
-                        (interval_instructions - c.progress) / interval_instructions;
-                    let remaining = c.pending_overhead + remaining_fraction * interval_times[i];
-                    (i, remaining)
-                })
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                .expect("at least one core");
+            // Refresh the cores whose (phase, setting) changed since the
+            // last event, and find the next global event: the earliest
+            // interval completion (first core wins ties, as before).
+            let mut next_core = 0usize;
+            let mut dt = f64::INFINITY;
+            for (i, core) in cores.iter_mut().enumerate() {
+                if core.dirty {
+                    core.refresh(&self.ground_truth, setting.core(CoreId(i)));
+                }
+                let remaining_fraction =
+                    (interval_instructions - core.progress) / interval_instructions;
+                let remaining = core.pending_overhead + remaining_fraction * core.interval_time;
+                if remaining < dt {
+                    dt = remaining;
+                    next_core = i;
+                }
+            }
 
             // Advance every core by dt, accounting progress and energy.
             time += dt;
-            for (i, core) in cores.iter_mut().enumerate() {
+            for core in cores.iter_mut() {
                 let mut exec_dt = dt;
                 if core.pending_overhead > 0.0 {
                     let served = core.pending_overhead.min(exec_dt);
@@ -232,29 +416,13 @@ impl CophaseSimulator {
                     exec_dt -= served;
                 }
                 let executed =
-                    (exec_dt / interval_times[i].max(f64::MIN_POSITIVE)) * interval_instructions;
+                    (exec_dt / core.interval_time.max(f64::MIN_POSITIVE)) * interval_instructions;
                 core.progress += executed;
                 if !core.done {
                     core.round_time += dt;
                     // Charge energy proportionally to executed instructions.
-                    let phase = core
-                        .record
-                        .phase(core.record.trace.phase_at(core.interval_idx));
-                    let core_setting = setting.core(CoreId(i));
-                    let outcome = self.ground_truth.timing(
-                        phase,
-                        core_setting.core_size,
-                        core_setting.freq,
-                        core_setting.ways,
-                    );
-                    let energy = self.ground_truth.energy(
-                        phase,
-                        core_setting.core_size,
-                        core_setting.freq,
-                        core_setting.ways,
-                        &outcome,
-                    );
                     let fraction = (executed / interval_instructions).min(1.0);
+                    let energy = &core.interval_energy;
                     let scaled = EnergyBreakdown {
                         core_dynamic: energy.core_dynamic * fraction,
                         core_static: energy.core_static * fraction,
@@ -287,19 +455,26 @@ impl CophaseSimulator {
                 core.interval_idx += 1;
                 core.progress = 0.0;
                 core.interval_start = time;
+                // The phase advanced, so the cached interval state is stale.
+                core.dirty = true;
                 if !core.done && core.interval_idx >= core.record.trace_intervals() {
                     core.done = true;
                 }
             }
 
             // Invoke the resource manager on the finishing core.
-            let observation = self.build_observation(
-                &cores[next_core],
-                next_core,
-                finished_setting,
+            let observation = observations[next_core].prepare(
+                &self.ground_truth,
+                &cores[next_core].record,
                 finished_phase_id,
+                finished_setting,
+                cores[next_core]
+                    .record
+                    .trace
+                    .phase_at(cores[next_core].interval_idx),
+                &self.options,
             );
-            let new_setting = manager.on_interval(CoreId(next_core), &observation, &setting);
+            let new_setting = manager.on_interval(CoreId(next_core), observation, &setting);
             rma_invocations += 1;
             let overhead_instr = manager.invocation_overhead_instructions(num_cores);
             rma_overhead_instructions += overhead_instr;
@@ -312,13 +487,14 @@ impl CophaseSimulator {
 
             // Apply the new setting if it is valid and different.
             if new_setting != setting && new_setting.validate(&platform).is_ok() {
-                let deltas = setting.diff(&new_setting);
+                setting.diff_into(&new_setting, &mut deltas);
                 for (i, delta) in deltas.iter().enumerate() {
                     if !delta.any() {
                         continue;
                     }
                     let overhead = transition_model.overhead(delta);
                     cores[i].pending_overhead += overhead.time_seconds;
+                    cores[i].dirty = true;
                     if !cores[i].done {
                         let mut transition_energy = 0.0;
                         transition_energy += self
@@ -358,7 +534,7 @@ impl CophaseSimulator {
             .collect();
         let system_energy_joules = per_app.iter().map(|a| a.energy_joules).sum();
 
-        SimulationResult {
+        Ok(SimulationResult {
             workload: self.mix.name.clone(),
             manager: manager.name().to_string(),
             per_app,
@@ -368,48 +544,7 @@ impl CophaseSimulator {
             rma_overhead_instructions,
             setting_changes,
             intervals,
-        }
-    }
-
-    /// Builds the observation the finishing core hands to the manager.
-    fn build_observation(
-        &self,
-        core: &CoreState,
-        core_idx: usize,
-        finished_setting: CoreSetting,
-        finished_phase: qosrm_types::PhaseId,
-    ) -> CoreObservation {
-        let phase = core.record.phase(finished_phase);
-        let stats = self.ground_truth.interval_stats(phase, finished_setting);
-        let miss_profile = MissProfile::new(phase.atd_misses_per_way.clone());
-        let mlp_profile = if self.options.provide_mlp_profiles {
-            Some(MlpProfile::new(phase.atd_leading_misses.clone()))
-        } else {
-            None
-        };
-        let scaling_profile = if self.options.provide_mlp_profiles {
-            Some(CoreScalingProfile::new(phase.exec_cpi.clone()))
-        } else {
-            None
-        };
-        let perfect: Option<ConfigTable> = if self.options.provide_perfect_tables {
-            // Perfect foresight of the upcoming interval's phase.
-            let next_phase = core.record.trace.phase_at(core.interval_idx);
-            Some(
-                self.ground_truth
-                    .config_table(core.record.phase(next_phase)),
-            )
-        } else {
-            None
-        };
-        CoreObservation {
-            app: AppId(core_idx),
-            stats,
-            miss_profile,
-            mlp_profile,
-            scaling_profile,
-            perfect,
-        }
+        })
     }
 }
 
@@ -417,7 +552,6 @@ impl CophaseSimulator {
 mod tests {
     use super::*;
     use crate::baseline::StaticSettingManager;
-    use qosrm_types::FreqLevel;
     use simdb::{build_database, BuildOptions};
     use workload::benchmark;
 
@@ -444,7 +578,7 @@ mod tests {
     fn baseline_run_completes_every_application() {
         let db = test_db(4);
         let sim = CophaseSimulator::new(&db, &mix(), SimulationOptions::default()).unwrap();
-        let result = sim.run_baseline();
+        let result = sim.run_baseline().unwrap();
         assert_eq!(result.per_app.len(), 4);
         for (i, app) in result.per_app.iter().enumerate() {
             let record = db.benchmark(&mix().benchmarks[i]).unwrap();
@@ -473,7 +607,7 @@ mod tests {
     fn lower_frequency_saves_energy_but_slows_down() {
         let db = test_db(4);
         let sim = CophaseSimulator::new(&db, &mix(), SimulationOptions::default()).unwrap();
-        let baseline = sim.run_baseline();
+        let baseline = sim.run_baseline().unwrap();
 
         let platform = db.platform().clone();
         let mut slow_setting = SystemSetting::baseline(&platform);
@@ -481,7 +615,7 @@ mod tests {
             slow_setting.core_mut(CoreId(i)).freq = FreqLevel(0);
         }
         let mut slow_manager = StaticSettingManager::new(slow_setting);
-        let slow = sim.run(&mut slow_manager);
+        let slow = sim.run(&mut slow_manager).unwrap();
 
         assert!(slow.system_energy_joules < baseline.system_energy_joules);
         for i in 0..4 {
@@ -497,9 +631,32 @@ mod tests {
     fn results_are_deterministic() {
         let db = test_db(4);
         let sim = CophaseSimulator::new(&db, &mix(), SimulationOptions::default()).unwrap();
-        let a = sim.run_baseline();
-        let b = sim.run_baseline();
+        let a = sim.run_baseline().unwrap();
+        let b = sim.run_baseline().unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hitting_the_event_cap_is_a_typed_error() {
+        let db = test_db(4);
+        let options = SimulationOptions {
+            max_events: 7,
+            ..Default::default()
+        };
+        let sim = CophaseSimulator::new(&db, &mix(), options).unwrap();
+        let err = sim.run_baseline().unwrap_err();
+        match err {
+            QosrmError::EventLimitExceeded {
+                manager,
+                max_events,
+                unfinished_cores,
+            } => {
+                assert_eq!(manager, "Baseline");
+                assert_eq!(max_events, 7);
+                assert!(unfinished_cores >= 1);
+            }
+            other => panic!("expected EventLimitExceeded, got {other}"),
+        }
     }
 
     #[test]
@@ -534,7 +691,7 @@ mod tests {
             saw_perfect: false,
             saw_mlp: false,
         };
-        sim.run(&mut probe);
+        sim.run(&mut probe).unwrap();
         assert!(probe.saw_perfect);
         assert!(!probe.saw_mlp);
     }

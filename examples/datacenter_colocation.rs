@@ -41,14 +41,14 @@ fn main() {
 
     let simulator =
         CophaseSimulator::new(&db, &mix, SimulationOptions::default()).expect("valid workload");
-    let baseline = simulator.run_baseline();
+    let baseline = simulator.run_baseline().unwrap();
 
     let mut rm2 = CoordinatedRma::paper1(&platform, qos.clone());
-    let rm2_run = simulator.run(&mut rm2);
+    let rm2_run = simulator.run(&mut rm2).unwrap();
     let rm2_cmp = compare(&baseline, &rm2_run, &qos);
 
     let mut rm3 = CoordinatedRma::paper2(&platform, qos.clone());
-    let rm3_run = simulator.run(&mut rm3);
+    let rm3_run = simulator.run(&mut rm3).unwrap();
     let rm3_cmp = compare(&baseline, &rm3_run, &qos);
 
     println!("8-core consolidation: {:?}\n", mix.benchmarks);

@@ -33,7 +33,7 @@ fn main() {
         ..Default::default()
     };
     let simulator = CophaseSimulator::new(&db, &mix, options).expect("valid workload");
-    let baseline = simulator.run_baseline();
+    let baseline = simulator.run_baseline().unwrap();
 
     println!("workload: {:?}\n", mix.benchmarks);
     println!("allowed slowdown | energy savings | worst app slowdown");
@@ -43,7 +43,7 @@ fn main() {
         let mut manager =
             CoordinatedRma::with_model(&platform, qos.clone(), ModelKind::Perfect, false)
                 .with_name("CombinedRMA-Perfect");
-        let run = simulator.run(&mut manager);
+        let run = simulator.run(&mut manager).unwrap();
         let cmp = compare(&baseline, &run, &qos);
         let worst = cmp
             .per_app_slowdown

@@ -56,9 +56,9 @@ fn main() {
         ..Default::default()
     };
     let simulator = CophaseSimulator::new(&db, &mix, options).expect("valid workload");
-    let baseline = simulator.run_baseline();
+    let baseline = simulator.run_baseline().unwrap();
     let mut manager = CoordinatedRma::paper1(&platform, qos.clone());
-    let managed = simulator.run(&mut manager);
+    let managed = simulator.run(&mut manager).unwrap();
 
     // 4. Compare.
     let cmp = compare(&baseline, &managed, &qos);

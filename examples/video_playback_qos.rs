@@ -37,13 +37,13 @@ fn main() {
         ..Default::default()
     };
     let simulator = CophaseSimulator::new(&db, &mix, options).expect("valid workload");
-    let baseline = simulator.run_baseline();
+    let baseline = simulator.run_baseline().unwrap();
 
     // Scenario A: every application strict (frame rate and batch all pinned
     // to baseline performance).
     let strict_qos = vec![QosSpec::STRICT; 4];
     let mut strict_manager = CoordinatedRma::paper1(&platform, strict_qos.clone());
-    let strict_run = simulator.run(&mut strict_manager);
+    let strict_run = simulator.run(&mut strict_manager).unwrap();
     let strict_cmp = compare(&baseline, &strict_run, &strict_qos);
 
     // Scenario B: the decoder stays strict (its frame deadline is the QoS),
@@ -55,7 +55,7 @@ fn main() {
         QosSpec::relaxed_by(0.4),
     ];
     let mut mixed_manager = CoordinatedRma::paper1(&platform, mixed_qos.clone());
-    let mixed_run = simulator.run(&mut mixed_manager);
+    let mixed_run = simulator.run(&mut mixed_manager).unwrap();
     let mixed_cmp = compare(&baseline, &mixed_run, &mixed_qos);
 
     println!("workload: {:?}\n", mix.benchmarks);

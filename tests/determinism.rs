@@ -47,9 +47,41 @@ fn database_and_simulation_are_deterministic() {
     let sim = CophaseSimulator::new(&db1, &mix, SimulationOptions::default()).unwrap();
     let mut m1 = CoordinatedRma::paper2(&platform, qos.clone());
     let mut m2 = CoordinatedRma::paper2(&platform, qos.clone());
-    let r1 = sim.run(&mut m1);
-    let r2 = sim.run(&mut m2);
+    let r1 = sim.run(&mut m1).unwrap();
+    let r2 = sim.run(&mut m2).unwrap();
     assert_eq!(r1, r2);
+}
+
+#[test]
+fn identical_seeds_yield_byte_identical_simulation_results() {
+    // Two fully independent pipelines (characterization, database and
+    // simulation) from the same seeds must agree to the last serialized
+    // byte — structural equality could hide NaN or map-ordering drift that
+    // would desynchronize persisted artefacts and golden tables.
+    let run_pipeline = || {
+        let platform = PlatformConfig::paper2(4);
+        let options = BuildOptions::quick_for_tests(&platform);
+        let mix = mix();
+        let db = build_database_for_mixes(&platform, std::slice::from_ref(&mix), &options);
+        let sim = CophaseSimulator::new(&db, &mix, SimulationOptions::default()).unwrap();
+        let baseline = sim.run_baseline().unwrap();
+        let mut manager = CoordinatedRma::paper2(&platform, vec![QosSpec::STRICT; 4]);
+        let managed = sim.run(&mut manager).unwrap();
+        (
+            serde_json::to_string(&baseline).unwrap(),
+            serde_json::to_string(&managed).unwrap(),
+        )
+    };
+    let (baseline_a, managed_a) = run_pipeline();
+    let (baseline_b, managed_b) = run_pipeline();
+    assert_eq!(
+        baseline_a, baseline_b,
+        "baseline runs must serialize identically"
+    );
+    assert_eq!(
+        managed_a, managed_b,
+        "managed runs must serialize identically"
+    );
 }
 
 #[test]

@@ -29,8 +29,8 @@ fn run(
         ..Default::default()
     };
     let simulator = CophaseSimulator::new(db, mix, options).expect("valid workload");
-    let baseline = simulator.run_baseline();
-    let managed = simulator.run(manager);
+    let baseline = simulator.run_baseline().unwrap();
+    let managed = simulator.run(manager).unwrap();
     compare(&baseline, &managed, qos)
 }
 
@@ -163,14 +163,14 @@ fn relaxing_qos_increases_savings_monotonically() {
             ..Default::default()
         };
         let simulator = CophaseSimulator::new(&db, &mix, options).expect("valid workload");
-        let baseline = simulator.run_baseline();
+        let baseline = simulator.run_baseline().unwrap();
         let mut manager = CoordinatedRma::with_model(
             &platform,
             qos.clone(),
             qosrm_core::ModelKind::Perfect,
             false,
         );
-        let managed = simulator.run(&mut manager);
+        let managed = simulator.run(&mut manager).unwrap();
         let cmp = compare(&baseline, &managed, &qos);
         assert!(
             cmp.energy_savings >= previous - 0.01,

@@ -31,9 +31,9 @@ fn full_pipeline_runs_and_saves_energy_without_violations_in_aggregate() {
     let qos = vec![QosSpec::STRICT; 4];
     let simulator =
         CophaseSimulator::new(&db, &mix, SimulationOptions::default()).expect("valid workload");
-    let baseline = simulator.run_baseline();
+    let baseline = simulator.run_baseline().unwrap();
     let mut manager = CoordinatedRma::paper2(&platform, qos.clone());
-    let managed = simulator.run(&mut manager);
+    let managed = simulator.run(&mut manager).unwrap();
     let cmp = compare(&baseline, &managed, &qos);
 
     // Every application completed its first round in both runs.
@@ -74,7 +74,7 @@ fn ground_truth_queries_are_consistent_with_simulated_baseline() {
         ..Default::default()
     };
     let simulator = CophaseSimulator::new(&db, &mix, options).expect("valid workload");
-    let baseline = simulator.run_baseline();
+    let baseline = simulator.run_baseline().unwrap();
 
     // The baseline run's interval durations must equal the ground-truth
     // timing of the corresponding phase at the baseline setting.
@@ -128,9 +128,9 @@ fn eight_core_pipeline_completes() {
     let qos = vec![QosSpec::STRICT; 8];
     let simulator =
         CophaseSimulator::new(&db, &mix, SimulationOptions::default()).expect("valid workload");
-    let baseline = simulator.run_baseline();
+    let baseline = simulator.run_baseline().unwrap();
     let mut manager = CoordinatedRma::paper1(&platform, qos.clone());
-    let managed = simulator.run(&mut manager);
+    let managed = simulator.run(&mut manager).unwrap();
     let cmp = compare(&baseline, &managed, &qos);
     assert_eq!(managed.per_app.len(), 8);
     assert!(

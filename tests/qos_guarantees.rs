@@ -37,9 +37,9 @@ fn perfect_model_manager_never_violates_strict_qos() {
         ..Default::default()
     };
     let simulator = CophaseSimulator::new(&db, &mix, options).expect("valid workload");
-    let baseline = simulator.run_baseline();
+    let baseline = simulator.run_baseline().unwrap();
     let mut manager = CoordinatedRma::with_model(&platform, qos.clone(), ModelKind::Perfect, true);
-    let managed = simulator.run(&mut manager);
+    let managed = simulator.run(&mut manager).unwrap();
     let cmp = compare(&baseline, &managed, &qos);
     assert!(
         cmp.violations.is_empty(),
@@ -62,9 +62,9 @@ fn analytical_model_violations_are_small_and_rare() {
         ..Default::default()
     };
     let simulator = CophaseSimulator::new(&db, &mix, options).expect("valid workload");
-    let baseline = simulator.run_baseline();
+    let baseline = simulator.run_baseline().unwrap();
     let mut manager = CoordinatedRma::paper1(&platform, qos.clone());
-    let managed = simulator.run(&mut manager);
+    let managed = simulator.run(&mut manager).unwrap();
     let cmp = compare(&baseline, &managed, &qos);
     // The paper reports average violations of 3% and a maximum of 9% caused
     // by modeling error; allow a similar (loose) bound here.
@@ -89,9 +89,9 @@ fn relaxed_targets_bound_the_slowdown() {
         ..Default::default()
     };
     let simulator = CophaseSimulator::new(&db, &mix, options).expect("valid workload");
-    let baseline = simulator.run_baseline();
+    let baseline = simulator.run_baseline().unwrap();
     let mut manager = CoordinatedRma::with_model(&platform, qos.clone(), ModelKind::Perfect, false);
-    let managed = simulator.run(&mut manager);
+    let managed = simulator.run(&mut manager).unwrap();
     let cmp = compare(&baseline, &managed, &qos);
     assert!(cmp.violations.is_empty(), "{:?}", cmp.violations);
     for (i, slowdown) in cmp.per_app_slowdown.iter().enumerate() {
@@ -124,9 +124,9 @@ fn per_app_qos_is_respected_when_only_some_apps_are_relaxed() {
         ..Default::default()
     };
     let simulator = CophaseSimulator::new(&db, &mix, options).expect("valid workload");
-    let baseline = simulator.run_baseline();
+    let baseline = simulator.run_baseline().unwrap();
     let mut manager = CoordinatedRma::with_model(&platform, qos.clone(), ModelKind::Perfect, false);
-    let managed = simulator.run(&mut manager);
+    let managed = simulator.run(&mut manager).unwrap();
     let cmp = compare(&baseline, &managed, &qos);
     assert!(cmp.violations.is_empty(), "{:?}", cmp.violations);
     // The strict applications stay within the significance threshold.
