@@ -25,6 +25,7 @@ fn synthetic_curve(seed: u64, max_ways: usize) -> EnergyCurve {
                     freq: FreqLevel((seed % 13) as usize),
                     core_size: CoreSizeIdx((seed % 3) as usize),
                     time_seconds: 0.08,
+                    ways: w,
                 })
             })
             .collect(),
@@ -55,6 +56,17 @@ fn bench_local_optimizer(c: &mut Criterion) {
         group.bench_function(label, |bencher| {
             bencher.iter(|| {
                 black_box(optimizer.energy_curve(black_box(&observation), QosSpec::STRICT))
+            })
+        });
+        // The scalar reference on the same inputs: the gap is what the
+        // staged CurveBuilder buys on a cold (uncached) invocation.
+        let scalar_label = format!("{label}_scalar_reference");
+        group.bench_function(scalar_label.as_str(), |bencher| {
+            bencher.iter(|| {
+                black_box(
+                    optimizer
+                        .energy_curve_scalar_reference(black_box(&observation), QosSpec::STRICT),
+                )
             })
         });
     }

@@ -1,14 +1,20 @@
 //! The CI performance-regression gate.
 //!
 //! [`bench_gate`](../../bench_gate/index.html) (the `bench_gate` binary) runs
-//! two fixed, deterministic workloads — the co-phase simulator loop on a
-//! quick-grid workload and the global way-partition optimizer on a synthetic
-//! curve set — and emits machine-readable reports:
+//! three fixed, deterministic workloads — the co-phase simulator loop on a
+//! quick-grid workload, the global way-partition optimizer on a synthetic
+//! curve set, and cold-cache energy-curve construction on real observations —
+//! and emits machine-readable reports:
 //!
 //! * `BENCH_simulator.json` — wall time, event count and events/second of the
 //!   simulator loop;
 //! * `BENCH_global_opt.json` — wall time, call count and min-plus convolution
-//!   operations of the global optimizer.
+//!   operations of the global optimizer;
+//! * `BENCH_local_opt.json` — wall time of cold (uncached) curve
+//!   construction through the staged `CurveBuilder`, the scalar reference's
+//!   wall time on the same inputs, their speedup ratio (gated at
+//!   [`MIN_LOCAL_OPT_SPEEDUP`]) and the builder's exact model-evaluation
+//!   count (exact-compared like every deterministic counter).
 //!
 //! In check mode (the default, what CI runs) the fresh reports are written to
 //! `target/bench-gate/` and compared against the baselines committed at the
@@ -26,9 +32,10 @@
 //! test), so the band measures the code, not the hardware.
 
 use qosrm_core::{
-    optimize_partition_with_stats, CoordinatedRma, CurveCache, CurvePoint, EnergyCurve, PruneStats,
+    optimize_partition_with_stats, CoordinatedRma, CurveCache, CurvePoint, EnergyCurve,
+    LocalOptimizer, LocalOptimizerConfig, ModelKind, PruneStats,
 };
-use qosrm_types::{CoreSizeIdx, FreqLevel, PlatformConfig, QosSpec};
+use qosrm_types::{CoreObservation, CoreSizeIdx, FreqLevel, PlatformConfig, QosSpec};
 use rma_sim::{CophaseSimulator, SimulationOptions};
 use serde::{Deserialize, Serialize};
 use simdb::builder::{build_database_for_mixes, BuildOptions};
@@ -43,6 +50,11 @@ pub const SCHEMA: &str = "qosrm-bench-gate/v1";
 
 /// Default relative wall-time regression tolerated before the gate fails.
 pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// Minimum speedup of the staged `CurveBuilder` over the scalar reference on
+/// the cold-curve workload. Both sides are timed in the same process on the
+/// same machine, so the ratio needs no calibration normalization.
+pub const MIN_LOCAL_OPT_SPEEDUP: f64 = 3.0;
 
 /// Iterations of the calibration loop (sized for tens of milliseconds).
 const CALIBRATION_ITERS: u64 = 40_000_000;
@@ -131,6 +143,40 @@ pub struct GlobalOptReport {
     pub pruned_ops: u64,
     /// Convolution operations per second at the best wall time.
     pub ops_per_sec: f64,
+    /// Throughput of the fixed calibration loop on the measuring machine
+    /// (used to normalize wall times across machines).
+    pub calibration_ops_per_sec: f64,
+}
+
+/// Report of the cold-path local-optimizer benchmark
+/// (`BENCH_local_opt.json`): energy-curve construction with no memoization
+/// cache, i.e. the cost of every cache-miss RMA invocation in a sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocalOptReport {
+    /// Report schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Benchmark identifier (`"local_opt"`).
+    pub bench: String,
+    /// Human-readable description of the fixed observation/config set.
+    pub workload: String,
+    /// Measured repetitions of the curve set (best time is reported).
+    pub repetitions: usize,
+    /// Best wall time of one repetition through the staged builder, in
+    /// seconds (the gated number).
+    pub builder_wall_seconds: f64,
+    /// Best wall time of the scalar reference on the identical inputs.
+    pub scalar_wall_seconds: f64,
+    /// `scalar_wall_seconds / builder_wall_seconds` (same process, same
+    /// machine); must stay at or above [`MIN_LOCAL_OPT_SPEEDUP`].
+    pub speedup: f64,
+    /// Curves constructed per repetition (deterministic).
+    pub curves_built: u64,
+    /// Model evaluations the builder performed per repetition
+    /// (deterministic; exact-compared — a drift means the builder's pruning
+    /// or the workload changed).
+    pub evaluations: u64,
+    /// Curves per second through the builder at the best wall time.
+    pub curves_per_sec: f64,
     /// Throughput of the fixed calibration loop on the measuring machine
     /// (used to normalize wall times across machines).
     pub calibration_ops_per_sec: f64,
@@ -276,6 +322,7 @@ fn synthetic_curves(cores: usize, ways: usize) -> Vec<EnergyCurve> {
                             freq: FreqLevel(w % 13),
                             core_size: CoreSizeIdx(w % 3),
                             time_seconds: 0.05,
+                            ways: w,
                         })
                     })
                     .collect(),
@@ -334,6 +381,129 @@ pub fn run_global_opt_bench(repetitions: usize, calibration_ops_per_sec: f64) ->
         convolution_ops: stats.ops,
         pruned_ops: stats.pruned,
         ops_per_sec: stats.ops as f64 / best.max(f64::MIN_POSITIVE),
+        calibration_ops_per_sec,
+    }
+}
+
+/// Rounds of the full observation/config set per cold-curve repetition,
+/// sized so one builder repetition lasts several milliseconds — comparable
+/// to the other gated workloads — because the gated speedup *ratio* must be
+/// stable on a noisy shared CI runner, not just the wall time.
+const LOCAL_OPT_ROUNDS: usize = 240;
+
+/// Runs the cold-path local-optimizer benchmark: the fixed observation set
+/// (first-phase observations of the four quick-grid benchmarks) crossed
+/// with the RM2 and RM3 optimizer configurations and strict / 30%-relaxed
+/// QoS, every curve built cold (no memoization cache). The scalar reference
+/// runs the identical inputs so the report carries the builder's speedup.
+pub fn run_local_opt_bench(repetitions: usize, calibration_ops_per_sec: f64) -> LocalOptReport {
+    run_local_opt_bench_with_rounds(repetitions, calibration_ops_per_sec, LOCAL_OPT_ROUNDS)
+}
+
+/// [`run_local_opt_bench`] with an explicit round count (tests use a small
+/// one so the determinism check stays fast in debug builds).
+fn run_local_opt_bench_with_rounds(
+    repetitions: usize,
+    calibration_ops_per_sec: f64,
+    rounds: usize,
+) -> LocalOptReport {
+    let platform = PlatformConfig::paper2(4);
+    let mix = crate::default_mix();
+    let db = crate::build_db(&platform, &mix);
+    let observations: Vec<CoreObservation> = mix
+        .benchmarks
+        .iter()
+        .enumerate()
+        .map(|(core, name)| crate::observation_for(&db, &platform, name, core))
+        .collect();
+    let optimizers: Vec<LocalOptimizer> = [
+        // RM2: DVFS + ways with the constant-MLP model.
+        (ModelKind::ConstantMlp, false),
+        // RM3: core size + DVFS + ways with the MLP-aware model.
+        (ModelKind::MlpAware, true),
+    ]
+    .into_iter()
+    .map(|(model, control_core_size)| {
+        LocalOptimizer::new(
+            &platform,
+            LocalOptimizerConfig {
+                control_dvfs: true,
+                control_core_size,
+                model,
+                energy_params: power_model::EnergyParams::default(),
+            },
+        )
+    })
+    .collect();
+    let qos_levels = [QosSpec::STRICT, QosSpec::relaxed_by(0.3)];
+
+    let run_builder = || -> (u64, u64) {
+        let mut curves = 0u64;
+        let mut evaluations = 0u64;
+        for _ in 0..rounds {
+            for optimizer in &optimizers {
+                for observation in &observations {
+                    for &qos in &qos_levels {
+                        let build = optimizer.energy_curve_counted(observation, qos);
+                        evaluations += build.evaluations as u64;
+                        curves += 1;
+                        std::hint::black_box(&build.curve);
+                    }
+                }
+            }
+        }
+        (curves, evaluations)
+    };
+    let run_scalar = || {
+        for _ in 0..rounds {
+            for optimizer in &optimizers {
+                for observation in &observations {
+                    for &qos in &qos_levels {
+                        std::hint::black_box(
+                            optimizer.energy_curve_scalar_reference(observation, qos),
+                        );
+                    }
+                }
+            }
+        }
+    };
+
+    // Warm-up, then best-of-N for each path.
+    let (curves_built, evaluations) = run_builder();
+    let mut builder_best = f64::INFINITY;
+    for _ in 0..repetitions.max(1) {
+        let start = Instant::now();
+        let counters = run_builder();
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(
+            counters,
+            (curves_built, evaluations),
+            "curve construction must be deterministic"
+        );
+        builder_best = builder_best.min(wall);
+    }
+    run_scalar();
+    let mut scalar_best = f64::INFINITY;
+    for _ in 0..repetitions.max(1) {
+        let start = Instant::now();
+        run_scalar();
+        scalar_best = scalar_best.min(start.elapsed().as_secs_f64());
+    }
+
+    LocalOptReport {
+        schema: SCHEMA.to_string(),
+        bench: "local_opt".to_string(),
+        workload: format!(
+            "cold energy curves: 4 quick-grid observations x (RM2 + RM3 optimizer) x \
+             (strict + relaxed30) x {rounds} rounds, no curve cache"
+        ),
+        repetitions: repetitions.max(1),
+        builder_wall_seconds: builder_best,
+        scalar_wall_seconds: scalar_best,
+        speedup: scalar_best / builder_best.max(f64::MIN_POSITIVE),
+        curves_built,
+        evaluations,
+        curves_per_sec: curves_built as f64 / builder_best.max(f64::MIN_POSITIVE),
         calibration_ops_per_sec,
     }
 }
@@ -456,6 +626,47 @@ pub fn compare_global_opt(
     ]
 }
 
+/// Compares a fresh local-optimizer report against the committed baseline.
+/// The builder/scalar speedup is additionally held to
+/// [`MIN_LOCAL_OPT_SPEEDUP`] — a same-machine ratio, so it is checked on the
+/// fresh report alone.
+pub fn compare_local_opt(
+    new: &LocalOptReport,
+    baseline: &LocalOptReport,
+    tolerance: f64,
+) -> Vec<GateOutcome> {
+    let mut outcomes = vec![
+        check_wall(
+            "local_opt builder",
+            new.builder_wall_seconds,
+            baseline.builder_wall_seconds,
+            new.calibration_ops_per_sec,
+            baseline.calibration_ops_per_sec,
+            tolerance,
+        ),
+        check_counter(
+            "local_opt",
+            "curves_built",
+            new.curves_built,
+            baseline.curves_built,
+        ),
+        check_counter(
+            "local_opt",
+            "evaluations",
+            new.evaluations,
+            baseline.evaluations,
+        ),
+    ];
+    if new.speedup < MIN_LOCAL_OPT_SPEEDUP {
+        outcomes.push(GateOutcome::WallRegression(format!(
+            "local_opt: builder speedup over the scalar reference dropped to {:.2}x \
+             (required ≥ {MIN_LOCAL_OPT_SPEEDUP:.1}x; builder {:.4}s vs scalar {:.4}s)",
+            new.speedup, new.builder_wall_seconds, new.scalar_wall_seconds
+        )));
+    }
+    outcomes
+}
+
 /// The repository root (the bench crate lives at `crates/bench`).
 pub fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -549,22 +760,37 @@ pub fn gate_main(args: &[String]) -> i32 {
         global.pruned_ops,
         global.ops_per_sec
     );
+    let local = run_local_opt_bench(repetitions, calibration);
+    println!(
+        "local_opt: builder {:.4}s vs scalar {:.4}s best of {} ({:.2}x), {} curves, \
+         {} evaluations, {:.0} curves/s",
+        local.builder_wall_seconds,
+        local.scalar_wall_seconds,
+        local.repetitions,
+        local.speedup,
+        local.curves_built,
+        local.evaluations,
+        local.curves_per_sec
+    );
 
-    let (sim_path, opt_path) = if update {
+    let (sim_path, opt_path, local_path) = if update {
         (
             root.join("BENCH_simulator.json"),
             root.join("BENCH_global_opt.json"),
+            root.join("BENCH_local_opt.json"),
         )
     } else {
         let out = root.join("target/bench-gate");
         (
             out.join("BENCH_simulator.json"),
             out.join("BENCH_global_opt.json"),
+            out.join("BENCH_local_opt.json"),
         )
     };
     for (path, result) in [
         (&sim_path, write_json(&sim_path, &simulator)),
         (&opt_path, write_json(&opt_path, &global)),
+        (&local_path, write_json(&local_path, &local)),
     ] {
         if let Err(e) = result {
             eprintln!("{e}");
@@ -593,11 +819,20 @@ pub fn gate_main(args: &[String]) -> i32 {
             return 2;
         }
     };
+    let local_baseline: LocalOptReport = match read_json(&root.join("BENCH_local_opt.json")) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("no committed baseline; run with --update to create one");
+            return 2;
+        }
+    };
 
     let mut failed = false;
     for outcome in compare_simulator(&simulator, &sim_baseline, tolerance)
         .into_iter()
         .chain(compare_global_opt(&global, &opt_baseline, tolerance))
+        .chain(compare_local_opt(&local, &local_baseline, tolerance))
     {
         match outcome {
             GateOutcome::Pass => {}
@@ -672,6 +907,63 @@ mod tests {
         assert!(compare_simulator(&drifted, &base, 0.20)
             .iter()
             .any(|o| matches!(o, GateOutcome::CounterDrift(_))));
+    }
+
+    fn local_report(builder_wall: f64, speedup: f64, evaluations: u64) -> LocalOptReport {
+        LocalOptReport {
+            schema: SCHEMA.to_string(),
+            bench: "local_opt".to_string(),
+            workload: "test".to_string(),
+            repetitions: 1,
+            builder_wall_seconds: builder_wall,
+            scalar_wall_seconds: builder_wall * speedup,
+            speedup,
+            curves_built: 100,
+            evaluations,
+            curves_per_sec: 100.0 / builder_wall,
+            calibration_ops_per_sec: 1_000_000.0,
+        }
+    }
+
+    #[test]
+    fn local_opt_gate_checks_wall_counters_and_speedup() {
+        let base = local_report(1.0, 4.0, 5000);
+        assert!(
+            compare_local_opt(&local_report(1.1, 4.0, 5000), &base, 0.20)
+                .iter()
+                .all(|o| *o == GateOutcome::Pass)
+        );
+        // Wall regression beyond the band.
+        assert!(
+            compare_local_opt(&local_report(1.3, 4.0, 5000), &base, 0.20)
+                .iter()
+                .any(|o| matches!(o, GateOutcome::WallRegression(_)))
+        );
+        // Evaluation-count drift is a hard failure even when faster.
+        assert!(
+            compare_local_opt(&local_report(0.5, 4.0, 5001), &base, 0.20)
+                .iter()
+                .any(|o| matches!(o, GateOutcome::CounterDrift(_)))
+        );
+        // Losing the required builder speedup fails regardless of baseline.
+        assert!(
+            compare_local_opt(&local_report(1.0, 2.0, 5000), &base, 0.20)
+                .iter()
+                .any(|o| matches!(o, GateOutcome::WallRegression(_))),
+            "speedup below {MIN_LOCAL_OPT_SPEEDUP} must fail the gate"
+        );
+    }
+
+    #[test]
+    fn local_opt_bench_counters_are_deterministic() {
+        // One repetition with a tiny round count through the real fixture:
+        // counters must be identical across runs (the gate exact-compares
+        // them) and the builder path must report nonzero measured work.
+        let a = run_local_opt_bench_with_rounds(1, 1_000_000.0, 2);
+        let b = run_local_opt_bench_with_rounds(1, 1_000_000.0, 2);
+        assert_eq!(a.curves_built, b.curves_built);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert!(a.curves_built > 0 && a.evaluations > 0);
     }
 
     #[test]

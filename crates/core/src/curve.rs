@@ -22,6 +22,13 @@ pub struct CurvePoint {
     pub core_size: CoreSizeIdx,
     /// Predicted interval time at this configuration (for diagnostics).
     pub time_seconds: f64,
+    /// Way allocation the prediction was evaluated at. Usually the point's
+    /// position on the curve, but [`EnergyCurve::smooth_monotone`] carries a
+    /// cheaper point forward to larger allocations, and the carried point
+    /// keeps its *source* ways — so `time_seconds` is always the time
+    /// predicted at `ways`, never a stale value relabelled to a larger
+    /// allocation.
+    pub ways: usize,
 }
 
 /// Energy-versus-ways curve of one core.
@@ -99,6 +106,13 @@ impl EnergyCurve {
     /// ways), but the raw per-way optimization can produce small
     /// non-monotonicities when the discrete VF level jumps; smoothing keeps
     /// the global optimizer's reasoning sound.
+    ///
+    /// A carried-forward point keeps its [`CurvePoint::ways`] (and therefore
+    /// its `time_seconds`, which was predicted at that smaller allocation):
+    /// the configuration is simply reused with the extra ways left idle, and
+    /// relabelling the time to the larger allocation would misreport it.
+    /// Energies and the argmin configuration are unchanged by this
+    /// bookkeeping.
     pub fn smooth_monotone(&mut self) {
         let mut best: Option<CurvePoint> = None;
         for slot in self.points.iter_mut() {
@@ -122,6 +136,7 @@ mod tests {
             freq: FreqLevel(3),
             core_size: CoreSizeIdx(1),
             time_seconds: 0.1,
+            ways: 1,
         })
     }
 
@@ -159,6 +174,34 @@ mod tests {
         // The infeasible hole was filled by the cheaper prefix point.
         assert!((curve.energy(3) - 5.0).abs() < 1e-12);
         assert!((curve.energy(5) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_carries_source_ways_with_the_point() {
+        // The cheap point at 2 ways (time predicted there) is carried to
+        // slots 3 and 4; its source allocation and time must travel with it.
+        let cheap = CurvePoint {
+            energy_joules: 1.0,
+            freq: FreqLevel(2),
+            core_size: CoreSizeIdx(0),
+            time_seconds: 0.25,
+            ways: 2,
+        };
+        let expensive = CurvePoint {
+            energy_joules: 3.0,
+            freq: FreqLevel(5),
+            core_size: CoreSizeIdx(1),
+            time_seconds: 0.10,
+            ways: 3,
+        };
+        let mut curve = EnergyCurve::new(vec![None, Some(cheap), Some(expensive), None]);
+        curve.smooth_monotone();
+        for w in [3usize, 4] {
+            let p = curve.point(w).unwrap();
+            assert_eq!(p.ways, 2, "carried point keeps its source allocation");
+            assert!((p.time_seconds - 0.25).abs() < 1e-15);
+            assert!((p.energy_joules - 1.0).abs() < 1e-15);
+        }
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Staged, batched construction of energy-versus-ways curves — the cold path
+//! of an RMA invocation.
+//!
+//! [`crate::local::LocalOptimizer::energy_curve`] has to consider every
+//! `(core size, VF level, ways)` candidate. The scalar reference
+//! implementation calls [`crate::model::PredictionModel::predict`] once per
+//! candidate, re-deriving quantities that do not actually vary along every
+//! axis: the execution CPI depends only on the core size, the voltage ratio
+//! only on the VF level, the miss count only on the way count, and the memory
+//! stall time only on `(core size, ways)`. The [`CurveBuilder`] stages the
+//! computation so each factor is computed exactly once along the axes it
+//! depends on:
+//!
+//! 1. **per VF level** — `freq_hz` and the squared voltage ratio;
+//! 2. **per core size** — the execution CPI and the instruction-count
+//!    products feeding the core energy terms;
+//! 3. **per `(size, level)`** — execution seconds and the core
+//!    dynamic-energy / static-power factors;
+//! 4. **per ways** — predicted misses, the DRAM dynamic energy and the
+//!    LLC static-power factor;
+//! 5. **per `(size, ways)`** — the memory stall seconds, which are
+//!    frequency-independent in every analytical model.
+//!
+//! The remaining per-candidate work is two additions, three multiplies and a
+//! comparison. On top of that, the QoS test is resolved per `(size, ways)`
+//! *column* by a partition point: predicted time is non-increasing in the VF
+//! level for a fixed `(size, ways)` (frequencies are ordered slowest to
+//! fastest and the stall term is constant along the column), so the feasible
+//! levels form a suffix of the level list and a binary search replaces the
+//! per-level feasibility scan. Only feasible candidates are evaluated.
+//!
+//! Every staged factor is computed with exactly the operations, operand
+//! order and rounding of the scalar path, so the produced curve — energies,
+//! times and the `(core size, VF)` argmin per way count — is **bit-identical**
+//! to `energy_curve_scalar_reference` (verified by the property tests in
+//! `tests/properties.rs` and, indirectly, by the byte-compared experiment
+//! goldens).
+//!
+//! The builder also reports the number of model evaluations it actually
+//! performed, which the overhead accounting (E5/E9) uses instead of the
+//! worst-case `ways × sizes × levels` bound.
+
+use crate::curve::{CurvePoint, EnergyCurve};
+use crate::model::{ModelKind, PredictionModel};
+use qosrm_types::{ConfigTable, CoreObservation, CoreSizeIdx, FreqLevel, PlatformConfig};
+
+/// An energy curve together with the work its construction performed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurveBuild {
+    /// The energy-versus-ways curve (already monotone-smoothed).
+    pub curve: EnergyCurve,
+    /// Number of model evaluations actually performed: one per candidate
+    /// whose energy was computed (analytical models evaluate only the
+    /// QoS-feasible suffix of each `(size, ways)` column; the Perfect-table
+    /// path reads every cell, matching the scalar reference).
+    pub evaluations: usize,
+}
+
+/// Batched builder of one core's energy-versus-ways curve.
+///
+/// Borrowing the model, platform and candidate lists keeps the builder free
+/// to construct per invocation; all scratch rows are sized by the (small)
+/// candidate space and allocated locally.
+#[derive(Debug, Clone, Copy)]
+pub struct CurveBuilder<'a> {
+    model: &'a PredictionModel,
+    platform: &'a PlatformConfig,
+    sizes: &'a [CoreSizeIdx],
+    freqs: &'a [FreqLevel],
+}
+
+impl<'a> CurveBuilder<'a> {
+    /// Creates a builder over the given candidate core sizes and VF levels.
+    ///
+    /// `freqs` must be ordered slowest to fastest (the order
+    /// `qosrm_types::VfTable::levels` produces); the feasibility partition
+    /// point relies on it.
+    pub fn new(
+        model: &'a PredictionModel,
+        platform: &'a PlatformConfig,
+        sizes: &'a [CoreSizeIdx],
+        freqs: &'a [FreqLevel],
+    ) -> Self {
+        CurveBuilder {
+            model,
+            platform,
+            sizes,
+            freqs,
+        }
+    }
+
+    /// Builds the curve: for every way count, the cheapest `(size, VF)` pair
+    /// whose predicted time meets `target`, bit-identical to the scalar
+    /// reference implementation.
+    pub fn build(&self, observation: &CoreObservation, target: f64) -> CurveBuild {
+        if self.model.performance().kind() == ModelKind::Perfect {
+            if let Some(table) = &observation.perfect {
+                return self.build_from_table(table, target);
+            }
+        }
+        self.build_analytic(observation, target)
+    }
+
+    /// The analytical-model path (Models 1–3, and the Perfect kind when no
+    /// ground-truth table was supplied — `predict` then degrades to the
+    /// constant-MLP analytical model, and so does the builder).
+    fn build_analytic(&self, observation: &CoreObservation, target: f64) -> CurveBuild {
+        let perf = self.model.performance();
+        let params = self.model.energy_model().params();
+        let max_ways = self.platform.llc.associativity;
+        let num_sizes = self.sizes.len();
+        let num_freqs = self.freqs.len();
+        let n = observation.stats.instructions as f64;
+
+        // All staged rows live in one scratch allocation (a cold curve is
+        // built per cache-miss invocation, so per-build allocations are on
+        // the measured path), carved into disjoint slices.
+        let sf = num_sizes * num_freqs;
+        let mut scratch = vec![0.0f64; 2 * num_freqs + 3 * sf + (2 + num_sizes) * max_ways];
+        let (freq_hz, rest) = scratch.split_at_mut(num_freqs);
+        let (v_ratio2, rest) = rest.split_at_mut(num_freqs);
+        let (exec_seconds, rest) = rest.split_at_mut(sf);
+        let (core_dynamic, rest) = rest.split_at_mut(sf);
+        let (static_power, rest) = rest.split_at_mut(sf);
+        let (dram_dynamic, rest) = rest.split_at_mut(max_ways);
+        let (llc_static_power, stall) = rest.split_at_mut(max_ways);
+
+        // Stage 1 — per VF level: frequency and squared voltage ratio,
+        // exactly as the scalar path derives them per candidate.
+        for (j, &freq) in self.freqs.iter().enumerate() {
+            let point = self.platform.vf.point(freq);
+            freq_hz[j] = point.freq_hz();
+            v_ratio2[j] = (point.voltage / params.nominal_voltage).powi(2);
+        }
+
+        // Stages 2 + 3 — per core size, then per (size, level). Operand
+        // order mirrors the scalar expressions term by term so every f64
+        // matches bitwise:
+        //   exec_seconds = (n * exec_cpi) / freq_hz
+        //   core_dynamic = ((n * epi) * dynamic_epi_scale) * v_ratio2
+        //   static_power = ((P_static * static_power_scale) * v_ratio2)
+        let n_epi = n * params.core_epi_nominal;
+        for (i, &size) in self.sizes.iter().enumerate() {
+            let core = self.platform.core_size(size);
+            let n_cpi = n * perf.exec_cpi(observation, size);
+            let dynamic_i = n_epi * core.dynamic_epi_scale;
+            let static_i = params.core_static_power_nominal * core.static_power_scale;
+            let row = i * num_freqs;
+            for j in 0..num_freqs {
+                exec_seconds[row + j] = n_cpi / freq_hz[j];
+                core_dynamic[row + j] = dynamic_i * v_ratio2[j];
+                static_power[row + j] = static_i * v_ratio2[j];
+            }
+        }
+
+        // Stage 4 — per way count: misses and the ways-only energy terms.
+        for ways in 1..=max_ways {
+            let misses = perf.misses(observation, ways);
+            dram_dynamic[ways - 1] = misses as f64 * params.dram_access_energy;
+            llc_static_power[ways - 1] = params.llc_static_power_per_way * ways as f64;
+        }
+        let llc_dynamic = observation.stats.llc_accesses as f64 * params.llc_access_energy;
+        let dram_bg_power = params.dram_background_power / self.platform.num_cores as f64;
+
+        // Stage 5 — stall seconds per (size, ways): frequency-independent in
+        // every analytical model, so computed once per column.
+        for (i, &size) in self.sizes.iter().enumerate() {
+            for ways in 1..=max_ways {
+                stall[i * max_ways + ways - 1] = perf.stall_seconds(observation, size, ways);
+            }
+        }
+
+        // Resolve each (size, ways) column: binary-search the first feasible
+        // level, then evaluate only the feasible suffix. Candidate order
+        // (sizes ascending, levels slowest to fastest) and the strict `<`
+        // incumbent test match the scalar loop, so the argmin is identical.
+        let mut evaluations = 0usize;
+        let mut points: Vec<Option<CurvePoint>> = Vec::with_capacity(max_ways);
+        for ways in 1..=max_ways {
+            let mut best: Option<CurvePoint> = None;
+            for (i, &size) in self.sizes.iter().enumerate() {
+                let stall_seconds = stall[i * max_ways + ways - 1];
+                let row = i * num_freqs;
+                let exec_row = &exec_seconds[row..row + num_freqs];
+                // Predicted time is non-increasing in the level index, so
+                // the infeasible levels form a prefix.
+                let first_feasible =
+                    exec_row.partition_point(|&exec| exec + stall_seconds > target);
+                for j in first_feasible..num_freqs {
+                    evaluations += 1;
+                    let time = exec_row[j] + stall_seconds;
+                    let core_static = static_power[row + j] * time;
+                    let llc_static = llc_static_power[ways - 1] * time;
+                    let dram_background = dram_bg_power * time;
+                    let energy = core_dynamic[row + j]
+                        + core_static
+                        + llc_dynamic
+                        + llc_static
+                        + dram_dynamic[ways - 1]
+                        + dram_background;
+                    if best.map(|b| energy < b.energy_joules).unwrap_or(true) {
+                        best = Some(CurvePoint {
+                            energy_joules: energy,
+                            freq: self.freqs[j],
+                            core_size: size,
+                            time_seconds: time,
+                            ways,
+                        });
+                    }
+                }
+            }
+            points.push(best);
+        }
+
+        let mut curve = EnergyCurve::new(points);
+        curve.smooth_monotone();
+        CurveBuild { curve, evaluations }
+    }
+
+    /// The Perfect-model path: time and energy come straight from the
+    /// ground-truth table. Table times carry no monotonicity guarantee, so
+    /// every cell is read (each read is one evaluation, exactly what the
+    /// scalar reference performs).
+    fn build_from_table(&self, table: &ConfigTable, target: f64) -> CurveBuild {
+        let max_ways = self.platform.llc.associativity;
+        let mut evaluations = 0usize;
+        let mut points: Vec<Option<CurvePoint>> = Vec::with_capacity(max_ways);
+        for ways in 1..=max_ways {
+            let mut best: Option<CurvePoint> = None;
+            for &size in self.sizes {
+                for &freq in self.freqs {
+                    evaluations += 1;
+                    let metrics = table.get(size, freq, ways);
+                    if metrics.time_seconds > target {
+                        continue;
+                    }
+                    if best
+                        .map(|b| metrics.energy_joules < b.energy_joules)
+                        .unwrap_or(true)
+                    {
+                        best = Some(CurvePoint {
+                            energy_joules: metrics.energy_joules,
+                            freq,
+                            core_size: size,
+                            time_seconds: metrics.time_seconds,
+                            ways,
+                        });
+                    }
+                }
+            }
+            points.push(best);
+        }
+        let mut curve = EnergyCurve::new(points);
+        curve.smooth_monotone();
+        CurveBuild { curve, evaluations }
+    }
+}

@@ -363,6 +363,7 @@ mod tests {
             freq: FreqLevel(0),
             core_size: CoreSizeIdx(0),
             time_seconds: 0.1,
+            ways: 1,
         })
     }
 

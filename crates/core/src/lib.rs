@@ -44,6 +44,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod curve;
+pub mod curve_builder;
 pub mod global;
 pub mod local;
 pub mod memo;
@@ -52,6 +53,7 @@ pub mod overhead;
 pub mod rma;
 
 pub use curve::{CurvePoint, EnergyCurve};
+pub use curve_builder::{CurveBuild, CurveBuilder};
 pub use global::{
     exhaustive_partition, optimize_partition, optimize_partition_unpruned,
     optimize_partition_with_stats, PruneStats,
@@ -60,4 +62,4 @@ pub use local::{LocalOptimizer, LocalOptimizerConfig};
 pub use memo::{CurveCache, CurveKey};
 pub use model::{AnalyticalEnergyModel, ModelKind, PerformanceModel, Prediction};
 pub use overhead::OverheadModel;
-pub use rma::{CoordinatedRma, RmaConfig};
+pub use rma::{CoordinatedRma, RmaConfig, RmaWorkCounters};

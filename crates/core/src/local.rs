@@ -1,7 +1,19 @@
 //! Local (per-core) optimization: QoS-driven pruning of the configuration
 //! space into an energy-versus-ways curve.
+//!
+//! Curve construction is the dominant cost of a cache-miss RMA invocation
+//! (the paper's overhead section counts it as hundreds of model evaluations
+//! per call). The production path therefore goes through the staged
+//! [`CurveBuilder`]: per-axis factors
+//! (execution CPI per size, voltage ratio per level, misses per way count,
+//! stall time per `(size, ways)`) are computed once, and the QoS test is
+//! resolved per `(size, ways)` column by a feasibility partition point
+//! instead of a per-level scan. The scalar triple loop is kept as
+//! [`LocalOptimizer::energy_curve_scalar_reference`]; both paths produce
+//! bit-identical curves (see `tests/properties.rs`).
 
 use crate::curve::{CurvePoint, EnergyCurve};
+use crate::curve_builder::{CurveBuild, CurveBuilder};
 use crate::model::{ModelKind, PredictionModel};
 use power_model::EnergyParams;
 use qosrm_types::{CoreObservation, CoreSizeIdx, FreqLevel, PlatformConfig, QosSpec};
@@ -23,18 +35,34 @@ pub struct LocalOptimizerConfig {
 #[derive(Debug, Clone)]
 pub struct LocalOptimizer {
     platform: PlatformConfig,
-    config: LocalOptimizerConfig,
     model: PredictionModel,
+    /// Candidate core sizes under the configuration policy, fixed at
+    /// construction (curve builds are on the cache-miss hot path and must
+    /// not re-collect them).
+    sizes: Vec<CoreSizeIdx>,
+    /// Candidate VF levels, slowest to fastest, fixed at construction.
+    freqs: Vec<FreqLevel>,
 }
 
 impl LocalOptimizer {
     /// Creates the optimizer.
     pub fn new(platform: &PlatformConfig, config: LocalOptimizerConfig) -> Self {
         let model = PredictionModel::new(config.model, platform, config.energy_params);
+        let sizes = if config.control_core_size {
+            platform.core_size_indices().collect()
+        } else {
+            vec![platform.baseline_core_size]
+        };
+        let freqs = if config.control_dvfs {
+            platform.vf.levels().collect()
+        } else {
+            vec![platform.baseline_freq()]
+        };
         LocalOptimizer {
             platform: platform.clone(),
-            config,
             model,
+            sizes,
+            freqs,
         }
     }
 
@@ -61,21 +89,13 @@ impl LocalOptimizer {
     }
 
     /// Candidate core sizes under the current configuration policy.
-    fn candidate_sizes(&self) -> Vec<CoreSizeIdx> {
-        if self.config.control_core_size {
-            self.platform.core_size_indices().collect()
-        } else {
-            vec![self.platform.baseline_core_size]
-        }
+    fn candidate_sizes(&self) -> &[CoreSizeIdx] {
+        &self.sizes
     }
 
     /// Candidate VF levels under the current configuration policy.
-    fn candidate_freqs(&self) -> Vec<FreqLevel> {
-        if self.config.control_dvfs {
-            self.platform.vf.levels().collect()
-        } else {
-            vec![self.platform.baseline_freq()]
-        }
+    fn candidate_freqs(&self) -> &[FreqLevel] {
+        &self.freqs
     }
 
     /// Builds the energy-versus-ways curve of one core: for every way count,
@@ -89,7 +109,39 @@ impl LocalOptimizer {
     /// slightly above the slowest feasible one — the optimizer therefore
     /// evaluates every feasible level (the QoS target still prunes the
     /// infeasible ones) and keeps the cheapest, at the same asymptotic cost.
+    ///
+    /// This is the batched path (see [`crate::curve_builder`]); the result is
+    /// bit-identical to [`LocalOptimizer::energy_curve_scalar_reference`].
     pub fn energy_curve(&self, observation: &CoreObservation, qos: QosSpec) -> EnergyCurve {
+        self.energy_curve_counted(observation, qos).curve
+    }
+
+    /// Like [`LocalOptimizer::energy_curve`], additionally reporting the
+    /// number of model evaluations actually performed (the target baseline
+    /// prediction plus one per candidate whose energy was computed), which
+    /// the overhead accounting (E5/E9) uses instead of the worst-case bound.
+    pub fn energy_curve_counted(&self, observation: &CoreObservation, qos: QosSpec) -> CurveBuild {
+        let target = self.target_time(observation, qos);
+        let builder = CurveBuilder::new(&self.model, &self.platform, &self.sizes, &self.freqs);
+        let mut build = builder.build(observation, target);
+        // The target itself costs one baseline prediction.
+        build.evaluations += 1;
+        build
+    }
+
+    /// Scalar reference implementation of [`LocalOptimizer::energy_curve`]:
+    /// one [`PredictionModel::predict`] call per `(size, VF, ways)`
+    /// candidate.
+    ///
+    /// Kept as the behavioural oracle for the staged
+    /// [`CurveBuilder`] — the property
+    /// tests assert bit-identical output, and the `optimizer_scaling`
+    /// criterion bench compares the two paths' cost. Not used in production.
+    pub fn energy_curve_scalar_reference(
+        &self,
+        observation: &CoreObservation,
+        qos: QosSpec,
+    ) -> EnergyCurve {
         let target = self.target_time(observation, qos);
         let max_ways = self.platform.llc.associativity;
         let sizes = self.candidate_sizes();
@@ -98,8 +150,8 @@ impl LocalOptimizer {
         let mut points: Vec<Option<CurvePoint>> = Vec::with_capacity(max_ways);
         for ways in 1..=max_ways {
             let mut best: Option<CurvePoint> = None;
-            for &size in &sizes {
-                for &freq in &freqs {
+            for &size in sizes {
+                for &freq in freqs {
                     let prediction =
                         self.model
                             .predict(observation, &self.platform, size, freq, ways);
@@ -113,6 +165,7 @@ impl LocalOptimizer {
                         freq,
                         core_size: size,
                         time_seconds: prediction.time_seconds,
+                        ways,
                     };
                     if best
                         .map(|b| candidate.energy_joules < b.energy_joules)
@@ -129,11 +182,16 @@ impl LocalOptimizer {
         curve
     }
 
-    /// Number of model evaluations one curve construction performs (used by
-    /// the overhead analysis).
+    /// Upper bound on the model evaluations one curve construction performs:
+    /// every `(ways, size)` pair scanning all VF levels, plus one baseline
+    /// prediction for the target.
+    ///
+    /// This is a *worst-case bound*, not a measurement — the builder skips
+    /// QoS-infeasible candidates entirely. Overhead accounting that claims
+    /// measured numbers must use the count returned by
+    /// [`LocalOptimizer::energy_curve_counted`] (see
+    /// [`crate::CoordinatedRma::work_counters`]).
     pub fn evaluations_per_invocation(&self) -> usize {
-        // Worst case: every (ways, size) pair scans all VF levels, plus one
-        // baseline prediction for the target.
         self.platform.llc.associativity
             * self.candidate_sizes().len()
             * self.candidate_freqs().len()
@@ -293,10 +351,88 @@ mod tests {
     }
 
     #[test]
-    fn evaluation_count_matches_space_size() {
+    fn evaluation_bound_matches_space_size() {
         let opt = optimizer(true, true, ModelKind::MlpAware);
         assert_eq!(opt.evaluations_per_invocation(), 16 * 3 * 13 + 1);
         let rm1 = optimizer(false, false, ModelKind::ConstantMlp);
         assert_eq!(rm1.evaluations_per_invocation(), 16 + 1);
+    }
+
+    #[test]
+    fn batched_curve_is_bit_identical_to_scalar_reference() {
+        let obs = observation();
+        for (dvfs, core) in [(true, true), (true, false), (false, false)] {
+            for model in [
+                ModelKind::SimpleLatency,
+                ModelKind::ConstantMlp,
+                ModelKind::MlpAware,
+            ] {
+                let opt = optimizer(dvfs, core, model);
+                for qos in [QosSpec::STRICT, QosSpec::relaxed_by(0.3)] {
+                    assert_eq!(
+                        opt.energy_curve(&obs, qos),
+                        opt.energy_curve_scalar_reference(&obs, qos),
+                        "builder and scalar reference diverged \
+                         (dvfs={dvfs}, core={core}, model={model:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Hand-counted evaluation tally on a one-dimensional case: with DVFS
+    /// and core-size control off, the builder evaluates exactly one
+    /// candidate per QoS-feasible way count, plus the baseline target
+    /// prediction.
+    #[test]
+    fn evaluation_count_matches_hand_count() {
+        let opt = optimizer(false, false, ModelKind::ConstantMlp);
+        let obs = observation();
+        let qos = QosSpec::STRICT;
+        // Hand count: walk the candidate space with the public model.
+        let p = platform();
+        let target = opt.target_time(&obs, qos);
+        let mut feasible = 0usize;
+        for ways in 1..=16usize {
+            let pred = opt
+                .model()
+                .predict(&obs, &p, p.baseline_core_size, p.baseline_freq(), ways);
+            if pred.time_seconds <= target {
+                feasible += 1;
+            }
+        }
+        assert!(feasible > 0 && feasible < 16, "case must be non-trivial");
+        let build = opt.energy_curve_counted(&obs, qos);
+        assert_eq!(build.evaluations, feasible + 1);
+
+        // Full space: the measured count is bounded by the worst case and
+        // strictly below it here (the strict target prunes small ways).
+        let full = optimizer(true, true, ModelKind::MlpAware);
+        let build = full.energy_curve_counted(&obs, qos);
+        assert!(build.evaluations <= full.evaluations_per_invocation());
+        assert!(build.evaluations < full.evaluations_per_invocation());
+        assert!(build.evaluations > 1);
+    }
+
+    /// The Perfect-table path reads every cell, so its measured count equals
+    /// the worst-case bound.
+    #[test]
+    fn perfect_table_count_matches_full_space() {
+        use qosrm_types::{ConfigMetrics, ConfigTable};
+        let mut obs = observation();
+        obs.perfect = Some(ConfigTable::from_fn(3, 13, 16, |s, f, w| ConfigMetrics {
+            time_seconds: 0.2 / ((s.index() + 1) as f64 * (f.index() + 1) as f64)
+                + 0.001 * (16 - w) as f64,
+            energy_joules: 1.0 + w as f64 * 0.1,
+            llc_misses: 10,
+            leading_misses: 5,
+        }));
+        let opt = optimizer(true, true, ModelKind::Perfect);
+        let build = opt.energy_curve_counted(&obs, QosSpec::STRICT);
+        assert_eq!(build.evaluations, 16 * 3 * 13 + 1);
+        assert_eq!(
+            build.curve,
+            opt.energy_curve_scalar_reference(&obs, QosSpec::STRICT)
+        );
     }
 }

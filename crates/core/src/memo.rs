@@ -1,12 +1,16 @@
 //! Keyed memoization of per-application energy curves.
 //!
-//! Building one energy-versus-ways curve evaluates the analytical models for
-//! every `(core size, VF level, ways)` candidate — the dominant cost of an
-//! RMA invocation (Section "overhead" of the paper: hundreds of model
-//! evaluations per call). Across a scenario sweep the same application
-//! profiles recur constantly: phase traces wrap around within one run, and
-//! different sweep points (QoS targets, RMA variants) revisit identical
-//! observations. The curve is a pure function of
+//! Building one energy-versus-ways curve evaluates the analytical models
+//! over the `(core size, VF level, ways)` candidate space — the dominant
+//! cost of an RMA invocation (Section "overhead" of the paper: hundreds of
+//! model evaluations per call). The cache answers *recurring* observations;
+//! a miss falls through to the staged
+//! [`CurveBuilder`](crate::curve_builder::CurveBuilder), which batches the
+//! per-axis factors and prunes each `(size, ways)` column to its
+//! QoS-feasible VF suffix by a partition point, so even the cold path stays
+//! cheap. Across a scenario sweep the same application profiles recur
+//! constantly: phase traces wrap around within one run, and different sweep
+//! points (QoS targets, RMA variants) revisit identical observations. The curve is a pure function of
 //!
 //! * the optimizer configuration (platform + control knobs + model + energy
 //!   calibration) — the *configuration fingerprint*,
@@ -421,6 +425,7 @@ mod tests {
             freq: FreqLevel(3),
             core_size: CoreSizeIdx(1),
             time_seconds: 0.1,
+            ways: 1,
         })])
     }
 

@@ -155,6 +155,13 @@ impl AnalyticalEnergyModel {
         AnalyticalEnergyModel { params }
     }
 
+    /// The energy calibration the model evaluates with (read by the batched
+    /// [`crate::curve_builder::CurveBuilder`], which stages these parameters
+    /// into per-axis rows instead of re-reading them per candidate).
+    pub fn params(&self) -> &EnergyParams {
+        &self.params
+    }
+
     /// Predicted energy of one interval at configuration `(size, freq, ways)`
     /// given the predicted time and misses.
     #[allow(clippy::too_many_arguments)]
@@ -206,6 +213,11 @@ impl PredictionModel {
     /// The performance model.
     pub fn performance(&self) -> &PerformanceModel {
         &self.perf
+    }
+
+    /// The energy model.
+    pub fn energy_model(&self) -> &AnalyticalEnergyModel {
+        &self.energy
     }
 
     /// Predicts time, misses and energy at one configuration.

@@ -57,6 +57,33 @@ impl OverheadModel {
         self.invocation_instructions(platform, local_evaluations) as f64
             / platform.interval_instructions as f64
     }
+
+    /// Estimated instructions of one invocation from *measured* work
+    /// counters: the builder's exact model-evaluation count and the global
+    /// step's actually-updated convolution cells
+    /// (`qosrm_core::PruneStats::ops`), instead of the dense
+    /// `associativity²`-per-reduction worst case that
+    /// [`OverheadModel::invocation_instructions`] charges.
+    pub fn invocation_instructions_measured(
+        &self,
+        local_evaluations: u64,
+        reduction_cells: u64,
+    ) -> u64 {
+        self.fixed_instructions
+            + self.instructions_per_evaluation * local_evaluations
+            + self.instructions_per_reduction_cell * reduction_cells
+    }
+
+    /// The measured invocation cost as a fraction of an execution interval.
+    pub fn fraction_of_interval_measured(
+        &self,
+        platform: &PlatformConfig,
+        local_evaluations: u64,
+        reduction_cells: u64,
+    ) -> f64 {
+        self.invocation_instructions_measured(local_evaluations, reduction_cells) as f64
+            / platform.interval_instructions as f64
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +113,22 @@ mod tests {
         let platform = PlatformConfig::paper2(8);
         let evals = 16 * 3 * 13 + 1;
         assert!(model.fraction_of_interval(&platform, evals) < 0.001);
+    }
+
+    #[test]
+    fn measured_cost_is_bounded_by_worst_case() {
+        let model = OverheadModel::default();
+        let p = PlatformConfig::paper2(4);
+        let worst_evals = 16 * 3 * 13 + 1;
+        let worst = model.invocation_instructions(&p, worst_evals);
+        // Measured counters can only be smaller: fewer evaluations (QoS
+        // pruning) and fewer cells (lower-bound pruning).
+        let measured = model.invocation_instructions_measured(300, 500);
+        assert!(measured < worst);
+        assert!(
+            model.fraction_of_interval_measured(&p, 300, 500)
+                < model.fraction_of_interval(&p, worst_evals)
+        );
     }
 
     #[test]

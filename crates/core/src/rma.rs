@@ -1,7 +1,7 @@
 //! The coordinated resource manager.
 
 use crate::curve::EnergyCurve;
-use crate::global::optimize_partition;
+use crate::global::optimize_partition_with_stats;
 use crate::local::{LocalOptimizer, LocalOptimizerConfig};
 use crate::memo::{self, CurveCache, CurveKey};
 use crate::model::ModelKind;
@@ -65,6 +65,36 @@ impl RmaConfig {
     }
 }
 
+/// Cumulative measured work counters of a [`CoordinatedRma`], reset by
+/// [`ResourceManager::reset`].
+///
+/// Unlike [`LocalOptimizer::evaluations_per_invocation`] — a worst-case
+/// bound — these count the work the manager *actually* performed, which is
+/// what the overhead experiments (E5/E9) report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RmaWorkCounters {
+    /// RMA invocations handled (`on_interval` calls).
+    pub invocations: u64,
+    /// Energy curves actually constructed (cache hits build nothing).
+    pub curve_builds: u64,
+    /// Analytical model evaluations performed across all curve builds
+    /// (the builder's exact per-candidate count, including the one baseline
+    /// prediction per build that defines the QoS target).
+    pub local_evaluations: u64,
+    /// Min-plus convolution cell updates evaluated by the global step.
+    pub reduction_ops: u64,
+    /// Convolution candidates skipped by the global step's lower-bound
+    /// pruning.
+    pub reduction_pruned: u64,
+    /// Intervals where the manager could not certify the QoS target at the
+    /// setting it had to keep: the curve had no feasible point at all
+    /// (extreme modeling error), or — without partitioning control — the
+    /// core's *current* way allocation was infeasible and the old setting
+    /// was silently retained. Surfaced per run via
+    /// [`rma-sim`](../../rma_sim/index.html)'s `SimulationResult`.
+    pub qos_at_risk_intervals: u64,
+}
+
 /// The coordinated QoS-driven resource manager.
 ///
 /// One instance manages the whole system: it keeps the most recent energy
@@ -107,6 +137,8 @@ pub struct CoordinatedRma {
     /// Digest of everything besides `(qos, observation)` that determines a
     /// curve: platform, control knobs, model kind and energy calibration.
     config_key: CurveKey,
+    /// Measured work counters (see [`RmaWorkCounters`]).
+    counters: RmaWorkCounters,
 }
 
 impl CoordinatedRma {
@@ -138,6 +170,7 @@ impl CoordinatedRma {
             name,
             curve_cache: None,
             config_key,
+            counters: RmaWorkCounters::default(),
         }
     }
 
@@ -262,9 +295,17 @@ impl CoordinatedRma {
         &self.config
     }
 
-    /// Number of analytical model evaluations one invocation performs.
+    /// Upper bound on the analytical model evaluations one invocation
+    /// performs (the full candidate space). For the work actually done, see
+    /// [`CoordinatedRma::work_counters`].
     pub fn evaluations_per_invocation(&self) -> usize {
         self.optimizer.evaluations_per_invocation()
+    }
+
+    /// The measured work counters accumulated since the last
+    /// [`ResourceManager::reset`].
+    pub fn work_counters(&self) -> RmaWorkCounters {
+        self.counters
     }
 }
 
@@ -275,6 +316,7 @@ impl ResourceManager for CoordinatedRma {
 
     fn reset(&mut self, num_cores: usize) {
         self.curves = vec![None; num_cores];
+        self.counters = RmaWorkCounters::default();
     }
 
     fn on_interval(
@@ -289,18 +331,31 @@ impl ResourceManager for CoordinatedRma {
 
         // Step 1-3: models + local optimization produce this core's curve
         // (answered from the shared cache when the observation recurs).
+        // Cache misses run the staged builder, whose exact evaluation count
+        // feeds the measured overhead accounting.
+        self.counters.invocations += 1;
         let qos = self.qos_of(core);
+        let optimizer = &self.optimizer;
+        let counters = &mut self.counters;
+        let mut build_counted = || {
+            let build = optimizer.energy_curve_counted(observation, qos);
+            counters.curve_builds += 1;
+            counters.local_evaluations += build.evaluations as u64;
+            build.curve
+        };
         let curve = match &self.curve_cache {
-            Some(cache) => cache
-                .get_or_compute(memo::curve_key(self.config_key, qos, observation), || {
-                    self.optimizer.energy_curve(observation, qos)
-                }),
-            None => self.optimizer.energy_curve(observation, qos),
+            Some(cache) => cache.get_or_compute(
+                memo::curve_key(self.config_key, qos, observation),
+                build_counted,
+            ),
+            None => build_counted(),
         };
         if !curve.any_feasible() {
             // Defensive: even the baseline allocation appears infeasible
             // (can only happen through extreme modeling error); keep the
-            // current setting for this interval.
+            // current setting for this interval and record that its QoS
+            // cannot be certified.
+            self.counters.qos_at_risk_intervals += 1;
             self.curves[core.index()] = None;
             return current.clone();
         }
@@ -317,6 +372,12 @@ impl ResourceManager for CoordinatedRma {
                     freq: point.freq,
                     ways,
                 };
+            } else {
+                // The current allocation is infeasible and the manager has
+                // no partitioning authority to fix it: the old setting is
+                // kept, but the interval is tallied instead of dropping the
+                // signal.
+                self.counters.qos_at_risk_intervals += 1;
             }
             return next;
         }
@@ -333,7 +394,11 @@ impl ResourceManager for CoordinatedRma {
             .iter()
             .map(|c| c.clone().expect("checked above"))
             .collect();
-        let Some(allocation) = optimize_partition(&curves, self.platform.llc.associativity) else {
+        let (allocation, prune_stats) =
+            optimize_partition_with_stats(&curves, self.platform.llc.associativity);
+        self.counters.reduction_ops += prune_stats.ops;
+        self.counters.reduction_pruned += prune_stats.pruned;
+        let Some(allocation) = allocation else {
             return current.clone();
         };
 
@@ -389,6 +454,10 @@ impl ResourceManager for CoordinatedRma {
         platform.num_cores = num_cores;
         self.overhead
             .invocation_instructions(&platform, self.optimizer.evaluations_per_invocation())
+    }
+
+    fn qos_at_risk_intervals(&self) -> u64 {
+        self.counters.qos_at_risk_intervals
     }
 }
 
@@ -664,6 +733,81 @@ mod tests {
                 .name(),
             "RM3-Oracle"
         );
+    }
+
+    #[test]
+    fn non_partitioned_infeasible_allocation_is_tallied() {
+        let p = platform();
+        let mut rma = CoordinatedRma::dvfs_only(&p, vec![QosSpec::STRICT; 4]);
+        rma.reset(4);
+        let mut current = SystemSetting::baseline(&p);
+        // Starve core 0 to one way (the ways it loses go to core 1, so the
+        // partition stays valid): a cache-sensitive application cannot meet
+        // a strict target there at any frequency.
+        let taken = current.core(CoreId(0)).ways - 1;
+        current.core_mut(CoreId(0)).ways = 1;
+        current.core_mut(CoreId(1)).ways += taken;
+        let next = rma.on_interval(CoreId(0), &cache_sensitive_observation(0), &current);
+        assert_eq!(
+            next, current,
+            "without partitioning authority the old setting is kept"
+        );
+        assert_eq!(
+            rma.qos_at_risk_intervals(),
+            1,
+            "the kept-at-risk interval is tallied"
+        );
+        // A feasible invocation adds nothing to the tally.
+        rma.on_interval(CoreId(1), &compute_observation(1), &next);
+        assert_eq!(rma.qos_at_risk_intervals(), 1);
+        // reset() starts a fresh tally.
+        rma.reset(4);
+        assert_eq!(rma.qos_at_risk_intervals(), 0);
+    }
+
+    #[test]
+    fn work_counters_track_measured_work() {
+        use std::sync::Arc;
+        let p = platform();
+        let mut rma = CoordinatedRma::paper2(&p, vec![QosSpec::STRICT; 4]);
+        run_all_cores(
+            &mut rma,
+            vec![
+                cache_sensitive_observation(0),
+                compute_observation(1),
+                streaming_observation(2),
+                compute_observation(3),
+            ],
+        );
+        let counters = rma.work_counters();
+        assert_eq!(counters.invocations, 4);
+        assert_eq!(
+            counters.curve_builds, 4,
+            "no cache: every invocation builds"
+        );
+        // Measured evaluations are positive and bounded by the worst case.
+        assert!(counters.local_evaluations > 0);
+        assert!(
+            counters.local_evaluations <= 4 * rma.evaluations_per_invocation() as u64,
+            "measured work cannot exceed the dense bound"
+        );
+        // The global step ran at least once (all cores reported by the 4th
+        // invocation) and its pruning was active.
+        assert!(counters.reduction_ops > 0);
+
+        // With a shared curve cache, a recurring observation skips the build
+        // but still counts as an invocation.
+        let cache = Arc::new(crate::memo::CurveCache::new());
+        let mut cached =
+            CoordinatedRma::paper1(&p, vec![QosSpec::STRICT; 4]).with_curve_cache(cache);
+        cached.reset(4);
+        let baseline = SystemSetting::baseline(&p);
+        let obs = cache_sensitive_observation(0);
+        cached.on_interval(CoreId(0), &obs, &baseline);
+        cached.on_interval(CoreId(0), &obs, &baseline);
+        let counters = cached.work_counters();
+        assert_eq!(counters.invocations, 2);
+        assert_eq!(counters.curve_builds, 1, "second lookup is a cache hit");
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn curve_strategy(max_ways: usize) -> impl Strategy<Value = EnergyCurve> {
                             freq: FreqLevel(i % 13),
                             core_size: CoreSizeIdx(i % 3),
                             time_seconds: 0.05,
+                            ways: i + 1,
                         })
                     }
                 })
@@ -108,6 +109,7 @@ proptest! {
                                     freq: FreqLevel(w % 13),
                                     core_size: CoreSizeIdx(w % 3),
                                     time_seconds: 0.05,
+                                    ways: w + 1,
                                 })
                             }
                         })
@@ -140,7 +142,24 @@ proptest! {
 
 /// Builds a synthetic observation with a parameterized miss curve.
 fn observation(base_misses: u64, decay_percent: u64, mlp_ratio: u64) -> CoreObservation {
-    let platform = PlatformConfig::paper2(4);
+    observation_on(
+        &PlatformConfig::paper2(4),
+        base_misses,
+        decay_percent,
+        mlp_ratio,
+        true,
+    )
+}
+
+/// Like [`observation`], on an explicit platform and with the Paper II
+/// profiles (MLP-aware ATD, ILP monitor) optionally absent.
+fn observation_on(
+    platform: &PlatformConfig,
+    base_misses: u64,
+    decay_percent: u64,
+    mlp_ratio: u64,
+    with_profiles: bool,
+) -> CoreObservation {
     let baseline_ways = platform.baseline_ways_per_core();
     let decay = 1.0 - decay_percent as f64 / 100.0;
     let misses: Vec<u64> = (0..16)
@@ -175,8 +194,8 @@ fn observation(base_misses: u64, decay_percent: u64, mlp_ratio: u64) -> CoreObse
             ways: baseline_ways,
         },
         miss_profile: MissProfile::new(misses),
-        mlp_profile: Some(MlpProfile::new(leading)),
-        scaling_profile: Some(CoreScalingProfile::new(vec![1.4, 1.1, 1.1])),
+        mlp_profile: with_profiles.then(|| MlpProfile::new(leading)),
+        scaling_profile: with_profiles.then(|| CoreScalingProfile::new(vec![1.4, 1.1, 1.1])),
         perfect: None,
     }
 }
@@ -217,5 +236,121 @@ proptest! {
             prop_assert!(relaxed.energy(w) <= strict.energy(w) + 1e-12,
                 "relaxing the target cannot make the optimum worse at {w} ways");
         }
+    }
+}
+
+/// Deterministic pseudo-random ground-truth table for the Perfect-model
+/// axis: times vary non-monotonically in every dimension so the builder's
+/// full-scan table path is exercised (the feasibility partition point must
+/// NOT be applied to table times).
+fn perfect_table(platform: &PlatformConfig, seed: u64) -> qosrm_types::ConfigTable {
+    qosrm_types::ConfigTable::from_fn(
+        platform.num_core_sizes(),
+        platform.vf.num_levels(),
+        platform.llc.associativity,
+        |s, f, w| {
+            let mut x = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((s.index() * 1000 + f.index() * 50 + w) as u64);
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            x ^= x >> 33;
+            qosrm_types::ConfigMetrics {
+                time_seconds: 0.02 + (x % 1000) as f64 * 1e-4,
+                energy_joules: 0.5 + ((x >> 10) % 1000) as f64 * 1e-2,
+                llc_misses: x % 100_000,
+                leading_misses: x % 50_000,
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The staged `CurveBuilder` is bit-identical to the scalar reference
+    /// across random observations, QoS relaxations, platform axes (Paper I
+    /// medium-only cores, Paper II 4- and 8-core), every analytical model,
+    /// and observations lacking the Paper II MLP/ILP profiles.
+    #[test]
+    fn batched_builder_is_bit_identical_to_scalar(
+        base_misses in 10_000u64..2_000_000,
+        decay_percent in 0u64..20,
+        mlp_ratio in 0u64..30,
+        relaxation in 0u64..6,
+        with_profiles in 0usize..2,
+        platform_axis in 0usize..3,
+        model_axis in 0usize..4,
+        control_dvfs in 0usize..2,
+        control_core in 0usize..2,
+    ) {
+        let platform = match platform_axis {
+            0 => PlatformConfig::paper1(4),
+            1 => PlatformConfig::paper2(4),
+            _ => PlatformConfig::paper2(8),
+        };
+        let model = [
+            ModelKind::SimpleLatency,
+            ModelKind::ConstantMlp,
+            ModelKind::MlpAware,
+            // No table on the observation: Perfect degrades to the
+            // constant-MLP analytical path, which must also match.
+            ModelKind::Perfect,
+        ][model_axis];
+        let obs = observation_on(
+            &platform,
+            base_misses,
+            decay_percent,
+            mlp_ratio,
+            with_profiles == 1,
+        );
+        let optimizer = LocalOptimizer::new(
+            &platform,
+            LocalOptimizerConfig {
+                control_dvfs: control_dvfs == 1,
+                control_core_size: control_core == 1,
+                model,
+                energy_params: power_model::EnergyParams::default(),
+            },
+        );
+        let qos = QosSpec::relaxed_by(relaxation as f64 / 10.0);
+        let batched = optimizer.energy_curve(&obs, qos);
+        let scalar = optimizer.energy_curve_scalar_reference(&obs, qos);
+        prop_assert_eq!(batched, scalar);
+    }
+
+    /// Same bit-identity with a Perfect-model ground-truth table attached:
+    /// table times are arbitrary (non-monotone in frequency), so this pins
+    /// the builder's full-scan table path.
+    #[test]
+    fn batched_builder_is_bit_identical_on_perfect_tables(
+        base_misses in 10_000u64..2_000_000,
+        seed in 0u64..10_000,
+        relaxation in 0u64..6,
+        platform_axis in 0usize..2,
+        control_core in 0usize..2,
+    ) {
+        let platform = match platform_axis {
+            0 => PlatformConfig::paper1(4),
+            _ => PlatformConfig::paper2(4),
+        };
+        let mut obs = observation_on(&platform, base_misses, 10, 5, true);
+        obs.perfect = Some(perfect_table(&platform, seed));
+        let optimizer = LocalOptimizer::new(
+            &platform,
+            LocalOptimizerConfig {
+                control_dvfs: true,
+                control_core_size: control_core == 1,
+                model: ModelKind::Perfect,
+                energy_params: power_model::EnergyParams::default(),
+            },
+        );
+        let qos = QosSpec::relaxed_by(relaxation as f64 / 10.0);
+        let batched = optimizer.energy_curve_counted(&obs, qos);
+        let scalar = optimizer.energy_curve_scalar_reference(&obs, qos);
+        prop_assert_eq!(&batched.curve, &scalar);
+        // The table path reads every cell: its measured count is exactly the
+        // worst-case bound.
+        prop_assert_eq!(batched.evaluations, optimizer.evaluations_per_invocation());
     }
 }

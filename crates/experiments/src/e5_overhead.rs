@@ -3,40 +3,98 @@
 //! Paper claim: one invocation of the Combined RMA executes fewer than 40 K
 //! instructions on a 4-core system, about 0.04 % of a 100 M-instruction
 //! interval, so the algorithm itself is negligible.
+//!
+//! The reported cost is **measured**, not bounded: a short co-phase
+//! simulation drives the manager (without a curve cache, so every invocation
+//! builds its curve), and the instruction estimate is derived from the
+//! builder's exact model-evaluation count and the global step's actually
+//! updated convolution cells (`PruneStats::ops`). The dense
+//! `ways × sizes × levels` and `associativity²`-per-reduction worst cases
+//! are reported alongside as the paper-style bound.
 
 use crate::context::ExperimentContext;
 use crate::report::{ExperimentReport, ReportRow};
-use qosrm_core::{CoordinatedRma, OverheadModel};
-use qosrm_types::{PlatformConfig, QosSpec, ResourceManager};
+use qosrm_core::{CoordinatedRma, OverheadModel, RmaWorkCounters};
+use qosrm_types::{PlatformConfig, QosSpec};
+use rma_sim::{CophaseSimulator, SimulationOptions};
+use workload::WorkloadMix;
+
+/// The fixed mix the overhead measurement drives the manager with: a
+/// rotation of cache-sensitive, streaming and compute applications so the
+/// local optimizer sees representative feasibility patterns.
+fn measurement_mix(num_cores: usize) -> WorkloadMix {
+    const POOL: [&str; 4] = ["mcf_like", "soplex_like", "libquantum_like", "gamess_like"];
+    WorkloadMix::new(
+        format!("overhead-{num_cores}c"),
+        (0..num_cores).map(|i| POOL[i % POOL.len()]).collect(),
+    )
+}
+
+/// Runs `manager` over the fixed measurement mix on `platform` and returns
+/// its cumulative measured work counters. No curve cache is attached, so
+/// every invocation pays its full local-optimization cost — exactly what a
+/// per-invocation overhead figure must charge.
+pub(crate) fn measured_counters(
+    ctx: &ExperimentContext,
+    platform: &PlatformConfig,
+    mut manager: CoordinatedRma,
+) -> RmaWorkCounters {
+    let mix = measurement_mix(platform.num_cores);
+    let db = ctx.database(platform, std::slice::from_ref(&mix));
+    let sim = CophaseSimulator::new(&db, &mix, SimulationOptions::default())
+        .expect("measurement mix matches platform");
+    sim.run(&mut manager)
+        .expect("overhead measurement run must finish within the event budget");
+    let counters = manager.work_counters();
+    assert!(counters.invocations > 0, "measurement run invoked the RMA");
+    counters
+}
+
+/// Average measured work per invocation, rounded to whole operations.
+pub(crate) fn per_invocation(counters: RmaWorkCounters) -> (u64, u64) {
+    let inv = counters.invocations.max(1);
+    (
+        (counters.local_evaluations as f64 / inv as f64).round() as u64,
+        (counters.reduction_ops as f64 / inv as f64).round() as u64,
+    )
+}
 
 /// Runs the experiment.
-pub fn run(_ctx: &ExperimentContext) -> ExperimentReport {
+pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "e5",
         "Paper I: software overhead of one Combined RMA invocation \
-         (instruction estimate; see the criterion bench `rma_overhead` for measured time)",
+         (measured evaluation and reduction-cell counts; see the criterion \
+         bench `rma_overhead` for measured time)",
     );
 
     let overhead = OverheadModel::default();
+    let mut four_core_measured = 0u64;
     for &num_cores in &[2usize, 4, 8] {
         let platform = PlatformConfig::paper1(num_cores);
         let manager = CoordinatedRma::paper1(&platform, vec![QosSpec::STRICT; num_cores]);
-        let instructions = manager.invocation_overhead_instructions(num_cores);
-        let fraction =
-            overhead.fraction_of_interval(&platform, manager.evaluations_per_invocation());
+        let bound =
+            overhead.invocation_instructions(&platform, manager.evaluations_per_invocation());
+        let (evals, cells) = per_invocation(measured_counters(ctx, &platform, manager));
+        let instructions = overhead.invocation_instructions_measured(evals, cells);
+        if num_cores == 4 {
+            four_core_measured = instructions;
+        }
+        let fraction = overhead.fraction_of_interval_measured(&platform, evals, cells);
         report.push_row(
             ReportRow::new(format!("{num_cores}-core"))
-                .with("Instructions / invocation", instructions as f64)
+                .with("Instructions / invocation (measured)", instructions as f64)
+                .with("Worst-case bound", bound as f64)
+                .with("Model evaluations / invocation", evals as f64)
+                .with("Reduction cells / invocation", cells as f64)
                 .with("% of 100M interval", fraction * 100.0),
         );
     }
 
-    let platform = PlatformConfig::paper1(4);
-    let manager = CoordinatedRma::paper1(&platform, vec![QosSpec::STRICT; 4]);
     report.push_summary(format!(
-        "4-core Combined RMA: {} instructions per invocation \
-         (paper: < 40K, about 0.04% of an interval)",
-        manager.invocation_overhead_instructions(4)
+        "4-core Combined RMA: {four_core_measured} instructions per invocation, measured from \
+         the curve builder's evaluation count and the pruned reduction's cell updates \
+         (paper: < 40K, about 0.04% of an interval)"
     ));
     report
 }
@@ -50,7 +108,20 @@ mod tests {
         let ctx = ExperimentContext::new(true);
         let report = run(&ctx);
         let four_core = report.rows.iter().find(|r| r.label == "4-core").unwrap();
-        assert!(four_core.get("Instructions / invocation").unwrap() < 40_000.0);
+        let measured = four_core
+            .get("Instructions / invocation (measured)")
+            .unwrap();
+        // The paper-bound assertion: one invocation stays under 40K
+        // instructions.
+        assert!(measured < 40_000.0);
         assert!(four_core.get("% of 100M interval").unwrap() < 0.1);
+        // Truthful accounting: the measured cost never exceeds the dense
+        // worst-case bound.
+        for row in &report.rows {
+            let measured = row.get("Instructions / invocation (measured)").unwrap();
+            assert!(measured <= row.get("Worst-case bound").unwrap());
+            assert!(measured > 0.0);
+        }
+        assert!(report.summary.iter().any(|s| s.contains("measured")));
     }
 }

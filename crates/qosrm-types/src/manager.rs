@@ -142,6 +142,16 @@ pub trait ResourceManager {
     /// Called once before the first interval so the manager can initialize
     /// per-core state. The default does nothing.
     fn reset(&mut self, _num_cores: usize) {}
+
+    /// Number of intervals (since the last [`ResourceManager::reset`]) where
+    /// the manager had to keep a setting whose QoS target it could not
+    /// certify — e.g. a manager without partitioning authority observing
+    /// that a core's current way allocation is infeasible. The simulator
+    /// surfaces this tally in its `SimulationResult` so the signal is not
+    /// silently dropped. Defaults to 0 for managers that always certify.
+    fn qos_at_risk_intervals(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

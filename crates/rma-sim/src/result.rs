@@ -55,6 +55,12 @@ pub struct SimulationResult {
     pub rma_overhead_instructions: u64,
     /// Number of invocations that changed at least one core's setting.
     pub setting_changes: u64,
+    /// Intervals where the manager kept a setting whose QoS target it could
+    /// not certify (see
+    /// [`qosrm_types::ResourceManager::qos_at_risk_intervals`]): without
+    /// partitioning authority an infeasible current allocation is silently
+    /// retained, and this tally surfaces that signal instead of dropping it.
+    pub qos_at_risk_intervals: u64,
     /// Per-interval records of the first round of every application.
     pub intervals: Vec<IntervalRecord>,
 }
@@ -304,6 +310,7 @@ mod tests {
             rma_invocations: 0,
             rma_overhead_instructions: 0,
             setting_changes: 0,
+            qos_at_risk_intervals: 0,
             intervals,
         }
     }

@@ -543,6 +543,7 @@ impl CophaseSimulator {
             rma_invocations,
             rma_overhead_instructions,
             setting_changes,
+            qos_at_risk_intervals: manager.qos_at_risk_intervals(),
             intervals,
         })
     }
@@ -588,6 +589,9 @@ mod tests {
         }
         assert!(result.system_energy_joules > 0.0);
         assert_eq!(result.setting_changes, 0);
+        // The baseline manager always certifies (it never deviates from the
+        // QoS-defining setting), so the surfaced tally is zero.
+        assert_eq!(result.qos_at_risk_intervals, 0);
         assert!(result.rma_invocations > 0);
         // Per-interval records cover every first-round interval.
         let expected: usize = result.per_app.iter().map(|a| a.intervals).sum();
