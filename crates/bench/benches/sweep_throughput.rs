@@ -85,6 +85,55 @@ fn bench_sweep_modes(c: &mut Criterion) {
             })
         });
     }
+
+    // The streaming sharded executor on the same grid (via a spec with the
+    // grid's mixes inlined): measures the checkpointing overhead — shard
+    // JSONL logs, manifest rewrites, per-shard simulator/baseline
+    // reconstruction — on top of `parallel_memoized`, which is the mode it
+    // shares. This is the executor CI's sweep-smoke step and the
+    // kill/resume workflow run.
+    {
+        let ctx = ExperimentContext::new(true);
+        let grid = bench_grid(&ctx);
+        for axis in &grid.platforms {
+            ctx.database(&axis.platform, &axis.mixes);
+        }
+        let spec = experiments::ScenarioSpec {
+            name: "bench-streaming".to_string(),
+            platforms: grid
+                .platforms
+                .iter()
+                .map(|axis| experiments::PlatformAxisSpec {
+                    label: axis.label.clone(),
+                    platform: experiments::PlatformSpec::Custom(axis.platform.clone()),
+                    workloads: experiments::WorkloadSource::Explicit(axis.mixes.clone()),
+                })
+                .collect(),
+            qos: grid.qos.clone(),
+            variants: grid.variants.clone(),
+            options: Some(grid.options.clone()),
+        };
+        let dir = std::env::temp_dir().join(format!("qosrm_bench_stream_{}", std::process::id()));
+        group.bench_function("streaming_sharded", |bencher| {
+            bencher.iter(|| {
+                ctx.curve_cache().clear();
+                std::fs::remove_dir_all(&dir).ok();
+                let report = experiments::stream::run(
+                    black_box(&spec),
+                    &ctx,
+                    &dir,
+                    &experiments::StreamOptions {
+                        shard_size: 8,
+                        ..Default::default()
+                    },
+                )
+                .expect("streaming run completes");
+                assert!(report.finished);
+                black_box(experiments::stream::merge(&dir).expect("merges"))
+            })
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
     group.finish();
 }
 

@@ -1,64 +1,104 @@
-//! Command-line runner that regenerates the paper's evaluation tables.
+//! Command-line front end of the experiment pipeline.
 //!
 //! ```text
 //! qosrm-experiments [--quick] [--cache-dir DIR] [--json FILE] [e1 e2 ...]
+//! qosrm-experiments sweep run    --spec FILE --out DIR [--quick] [--shard-size N]
+//!                                [--max-shards N] [--serial]
+//! qosrm-experiments sweep resume --out DIR [--max-shards N] [--serial]
+//! qosrm-experiments sweep merge  --out DIR --result FILE
+//! qosrm-experiments diagnose [--mix b1,b2,b3,b4]
 //! ```
 //!
-//! Without experiment arguments every experiment (E1–E9) is run. `--quick`
-//! uses fewer workloads and a coarser characterization so the whole suite
-//! finishes in seconds (used by the smoke tests); the full configuration is
-//! what `EXPERIMENTS.md` reports.
+//! Without a subcommand the paper experiments (E1–E9) run as before:
+//! `--quick` uses fewer workloads and a coarser characterization so the
+//! whole suite finishes in seconds (used by the smoke tests); the full
+//! configuration is what `EXPERIMENTS.md` reports.
+//!
+//! The `sweep` subcommands drive the streaming executor over a
+//! [`experiments::ScenarioSpec`] file: `run` starts a fresh sharded run in
+//! an output directory, `resume` continues a killed or partial run
+//! (completed scenarios are skipped; the final result is byte-identical to
+//! an uninterrupted run), and `merge` folds the shard logs into one
+//! `SweepResult` JSON file. `diagnose` dumps RM3's decisions for one
+//! workload (formerly the separate `debug_s3` binary).
 
-use experiments::{run_experiment, ExperimentContext, ALL_EXPERIMENTS};
+use experiments::{
+    diagnose, run_experiment, stream, ExperimentContext, ScenarioSpec, StreamOptions, SweepOptions,
+    ALL_EXPERIMENTS,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-struct Args {
+const USAGE: &str = "usage:
+  qosrm-experiments [--quick] [--cache-dir DIR] [--json FILE] [e1..e9]
+  qosrm-experiments sweep run --spec FILE --out DIR [--quick] [--shard-size N] [--max-shards N] [--serial]
+  qosrm-experiments sweep resume --out DIR [--max-shards N] [--serial]
+  qosrm-experiments sweep merge --out DIR --result FILE
+  qosrm-experiments diagnose [--mix b1,b2,...]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("sweep") => sweep_main(&args[1..]),
+        Some("diagnose") => diagnose_main(&args[1..]),
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        _ => return experiments_main(&args),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy experiment mode (no subcommand)
+// ---------------------------------------------------------------------------
+
+struct ExperimentArgs {
     quick: bool,
     cache_dir: Option<PathBuf>,
     json_out: Option<PathBuf>,
     experiments: Vec<String>,
 }
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
+fn parse_experiment_args(args: &[String]) -> Result<ExperimentArgs, String> {
+    let mut parsed = ExperimentArgs {
         quick: false,
         cache_dir: None,
         json_out: None,
         experiments: Vec::new(),
     };
-    let mut iter = std::env::args().skip(1);
+    let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--quick" => args.quick = true,
+            "--quick" => parsed.quick = true,
             "--cache-dir" => {
                 let dir = iter.next().ok_or("--cache-dir requires a path")?;
-                args.cache_dir = Some(PathBuf::from(dir));
+                parsed.cache_dir = Some(PathBuf::from(dir));
             }
             "--json" => {
                 let path = iter.next().ok_or("--json requires a path")?;
-                args.json_out = Some(PathBuf::from(path));
+                parsed.json_out = Some(PathBuf::from(path));
             }
-            "--help" | "-h" => {
-                return Err(
-                    "usage: qosrm-experiments [--quick] [--cache-dir DIR] [--json FILE] [e1..e9]"
-                        .to_string(),
-                );
-            }
-            other if other.starts_with('-') => {
-                return Err(format!("unknown flag {other}"));
-            }
-            other => args.experiments.push(other.to_string()),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => parsed.experiments.push(other.to_string()),
         }
     }
-    if args.experiments.is_empty() {
-        args.experiments = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    if parsed.experiments.is_empty() {
+        parsed.experiments = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
-    Ok(args)
+    Ok(parsed)
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
+fn experiments_main(args: &[String]) -> ExitCode {
+    let args = match parse_experiment_args(args) {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");
@@ -107,4 +147,173 @@ fn main() -> ExitCode {
     }
 
     ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// sweep run / resume / merge
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct SweepArgs {
+    spec: Option<PathBuf>,
+    out: Option<PathBuf>,
+    result: Option<PathBuf>,
+    quick: bool,
+    serial: bool,
+    shard_size: Option<usize>,
+    max_shards: usize,
+}
+
+fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, String> {
+    let mut parsed = SweepArgs::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--spec" => {
+                parsed.spec = Some(PathBuf::from(iter.next().ok_or("--spec requires a path")?))
+            }
+            "--out" => {
+                parsed.out = Some(PathBuf::from(iter.next().ok_or("--out requires a path")?))
+            }
+            "--result" => {
+                parsed.result = Some(PathBuf::from(
+                    iter.next().ok_or("--result requires a path")?,
+                ))
+            }
+            "--quick" => parsed.quick = true,
+            "--serial" => parsed.serial = true,
+            "--shard-size" => {
+                parsed.shard_size = Some(parse_count(iter.next(), "--shard-size")?);
+            }
+            "--max-shards" => {
+                parsed.max_shards = parse_count(iter.next(), "--max-shards")?;
+            }
+            other => return Err(format!("unknown sweep flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn parse_count(value: Option<&String>, flag: &str) -> Result<usize, String> {
+    value
+        .ok_or_else(|| format!("{flag} requires a number"))?
+        .parse::<usize>()
+        .map_err(|_| format!("{flag} requires a number"))
+}
+
+fn stream_options(args: &SweepArgs) -> StreamOptions {
+    let mut options = StreamOptions {
+        max_shards: args.max_shards,
+        ..Default::default()
+    };
+    if let Some(size) = args.shard_size {
+        options.shard_size = size.max(1);
+    }
+    if args.serial {
+        options.sweep = SweepOptions::serial();
+    }
+    options
+}
+
+fn report_progress(report: &experiments::StreamReport, out: &std::path::Path) {
+    println!(
+        "sweep: {}/{} scenarios complete in {} ({} skipped as already done, {} shard(s) run this \
+         call){}",
+        report.completed,
+        report.total,
+        out.display(),
+        report.skipped,
+        report.shards_run,
+        if report.finished {
+            "; run `sweep merge` to fold the shards into a result file"
+        } else {
+            "; run `sweep resume` to continue"
+        }
+    );
+}
+
+fn sweep_main(args: &[String]) -> Result<(), String> {
+    let (action, rest) = args
+        .split_first()
+        .ok_or_else(|| format!("sweep requires an action\n{USAGE}"))?;
+    let parsed = parse_sweep_args(rest)?;
+    let out = parsed
+        .out
+        .clone()
+        .ok_or_else(|| format!("sweep {action} requires --out DIR\n{USAGE}"))?;
+    match action.as_str() {
+        "run" => {
+            let spec_path = parsed
+                .spec
+                .clone()
+                .ok_or_else(|| format!("sweep run requires --spec FILE\n{USAGE}"))?;
+            let spec = ScenarioSpec::load(&spec_path)
+                .map_err(|e| format!("failed to load {}: {e}", spec_path.display()))?;
+            let ctx = ExperimentContext::new(parsed.quick);
+            let report = stream::run(&spec, &ctx, &out, &stream_options(&parsed))
+                .map_err(|e| e.to_string())?;
+            report_progress(&report, &out);
+            Ok(())
+        }
+        "resume" => {
+            if parsed.quick {
+                return Err(
+                    "sweep resume takes the quick/full mode from the run's manifest; \
+                     drop --quick"
+                        .to_string(),
+                );
+            }
+            let manifest = experiments::SweepManifest::load(&out)
+                .map_err(|e| format!("failed to load the manifest in {}: {e}", out.display()))?;
+            let ctx = ExperimentContext::new(manifest.quick);
+            let mut options = stream_options(&parsed);
+            // Without an explicit --shard-size, keep the run's checkpoint
+            // granularity rather than resetting it to the default.
+            if parsed.shard_size.is_none() {
+                options.shard_size = manifest.shard_size.max(1);
+            }
+            let report = stream::resume(&ctx, &out, &options).map_err(|e| e.to_string())?;
+            report_progress(&report, &out);
+            Ok(())
+        }
+        "merge" => {
+            let result_path = parsed
+                .result
+                .clone()
+                .ok_or_else(|| format!("sweep merge requires --result FILE\n{USAGE}"))?;
+            let result = stream::merge(&out).map_err(|e| e.to_string())?;
+            result.save(&result_path).map_err(|e| e.to_string())?;
+            println!(
+                "merged {} scenarios from {} into {}",
+                result.scenarios.len(),
+                out.display(),
+                result_path.display()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown sweep action {other}\n{USAGE}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// diagnose
+// ---------------------------------------------------------------------------
+
+fn diagnose_main(args: &[String]) -> Result<(), String> {
+    let mut mix = diagnose::default_mix();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--mix" => {
+                let list = iter.next().ok_or("--mix requires a comma-separated list")?;
+                let benchmarks: Vec<&str> = list.split(',').map(str::trim).collect();
+                mix = workload::WorkloadMix::new("diagnose", benchmarks);
+            }
+            other => return Err(format!("unknown diagnose flag {other}\n{USAGE}")),
+        }
+    }
+    let ctx = ExperimentContext::new(true);
+    let report = diagnose::run(&ctx, &mix).map_err(|e| e.to_string())?;
+    print!("{report}");
+    Ok(())
 }

@@ -58,13 +58,32 @@ impl ExperimentContext {
         &self.curve_cache
     }
 
+    /// Workload prefix kept by quick mode (the representative subset the
+    /// smoke tests and CI run).
+    pub const QUICK_WORKLOAD_PREFIX: usize = 4;
+
     /// Limits a workload list according to the quick mode (keeps a
     /// representative prefix).
     pub fn limit_workloads(&self, mixes: Vec<WorkloadMix>) -> Vec<WorkloadMix> {
         if self.quick {
-            mixes.into_iter().take(4).collect()
+            mixes
+                .into_iter()
+                .take(Self::QUICK_WORKLOAD_PREFIX)
+                .collect()
         } else {
             mixes
+        }
+    }
+
+    /// The spec-level mirror of [`ExperimentContext::limit_workloads`]: a
+    /// [`crate::spec::MixSelection`] keeping the quick-mode prefix of a
+    /// workload source (and everything in full mode) — the single source of
+    /// the quick-mode cap for the E-module specs.
+    pub fn quick_mix_selection(&self) -> crate::spec::MixSelection {
+        if self.quick {
+            crate::spec::MixSelection::limit(Self::QUICK_WORKLOAD_PREFIX)
+        } else {
+            crate::spec::MixSelection::ALL
         }
     }
 

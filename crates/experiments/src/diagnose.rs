@@ -1,0 +1,179 @@
+//! Diagnostic runner: dump what RM3 decides for one workload and how the
+//! ground truth responds.
+//!
+//! Formerly the separate `debug_s3` binary; folded into the main CLI as the
+//! `diagnose` subcommand so it shares the context/platform setup of the
+//! experiment pipeline instead of duplicating (and silently bit-rotting)
+//! it. Not part of the experiment suite; kept for calibration work.
+
+use crate::context::ExperimentContext;
+use qosrm_core::CoordinatedRma;
+use qosrm_types::{CoreId, PlatformConfig, QosSpec, ResourceManager, SystemSetting};
+use rma_sim::{compare, CophaseSimulator, SimulationOptions};
+use simdb::GroundTruth;
+use std::fmt::Write as _;
+use workload::WorkloadMix;
+
+/// Wraps the manager under inspection and prints its first reconfiguration
+/// decisions.
+struct Spy<'a> {
+    inner: CoordinatedRma,
+    printed: usize,
+    out: &'a mut String,
+}
+
+impl ResourceManager for Spy<'_> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn reset(&mut self, n: usize) {
+        self.inner.reset(n);
+    }
+    fn on_interval(
+        &mut self,
+        core: CoreId,
+        obs: &qosrm_types::CoreObservation,
+        current: &SystemSetting,
+    ) -> SystemSetting {
+        let next = self.inner.on_interval(core, obs, current);
+        if self.printed < 12 && next != *current {
+            self.printed += 1;
+            let _ = writeln!(self.out, "-- decision after {core} finished an interval:");
+            for i in 0..next.num_cores() {
+                let c = next.core(CoreId(i));
+                let _ = writeln!(
+                    self.out,
+                    "   core{i}: size={} freq_level={} ways={}",
+                    c.core_size.index(),
+                    c.freq.index(),
+                    c.ways
+                );
+            }
+        }
+        next
+    }
+}
+
+/// The default diagnostic workload: the Scenario-3 (streaming) mix whose
+/// RM3-only savings motivated the original tool.
+pub fn default_mix() -> WorkloadMix {
+    WorkloadMix::new(
+        "S3-debug",
+        vec!["libquantum_like", "lbm_like", "milc_like", "leslie3d_like"],
+    )
+}
+
+/// Runs the diagnostic on `mix` (4 applications) and returns the report
+/// text.
+pub fn run(ctx: &ExperimentContext, mix: &WorkloadMix) -> Result<String, qosrm_types::QosrmError> {
+    mix.validate()?;
+    let platform = PlatformConfig::paper2(mix.num_cores());
+    platform.validate()?;
+    let mut out = String::new();
+    let db = ctx.database(&platform, std::slice::from_ref(mix));
+    let qos = vec![QosSpec::STRICT; mix.num_cores()];
+
+    // Inspect the first application's record.
+    let gt = GroundTruth::new(&platform);
+    let first = &mix.benchmarks[0];
+    let rec = db.benchmark(first).expect("database covers the mix");
+    let phase = rec.phase(rec.trace.phase_at(0));
+    let baseline_ways = platform.baseline_ways_per_core();
+    let _ = writeln!(
+        out,
+        "{first} phase0: mpki({baseline_ways}w)={:.2}",
+        phase.mpki_at(baseline_ways)
+    );
+    for size in platform.core_size_indices() {
+        let m = gt.metrics(phase, size, platform.baseline_freq(), baseline_ways);
+        let _ = writeln!(
+            out,
+            "  size{} @baseline f, {baseline_ways}w: time={:.4}s energy={:.4}J mlp={:.2}",
+            size.index(),
+            m.time_seconds,
+            m.energy_joules,
+            m.llc_misses as f64 / m.leading_misses.max(1) as f64
+        );
+    }
+    // What does the cheapest QoS-meeting config look like per size?
+    let base = gt.metrics(
+        phase,
+        platform.baseline_core_size,
+        platform.baseline_freq(),
+        baseline_ways,
+    );
+    let num_levels = platform.vf.num_levels();
+    for size in platform.core_size_indices() {
+        for f in (0..num_levels).rev() {
+            let m = gt.metrics(phase, size, qosrm_types::FreqLevel(f), baseline_ways);
+            if m.time_seconds <= base.time_seconds {
+                continue;
+            }
+            // First level that violates; the previous one is the slowest
+            // feasible.
+            let feasible = f + 1;
+            if feasible < num_levels {
+                let m2 = gt.metrics(phase, size, qosrm_types::FreqLevel(feasible), baseline_ways);
+                let _ = writeln!(
+                    out,
+                    "  size{}: slowest feasible f-level={} energy={:.4}J (baseline energy {:.4}J)",
+                    size.index(),
+                    feasible,
+                    m2.energy_joules,
+                    base.energy_joules
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  size{}: no feasible frequency at {baseline_ways} ways",
+                    size.index()
+                );
+            }
+            break;
+        }
+    }
+
+    let simulator = CophaseSimulator::new(&db, mix, SimulationOptions::default())?;
+    let baseline = simulator.run_baseline()?;
+    let mut spy = Spy {
+        inner: CoordinatedRma::paper2(&platform, qos.clone()),
+        printed: 0,
+        out: &mut out,
+    };
+    let managed = simulator.run(&mut spy)?;
+    let cmp = compare(&baseline, &managed, &qos);
+    let _ = writeln!(out, "energy savings: {:.2}%", cmp.energy_savings * 100.0);
+    let _ = writeln!(out, "violations: {}", cmp.num_violations());
+    for (i, s) in cmp.per_app_slowdown.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  app{i}: slowdown {:.2}% energy {:.4} -> {:.4} J",
+            s * 100.0,
+            baseline.per_app[i].energy_joules,
+            managed.per_app[i].energy_joules
+        );
+    }
+    let _ = writeln!(out, "breakdown baseline: {:?}", baseline.energy_breakdown);
+    let _ = writeln!(out, "breakdown managed:  {:?}", managed.energy_breakdown);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnose_reports_decisions_and_savings() {
+        let ctx = ExperimentContext::new(true);
+        let report = run(&ctx, &default_mix()).unwrap();
+        assert!(report.contains("energy savings:"));
+        assert!(report.contains("breakdown managed:"));
+    }
+
+    #[test]
+    fn diagnose_rejects_unknown_benchmarks() {
+        let ctx = ExperimentContext::new(true);
+        let bad = WorkloadMix::new("bad", vec!["mcf_like", "nope_like"]);
+        assert!(run(&ctx, &bad).is_err());
+    }
+}

@@ -6,16 +6,40 @@
 //! partitioning-only RMA saves only 1–2 % on average; workloads with no
 //! cache-sensitive application see no benefit (or a slight loss).
 //!
-//! The experiment is one declarative [`ScenarioGrid`]: two platform axes
-//! (the 4-core and 8-core Paper I machines, each with its workloads), a
-//! strict QoS point, and the RM2/RM1 variant pair.
+//! The experiment is one declarative [`ScenarioSpec`] lowered to a
+//! [`crate::sweep::ScenarioGrid`]: two platform axes (the 4-core and 8-core
+//! Paper I machines, each with its workloads), a strict QoS point, and the
+//! RM2/RM1 variant pair.
 
 use crate::context::{max, mean, ExperimentContext};
 use crate::report::{ExperimentReport, ReportRow};
-use crate::sweep::{self, PlatformAxis, QosAxis, RmaVariant, ScenarioGrid};
-use qosrm_types::{PlatformConfig, QosSpec};
+use crate::spec::{PlatformAxisSpec, PlatformSpec, ScenarioSpec, WorkloadSource};
+use crate::sweep::{self, QosAxis, RmaVariant};
+use qosrm_types::QosSpec;
 use rma_sim::SimulationOptions;
-use workload::paper1_workloads;
+
+/// The declarative spec of the experiment's sweep (also the reference grid
+/// of the streaming-executor equivalence test).
+pub fn spec(ctx: &ExperimentContext) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "e1-energy-savings".to_string(),
+        platforms: [4usize, 8]
+            .iter()
+            .map(|&num_cores| PlatformAxisSpec {
+                label: format!("paper1-{num_cores}c"),
+                platform: PlatformSpec::Paper1 { num_cores },
+                workloads: WorkloadSource::Paper1(ctx.quick_mix_selection()),
+            })
+            .collect(),
+        qos: vec![QosAxis::uniform("strict", QosSpec::STRICT)],
+        variants: vec![RmaVariant::Paper1, RmaVariant::PartitioningOnly],
+        // Paper I platform: no core re-configuration, no MLP-ATD hardware.
+        options: Some(SimulationOptions {
+            provide_mlp_profiles: false,
+            ..Default::default()
+        }),
+    }
+}
 
 /// Runs the experiment.
 pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
@@ -25,25 +49,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
          (4-core and 8-core workloads, strict QoS)",
     );
 
-    let grid = ScenarioGrid {
-        platforms: [4usize, 8]
-            .iter()
-            .map(|&num_cores| {
-                PlatformAxis::new(
-                    format!("paper1-{num_cores}c"),
-                    PlatformConfig::paper1(num_cores),
-                    ctx.limit_workloads(paper1_workloads(num_cores)),
-                )
-            })
-            .collect(),
-        qos: vec![QosAxis::uniform("strict", QosSpec::STRICT)],
-        variants: vec![RmaVariant::Paper1, RmaVariant::PartitioningOnly],
-        // Paper I platform: no core re-configuration, no MLP-ATD hardware.
-        options: SimulationOptions {
-            provide_mlp_profiles: false,
-            ..Default::default()
-        },
-    };
+    let grid = spec(ctx).lower().expect("the E1 spec lowers");
     let result = sweep::run(&grid, ctx);
 
     for axis in &grid.platforms {

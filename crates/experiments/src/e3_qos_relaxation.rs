@@ -5,17 +5,18 @@
 //! and up to 29 % at roughly 40 % longer execution time, with diminishing
 //! returns as the constraint is relaxed further (the sweep goes to 80 %).
 //!
-//! The experiment is one declarative [`ScenarioGrid`]: a single Paper I
-//! platform axis, one QoS axis point per relaxation level, and the
-//! perfect-model Combined RMA as the only variant.
+//! The experiment is one declarative [`ScenarioSpec`] lowered to a
+//! [`crate::sweep::ScenarioGrid`]: a single Paper I platform axis, one QoS
+//! axis point per relaxation level, and the perfect-model Combined RMA as
+//! the only variant.
 
 use crate::context::{max, mean, ExperimentContext};
 use crate::report::{ExperimentReport, ReportRow};
-use crate::sweep::{self, PlatformAxis, QosAxis, RmaVariant, ScenarioGrid};
+use crate::spec::{MixSelection, PlatformAxisSpec, PlatformSpec, ScenarioSpec, WorkloadSource};
+use crate::sweep::{self, QosAxis, RmaVariant};
 use qosrm_core::ModelKind;
-use qosrm_types::{PlatformConfig, QosSpec};
+use qosrm_types::QosSpec;
 use rma_sim::SimulationOptions;
-use workload::paper1_workloads;
 
 /// The relaxation points of the sweep (fraction of extra execution time).
 pub const RELAXATION_POINTS: &[f64] = &[0.0, 0.1, 0.2, 0.3, 0.4, 0.6, 0.8];
@@ -31,24 +32,26 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
          (Combined RMA with perfect models, 4-core workloads)",
     );
 
-    let platform = PlatformConfig::paper1(4);
-    let all_mixes = ctx.limit_workloads(paper1_workloads(4));
-    // The relaxation study focuses on a subset in the paper as well; keep the
-    // sweep tractable in full mode by using half the workloads.
-    let mixes: Vec<_> = if ctx.quick {
-        all_mixes
-    } else {
-        all_mixes.into_iter().step_by(2).collect()
-    };
-
     let relaxations: &[f64] = if ctx.quick {
         &[0.0, 0.4]
     } else {
         RELAXATION_POINTS
     };
 
-    let grid = ScenarioGrid {
-        platforms: vec![PlatformAxis::new("paper1-4c", platform, mixes)],
+    let spec = ScenarioSpec {
+        name: "e3-qos-relaxation".to_string(),
+        platforms: vec![PlatformAxisSpec {
+            label: "paper1-4c".to_string(),
+            platform: PlatformSpec::Paper1 { num_cores: 4 },
+            // The relaxation study focuses on a subset in the paper as well;
+            // keep the sweep tractable in full mode by using every other
+            // workload (quick mode keeps its usual prefix).
+            workloads: WorkloadSource::Paper1(if ctx.quick {
+                ctx.quick_mix_selection()
+            } else {
+                MixSelection { step: 2, limit: 0 }
+            }),
+        }],
         qos: relaxations
             .iter()
             .map(|&relaxation| {
@@ -63,12 +66,13 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
             control_core_size: false,
             name: VARIANT.to_string(),
         }],
-        options: SimulationOptions {
+        options: Some(SimulationOptions {
             provide_mlp_profiles: false,
             provide_perfect_tables: true,
             ..Default::default()
-        },
+        }),
     };
+    let grid = spec.lower().expect("the E3 spec lowers");
     let result = sweep::run(&grid, ctx);
 
     let axis = &grid.platforms[0];

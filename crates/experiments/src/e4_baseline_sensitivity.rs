@@ -6,16 +6,16 @@
 //! relaxing the QoS target for only a subset of the applications yields a
 //! proportional share of the full-relaxation savings.
 //!
-//! Two declarative [`ScenarioGrid`]s: the first sweeps the baseline VF level
-//! as a platform axis (strict QoS), the second sweeps partial relaxation as
-//! a per-core QoS axis on the default platform.
+//! Two declarative [`ScenarioSpec`]s lowered to grids: the first sweeps the
+//! baseline VF level as a platform axis (strict QoS), the second sweeps
+//! partial relaxation as a per-core QoS axis on the default platform.
 
 use crate::context::{mean, ExperimentContext};
 use crate::report::{ExperimentReport, ReportRow};
-use crate::sweep::{self, PlatformAxis, QosAxis, RmaVariant, ScenarioGrid};
+use crate::spec::{PlatformAxisSpec, PlatformSpec, ScenarioSpec, WorkloadSource};
+use crate::sweep::{self, QosAxis, RmaVariant};
 use qosrm_types::{FreqLevel, PlatformConfig, QosSpec};
 use rma_sim::SimulationOptions;
-use workload::paper1_workloads;
 
 /// Runs the experiment.
 pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
@@ -25,14 +25,15 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
          subset of the applications (Combined RMA, 4-core workloads)",
     );
 
-    let mixes = ctx.limit_workloads(paper1_workloads(4));
-    let options = SimulationOptions {
+    let workloads = WorkloadSource::Paper1(ctx.quick_mix_selection());
+    let options = Some(SimulationOptions {
         provide_mlp_profiles: false,
         ..Default::default()
-    };
+    });
 
     // Part 1: baseline VF sensitivity. Levels 4 / 6 / 8 = 1.6 / 2.0 / 2.4 GHz.
-    let vf_grid = ScenarioGrid {
+    let vf_spec = ScenarioSpec {
+        name: "e4-baseline-vf".to_string(),
         platforms: [4usize, 6, 8]
             .iter()
             .map(|&baseline_level| {
@@ -42,17 +43,18 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
                     .with_baseline(FreqLevel(baseline_level))
                     .unwrap();
                 let freq_ghz = platform.vf.point(FreqLevel(baseline_level)).freq_ghz;
-                PlatformAxis::new(
-                    format!("baseline {freq_ghz:.1} GHz"),
-                    platform,
-                    mixes.clone(),
-                )
+                PlatformAxisSpec {
+                    label: format!("baseline {freq_ghz:.1} GHz"),
+                    platform: PlatformSpec::Custom(platform),
+                    workloads: workloads.clone(),
+                }
             })
             .collect(),
         qos: vec![QosAxis::uniform("strict", QosSpec::STRICT)],
         variants: vec![RmaVariant::Paper1],
         options: options.clone(),
     };
+    let vf_grid = vf_spec.lower().expect("the E4 VF spec lowers");
     let vf_result = sweep::run(&vf_grid, ctx);
     for axis in &vf_grid.platforms {
         let savings: Vec<f64> = axis
@@ -71,12 +73,13 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
 
     // Part 2: partial relaxation — relax 0 / 1 / 2 / 4 of the 4 applications
     // by 40 % while the rest stay strict.
-    let partial_grid = ScenarioGrid {
-        platforms: vec![PlatformAxis::new(
-            "paper1-4c",
-            PlatformConfig::paper1(4),
-            mixes.clone(),
-        )],
+    let partial_spec = ScenarioSpec {
+        name: "e4-partial-relaxation".to_string(),
+        platforms: vec![PlatformAxisSpec {
+            label: "paper1-4c".to_string(),
+            platform: PlatformSpec::Paper1 { num_cores: 4 },
+            workloads,
+        }],
         qos: [0usize, 1, 2, 4]
             .iter()
             .map(|&relaxed_apps| {
@@ -97,6 +100,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
         variants: vec![RmaVariant::Paper1],
         options,
     };
+    let partial_grid = partial_spec.lower().expect("the E4 partial spec lowers");
     let partial_result = sweep::run(&partial_grid, ctx);
     let axis = &partial_grid.platforms[0];
     for qos_axis in &partial_grid.qos {

@@ -5,15 +5,15 @@
 //! (cache sensitivity × parallelism sensitivity), RM1 is rarely effective and
 //! RM3 substantially improves on RM2 in 12 of the 16 mixes.
 //!
-//! The experiment is one declarative [`ScenarioGrid`]: the Paper II 4-core
-//! platform with the sixteen category mixes, strict QoS, and all three
-//! manager variants.
+//! The experiment is one declarative [`ScenarioSpec`] lowered to a grid:
+//! the Paper II 4-core platform with the sixteen category mixes, strict
+//! QoS, and all three manager variants.
 
 use crate::context::ExperimentContext;
 use crate::report::{ExperimentReport, ReportRow};
-use crate::sweep::{self, PlatformAxis, QosAxis, RmaVariant, ScenarioGrid};
-use qosrm_types::{PlatformConfig, QosSpec};
-use rma_sim::SimulationOptions;
+use crate::spec::{PlatformAxisSpec, PlatformSpec, ScenarioSpec, WorkloadSource};
+use crate::sweep::{self, QosAxis, RmaVariant};
+use qosrm_types::QosSpec;
 use workload::paper2_sixteen_mixes;
 
 /// Runs the experiment.
@@ -23,26 +23,32 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
         "Paper II: RM1 / RM2 / RM3 energy savings across the sixteen pairwise category mixes",
     );
 
+    // The category pair of each mix, for the report rows (the spec's
+    // Paper2Sixteen source resolves to the same mixes in the same order).
     let all = paper2_sixteen_mixes();
     let selected: Vec<_> = if ctx.quick {
-        all.into_iter().take(4).collect()
+        all.into_iter()
+            .take(ExperimentContext::QUICK_WORKLOAD_PREFIX)
+            .collect()
     } else {
         all
     };
-    let grid = ScenarioGrid {
-        platforms: vec![PlatformAxis::new(
-            "paper2-4c",
-            PlatformConfig::paper2(4),
-            selected.iter().map(|(_, _, m)| m.clone()).collect(),
-        )],
+    let spec = ScenarioSpec {
+        name: "e6-scenario-analysis".to_string(),
+        platforms: vec![PlatformAxisSpec {
+            label: "paper2-4c".to_string(),
+            platform: PlatformSpec::Paper2 { num_cores: 4 },
+            workloads: WorkloadSource::Paper2Sixteen(ctx.quick_mix_selection()),
+        }],
         qos: vec![QosAxis::uniform("strict", QosSpec::STRICT)],
         variants: vec![
             RmaVariant::PartitioningOnly,
             RmaVariant::Paper1,
             RmaVariant::Paper2,
         ],
-        options: SimulationOptions::default(),
+        options: None,
     };
+    let grid = spec.lower().expect("the E6 spec lowers");
     let result = sweep::run(&grid, ctx);
 
     let axis = &grid.platforms[0];

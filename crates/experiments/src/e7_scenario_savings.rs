@@ -8,15 +8,16 @@
 //! * Scenario 3 — only RM3 is effective (up to 11 %, 8.5 % on average);
 //! * Scenario 4 — neither saves a significant amount of energy.
 //!
-//! The experiment is one declarative [`ScenarioGrid`]: the Paper II 4-core
-//! platform with the scenario workloads, strict QoS, and the RM2/RM3
-//! variant pair.
+//! The experiment is one declarative [`ScenarioSpec`] lowered to a grid:
+//! the Paper II 4-core platform with the scenario workloads, strict QoS,
+//! and the RM2/RM3 variant pair (the mixes go in as an explicit source
+//! because the report keys rows by scenario number).
 
 use crate::context::{max, mean, ExperimentContext};
 use crate::report::{ExperimentReport, ReportRow};
-use crate::sweep::{self, PlatformAxis, QosAxis, RmaVariant, ScenarioGrid};
-use qosrm_types::{PlatformConfig, QosSpec};
-use rma_sim::SimulationOptions;
+use crate::spec::{PlatformAxisSpec, PlatformSpec, ScenarioSpec, WorkloadSource};
+use crate::sweep::{self, QosAxis, RmaVariant};
+use qosrm_types::QosSpec;
 use workload::paper2_scenario_workloads;
 
 /// Runs the experiment.
@@ -38,16 +39,20 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
     } else {
         scenario_mixes
     };
-    let grid = ScenarioGrid {
-        platforms: vec![PlatformAxis::new(
-            "paper2-4c",
-            PlatformConfig::paper2(4),
-            scenario_mixes.iter().map(|(_, m)| m.clone()).collect(),
-        )],
+    let spec = ScenarioSpec {
+        name: "e7-scenario-savings".to_string(),
+        platforms: vec![PlatformAxisSpec {
+            label: "paper2-4c".to_string(),
+            platform: PlatformSpec::Paper2 { num_cores: 4 },
+            workloads: WorkloadSource::Explicit(
+                scenario_mixes.iter().map(|(_, m)| m.clone()).collect(),
+            ),
+        }],
         qos: vec![QosAxis::uniform("strict", QosSpec::STRICT)],
         variants: vec![RmaVariant::Paper1, RmaVariant::Paper2],
-        options: SimulationOptions::default(),
+        options: None,
     };
+    let grid = spec.lower().expect("the E7 spec lowers");
     let result = sweep::run(&grid, ctx);
 
     let axis = &grid.platforms[0];

@@ -7,17 +7,16 @@
 //! violations (by 49 % and 26 % versus Model 2). The weighted average energy
 //! savings are 10 % / 7 % / 5 % with Model 3 / 2 / 1.
 //!
-//! The experiment is one declarative [`ScenarioGrid`]: the Paper II 4-core
-//! platform with the scenario workloads, strict QoS, and one
-//! [`RmaVariant::WithModel`] per performance model.
+//! The experiment is one declarative [`ScenarioSpec`] lowered to a grid:
+//! the Paper II 4-core platform with the scenario workloads, strict QoS,
+//! and one [`RmaVariant::WithModel`] per performance model.
 
 use crate::context::{mean, ExperimentContext};
 use crate::report::{ExperimentReport, ReportRow};
-use crate::sweep::{self, PlatformAxis, QosAxis, RmaVariant, ScenarioGrid};
+use crate::spec::{MixSelection, PlatformAxisSpec, PlatformSpec, ScenarioSpec, WorkloadSource};
+use crate::sweep::{self, QosAxis, RmaVariant};
 use qosrm_core::ModelKind;
-use qosrm_types::{PlatformConfig, QosSpec};
-use rma_sim::SimulationOptions;
-use workload::paper2_scenario_workloads;
+use qosrm_types::QosSpec;
 
 /// The three model variants of the study, in presentation order.
 const MODELS: [(&str, ModelKind); 3] = [
@@ -34,18 +33,17 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
          energy savings of RM3 driven by Model 1, Model 2 and Model 3",
     );
 
-    let scenario_mixes = paper2_scenario_workloads(4);
-    let scenario_mixes: Vec<_> = if ctx.quick {
-        scenario_mixes.into_iter().take(3).collect()
-    } else {
-        scenario_mixes
-    };
-    let grid = ScenarioGrid {
-        platforms: vec![PlatformAxis::new(
-            "paper2-4c",
-            PlatformConfig::paper2(4),
-            scenario_mixes.iter().map(|(_, m)| m.clone()).collect(),
-        )],
+    let spec = ScenarioSpec {
+        name: "e8-model-comparison".to_string(),
+        platforms: vec![PlatformAxisSpec {
+            label: "paper2-4c".to_string(),
+            platform: PlatformSpec::Paper2 { num_cores: 4 },
+            workloads: WorkloadSource::Paper2Scenarios(MixSelection::limit(if ctx.quick {
+                3
+            } else {
+                0
+            })),
+        }],
         qos: vec![QosAxis::uniform("strict", QosSpec::STRICT)],
         variants: MODELS
             .iter()
@@ -55,8 +53,9 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentReport {
                 name: format!("RM3-{label}"),
             })
             .collect(),
-        options: SimulationOptions::default(),
+        options: None,
     };
+    let grid = spec.lower().expect("the E8 spec lowers");
     let result = sweep::run(&grid, ctx);
 
     let axis = &grid.platforms[0];

@@ -20,6 +20,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod context;
+pub mod diagnose;
 pub mod e1_energy_savings;
 pub mod e2_model_error;
 pub mod e3_qos_relaxation;
@@ -30,10 +31,14 @@ pub mod e7_scenario_savings;
 pub mod e8_model_comparison;
 pub mod e9_overhead_scaling;
 pub mod report;
+pub mod spec;
+pub mod stream;
 pub mod sweep;
 
 pub use context::ExperimentContext;
 pub use report::{ExperimentReport, ReportRow};
+pub use spec::{MixSelection, PlatformAxisSpec, PlatformSpec, ScenarioSpec, WorkloadSource};
+pub use stream::{StreamOptions, StreamReport, SweepManifest};
 pub use sweep::{
     PlatformAxis, QosAxis, QosPolicy, RmaVariant, ScenarioGrid, ScenarioKey, ScenarioOutcome,
     SweepOptions, SweepResult,

@@ -1,0 +1,519 @@
+//! Streaming, sharded, resumable execution of scenario sweeps.
+//!
+//! The in-memory executor ([`crate::sweep::run_with`]) holds every
+//! [`ScenarioOutcome`] until the sweep completes — fine for the paper's
+//! grids, fatal for the long tail: a 10k-scenario synthetic sweep that dies
+//! at 97% loses everything, and its result set may not fit in RAM at all.
+//! This module executes the same grids as a sequence of **shards**:
+//!
+//! * scenarios are enumerated in the canonical axis order and chunked into
+//!   shards of [`StreamOptions::shard_size`];
+//! * each completed shard is appended to the run directory as a JSONL log
+//!   (`shard-0000.jsonl`, one serialized [`ScenarioOutcome`] per line,
+//!   written atomically) and recorded in the checkpoint manifest
+//!   (`manifest.json`) together with its [`qosrm_core::CurveCache`] hit
+//!   statistics — the cache itself is shared across shards, so later
+//!   shards benefit from curves computed by earlier ones;
+//! * per-mix simulators and baselines live only for the duration of their
+//!   shard, and outcomes go to disk as soon as their shard completes, so
+//!   resident memory is bounded by the shard size, not the sweep size;
+//! * a killed run is resumed with [`resume`]: completed scenarios are
+//!   scanned from the shard logs and skipped, and only the remainder is
+//!   simulated. Simulation is deterministic, so the final [`merge`]d
+//!   [`SweepResult`] is byte-identical to an uninterrupted run — and to
+//!   the in-memory executor (`tests/streaming_resume.rs` locks both in).
+//!
+//! The unit of work on disk is the [`ScenarioSpec`] IR: the manifest embeds
+//! the spec (plus the quick/full database mode), so a run directory is
+//! self-describing — `resume` and `merge` need nothing but the directory.
+
+use crate::context::ExperimentContext;
+use crate::spec::ScenarioSpec;
+use crate::sweep::{
+    grid_points, mix_pairs, scenario_key, GridPoint, ScenarioKey, ScenarioOutcome, SweepEngine,
+    SweepOptions, SweepResult,
+};
+use qosrm_types::QosrmError;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Execution knobs of a streaming sweep. Like [`SweepOptions`], none of
+/// them affect results — only how the work is chunked and executed.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamOptions {
+    /// Scenarios per shard (bounds resident outcomes and checkpoint
+    /// granularity). Applies to the shards of *this* call — a [`resume`]
+    /// may chunk finer or coarser than the original run; the manifest
+    /// records the size most recently used.
+    pub shard_size: usize,
+    /// Stop after this many shards in one call (0 = run to completion).
+    /// Used by tests and smoke runs to exercise partial progress
+    /// deterministically.
+    pub max_shards: usize,
+    /// Execution switches shared with the in-memory path.
+    pub sweep: SweepOptions,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            shard_size: 32,
+            max_shards: 0,
+            sweep: SweepOptions::default(),
+        }
+    }
+}
+
+/// One completed shard in the checkpoint manifest.
+///
+/// Shards normally enter the manifest right after their log is written; a
+/// shard whose manifest update was lost to a kill is *reconciled* from its
+/// log on the next [`resume`], with its cache statistics zeroed (the
+/// counters died with the killed process).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardRecord {
+    /// Shard log file name within the run directory.
+    pub file: String,
+    /// Scenarios the shard completed.
+    pub scenarios: usize,
+    /// Energy-curve cache hits scored while the shard ran (0 for a shard
+    /// reconciled from disk after a kill).
+    pub curve_hits: u64,
+    /// Energy-curve cache misses scored while the shard ran (0 for a shard
+    /// reconciled from disk after a kill).
+    pub curve_misses: u64,
+}
+
+impl ShardRecord {
+    /// Fraction of the shard's curve lookups answered from the shared
+    /// cache (0 when the shard did no lookups).
+    pub fn curve_hit_rate(&self) -> f64 {
+        let total = self.curve_hits + self.curve_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.curve_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The checkpoint manifest of a streaming run directory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepManifest {
+    /// The sweep being executed.
+    pub spec: ScenarioSpec,
+    /// Whether the run uses quick-mode databases (results depend on it, so
+    /// a resume must match).
+    pub quick: bool,
+    /// Scenarios per shard of the most recent `run`/`resume` call (the
+    /// CLI's `sweep resume` defaults to it when `--shard-size` is absent).
+    pub shard_size: usize,
+    /// Total scenarios the spec lowers to.
+    pub total_scenarios: usize,
+    /// Scenarios completed across all shards so far.
+    pub completed_scenarios: usize,
+    /// Completed shards, in execution order.
+    pub shards: Vec<ShardRecord>,
+}
+
+/// File name of the checkpoint manifest.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+impl SweepManifest {
+    /// Loads the manifest of a run directory.
+    pub fn load(dir: &Path) -> Result<Self, QosrmError> {
+        simdb::persist::load_json(&dir.join(MANIFEST_FILE))
+    }
+
+    fn save(&self, dir: &Path) -> Result<(), QosrmError> {
+        simdb::persist::save_json(self, &dir.join(MANIFEST_FILE))
+    }
+}
+
+/// What one [`run`]/[`resume`] call accomplished.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    /// Total scenarios of the sweep.
+    pub total: usize,
+    /// Scenarios completed on disk after this call.
+    pub completed: usize,
+    /// Scenarios found already complete when this call started.
+    pub skipped: usize,
+    /// Shards this call executed.
+    pub shards_run: usize,
+    /// Whether the sweep is now complete.
+    pub finished: bool,
+}
+
+/// Starts a fresh streaming run of `spec` in `dir`.
+///
+/// Fails if `dir` already contains a manifest (use [`resume`] to continue
+/// an interrupted run).
+pub fn run(
+    spec: &ScenarioSpec,
+    ctx: &ExperimentContext,
+    dir: &Path,
+    options: &StreamOptions,
+) -> Result<StreamReport, QosrmError> {
+    if dir.join(MANIFEST_FILE).exists() {
+        return Err(QosrmError::Io(format!(
+            "{} already contains a streaming run; use resume to continue it",
+            dir.display()
+        )));
+    }
+    let grid = spec.lower()?;
+    let manifest = SweepManifest {
+        spec: spec.clone(),
+        quick: ctx.quick,
+        shard_size: options.shard_size.max(1),
+        total_scenarios: grid.len(),
+        completed_scenarios: 0,
+        shards: Vec::new(),
+    };
+    fs::create_dir_all(dir)?;
+    manifest.save(dir)?;
+    run_pending(manifest, ctx, dir, options)
+}
+
+/// Resumes an interrupted streaming run from its directory.
+///
+/// Completed scenarios (scanned from the shard logs) are skipped; the
+/// context's quick/full mode must match the original run, because the
+/// simulation databases — and therefore the results — depend on it.
+pub fn resume(
+    ctx: &ExperimentContext,
+    dir: &Path,
+    options: &StreamOptions,
+) -> Result<StreamReport, QosrmError> {
+    let manifest = SweepManifest::load(dir)?;
+    if manifest.quick != ctx.quick {
+        return Err(QosrmError::Io(format!(
+            "run at {} was started in {} mode but the resume context is {} mode; \
+             results would not be comparable",
+            dir.display(),
+            if manifest.quick { "quick" } else { "full" },
+            if ctx.quick { "quick" } else { "full" },
+        )));
+    }
+    run_pending(manifest, ctx, dir, options)
+}
+
+/// Merges the shard logs of a (complete) streaming run into the final
+/// [`SweepResult`], in canonical axis order — byte-identical to what the
+/// in-memory executor produces for the same spec.
+pub fn merge(dir: &Path) -> Result<SweepResult, QosrmError> {
+    let manifest = SweepManifest::load(dir)?;
+    let grid = manifest.spec.lower()?;
+    let mut by_key: HashMap<ScenarioKey, ScenarioOutcome> = HashMap::new();
+    scan_shards(dir, |_, outcome| {
+        by_key.entry(outcome.key.clone()).or_insert(outcome);
+    })?;
+    let scenarios = grid_points(&grid)
+        .into_iter()
+        .map(|point| {
+            let key = scenario_key(&grid, point);
+            by_key.remove(&key).ok_or_else(|| {
+                QosrmError::Io(format!(
+                    "streaming run at {} is incomplete: scenario {key} has no outcome \
+                     (resume the run before merging)",
+                    dir.display()
+                ))
+            })
+        })
+        .collect::<Result<Vec<_>, QosrmError>>()?;
+    Ok(SweepResult { scenarios })
+}
+
+/// Executes the scenarios of `manifest` that have no outcome on disk yet.
+fn run_pending(
+    mut manifest: SweepManifest,
+    ctx: &ExperimentContext,
+    dir: &Path,
+    options: &StreamOptions,
+) -> Result<StreamReport, QosrmError> {
+    let grid = manifest.spec.lower()?;
+    let points = grid_points(&grid);
+    // Keys-only scan: a resume near the end of a huge sweep must not
+    // materialize every completed outcome just to know what to skip.
+    let mut completed: HashSet<ScenarioKey> = HashSet::new();
+    let mut on_disk: Vec<(String, usize)> = Vec::new();
+    scan_shards(dir, |file, outcome| {
+        completed.insert(outcome.key);
+        match on_disk.last_mut() {
+            Some((last, count)) if last == file => *count += 1,
+            _ => on_disk.push((file.to_string(), 1)),
+        }
+    })?;
+    let pending: Vec<GridPoint> = points
+        .iter()
+        .copied()
+        .filter(|&point| !completed.contains(&scenario_key(&grid, point)))
+        .collect();
+    let skipped = points.len() - pending.len();
+    // Reconcile the manifest with what is actually on disk: a kill may have
+    // landed between a shard write and its manifest update, in which case
+    // the shard's outcomes exist but its record (and cache statistics, lost
+    // with the process) does not.
+    manifest.completed_scenarios = skipped;
+    manifest.shard_size = options.shard_size.max(1);
+    for (file, scenarios) in &on_disk {
+        if !manifest.shards.iter().any(|record| &record.file == file) {
+            manifest.shards.push(ShardRecord {
+                file: file.clone(),
+                scenarios: *scenarios,
+                curve_hits: 0,
+                curve_misses: 0,
+            });
+        }
+    }
+    manifest.shards.sort_by(|a, b| a.file.cmp(&b.file));
+
+    if pending.is_empty() {
+        manifest.save(dir)?;
+        return Ok(StreamReport {
+            total: points.len(),
+            completed: skipped,
+            skipped,
+            shards_run: 0,
+            finished: true,
+        });
+    }
+
+    let engine = SweepEngine::new(&grid, ctx, options.sweep);
+    let first_shard = next_shard_index(dir)?;
+    let mut shards_run = 0usize;
+    for (next_shard, chunk) in (first_shard..).zip(pending.chunks(options.shard_size.max(1))) {
+        if options.max_shards > 0 && shards_run >= options.max_shards {
+            break;
+        }
+        // Per-shard simulators and baselines: built here, dropped at the end
+        // of the shard, so resident state is bounded by the shard size.
+        let units = engine.build_units(&mix_pairs(chunk));
+        let cache = ctx.curve_cache();
+        let (hits_before, misses_before) = (cache.hits(), cache.misses());
+        let outcomes = engine.evaluate_all(&units, chunk);
+        drop(units);
+
+        let file = format!("shard-{next_shard:04}.jsonl");
+        let mut log = String::new();
+        for outcome in &outcomes {
+            log.push_str(
+                &serde_json::to_string(outcome).map_err(|e| QosrmError::Io(e.to_string()))?,
+            );
+            log.push('\n');
+        }
+        simdb::persist::write_atomic(&dir.join(&file), log.as_bytes())?;
+
+        manifest.completed_scenarios += outcomes.len();
+        manifest.shards.push(ShardRecord {
+            file,
+            scenarios: outcomes.len(),
+            curve_hits: cache.hits() - hits_before,
+            curve_misses: cache.misses() - misses_before,
+        });
+        manifest.save(dir)?;
+        shards_run += 1;
+    }
+
+    Ok(StreamReport {
+        total: points.len(),
+        completed: manifest.completed_scenarios,
+        skipped,
+        shards_run,
+        finished: manifest.completed_scenarios == points.len(),
+    })
+}
+
+/// The shard log files of a run directory, sorted by shard index.
+fn shard_files(dir: &Path) -> Result<Vec<PathBuf>, QosrmError> {
+    let mut files = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("shard-") && name.ends_with(".jsonl") {
+            files.push(entry.path());
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Index to use for the next shard log (max existing index + 1).
+fn next_shard_index(dir: &Path) -> Result<usize, QosrmError> {
+    Ok(shard_files(dir)?
+        .iter()
+        .filter_map(|path| {
+            path.file_name()?
+                .to_string_lossy()
+                .strip_prefix("shard-")?
+                .strip_suffix(".jsonl")?
+                .parse::<usize>()
+                .ok()
+        })
+        .map(|idx| idx + 1)
+        .max()
+        .unwrap_or(0))
+}
+
+/// Visits every completed outcome in the shard logs, in shard order,
+/// passing each visitor the shard's file name. The visitor decides what to
+/// retain — a resume keeps only the keys, a merge the full outcomes.
+///
+/// A malformed *final* line of a log is tolerated (a torn write from a
+/// killed process — that scenario simply counts as not completed); a
+/// malformed line in the middle of a log is corruption and fails the scan.
+fn scan_shards(dir: &Path, mut visit: impl FnMut(&str, ScenarioOutcome)) -> Result<(), QosrmError> {
+    for path in shard_files(dir)? {
+        let file = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let text = fs::read_to_string(&path)?;
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<ScenarioOutcome>(line) {
+                Ok(outcome) => visit(&file, outcome),
+                Err(e) if i + 1 == lines.len() => {
+                    // Torn trailing line: drop it, the scenario re-runs.
+                    let _ = e;
+                }
+                Err(e) => {
+                    return Err(QosrmError::Io(format!(
+                        "corrupt shard log {} at line {}: {e}",
+                        path.display(),
+                        i + 1
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{PlatformAxisSpec, PlatformSpec, WorkloadSource};
+    use crate::sweep::{QosAxis, RmaVariant};
+    use qosrm_types::QosSpec;
+    use workload::{MixPopulation, SynthSpec};
+
+    fn tiny_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "stream-test".to_string(),
+            platforms: vec![PlatformAxisSpec {
+                label: "p4".to_string(),
+                platform: PlatformSpec::Paper1 { num_cores: 4 },
+                workloads: WorkloadSource::Synth(SynthSpec {
+                    seed: 3,
+                    count: 3,
+                    num_cores: 4,
+                    population: MixPopulation::Mixed,
+                    name_prefix: "s-".to_string(),
+                }),
+            }],
+            qos: vec![QosAxis::uniform("strict", QosSpec::STRICT)],
+            variants: vec![RmaVariant::Paper1],
+            options: Some(rma_sim::SimulationOptions {
+                provide_mlp_profiles: false,
+                ..Default::default()
+            }),
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qosrm_stream_{tag}_{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn run_refuses_an_existing_run_directory() {
+        let dir = temp_dir("existing");
+        let ctx = ExperimentContext::new(true);
+        let spec = tiny_spec();
+        let options = StreamOptions {
+            shard_size: 2,
+            ..Default::default()
+        };
+        run(&spec, &ctx, &dir, &options).unwrap();
+        assert!(run(&spec, &ctx, &dir, &options).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partial_run_checkpoints_and_resume_completes() {
+        let dir = temp_dir("partial");
+        let ctx = ExperimentContext::new(true);
+        let spec = tiny_spec();
+        let partial = StreamOptions {
+            shard_size: 1,
+            max_shards: 2,
+            ..Default::default()
+        };
+        let report = run(&spec, &ctx, &dir, &partial).unwrap();
+        assert_eq!(report.total, 3);
+        assert_eq!(report.completed, 2);
+        assert!(!report.finished);
+        // Merging an incomplete run names the missing scenario.
+        assert!(merge(&dir).is_err());
+
+        let manifest = SweepManifest::load(&dir).unwrap();
+        assert_eq!(manifest.shards.len(), 2);
+        assert_eq!(manifest.completed_scenarios, 2);
+
+        let rest = StreamOptions {
+            shard_size: 1,
+            ..Default::default()
+        };
+        let report = resume(&ctx, &dir, &rest).unwrap();
+        assert_eq!(report.skipped, 2);
+        assert!(report.finished);
+        let merged = merge(&dir).unwrap();
+        assert_eq!(merged.scenarios.len(), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_database_mode_mismatch() {
+        let dir = temp_dir("mode");
+        let ctx = ExperimentContext::new(true);
+        run(&tiny_spec(), &ctx, &dir, &StreamOptions::default()).unwrap();
+        let full = ExperimentContext::new(false);
+        assert!(resume(&full, &dir, &StreamOptions::default()).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_trailing_shard_line_is_dropped_and_rerun() {
+        let dir = temp_dir("torn");
+        let ctx = ExperimentContext::new(true);
+        run(
+            &tiny_spec(),
+            &ctx,
+            &dir,
+            &StreamOptions {
+                shard_size: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let reference = merge(&dir).unwrap();
+        // Tear the last line of the last shard log.
+        let last = shard_files(&dir).unwrap().pop().unwrap();
+        let text = fs::read_to_string(&last).unwrap();
+        fs::write(&last, &text[..text.len() / 2]).unwrap();
+        assert!(merge(&dir).is_err());
+        let report = resume(&ctx, &dir, &StreamOptions::default()).unwrap();
+        assert!(report.finished);
+        assert_eq!(report.skipped, 2);
+        let healed = merge(&dir).unwrap();
+        assert_eq!(healed, reference);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -65,6 +65,7 @@ use qosrm_types::{PlatformConfig, QosSpec, QosrmError};
 use rayon::prelude::*;
 use rma_sim::{Comparison, CophaseSimulator, SimulationOptions, SimulationResult};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 use workload::WorkloadMix;
@@ -98,7 +99,7 @@ impl PlatformAxis {
 }
 
 /// How a QoS axis point assigns per-application QoS specifications.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum QosPolicy {
     /// Every application gets the same specification.
     Uniform(QosSpec),
@@ -121,7 +122,7 @@ impl QosPolicy {
 }
 
 /// One named QoS point of a sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QosAxis {
     /// Label used in scenario keys (e.g. `"strict"`, `"relaxation 40%"`).
     pub label: String,
@@ -148,7 +149,10 @@ impl QosAxis {
 }
 
 /// Which resource manager a scenario runs.
-#[derive(Debug, Clone)]
+///
+/// Serializable so a scenario spec file (`crate::spec`) can name variants
+/// directly; labels (not the serialized form) key the sweep results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum RmaVariant {
     /// RM1: LLC partitioning only.
     PartitioningOnly,
@@ -458,50 +462,20 @@ pub fn run_with(
     options: &SweepOptions,
 ) -> SweepResult {
     grid.validate().expect("scenario grid must be valid");
+    let engine = SweepEngine::new(grid, ctx, *options);
+    let points = grid_points(grid);
+    let pairs: Vec<(usize, usize)> = mix_pairs(&points);
+    let units = engine.build_units(&pairs);
+    let scenarios = engine.evaluate_all(&units, &points);
+    SweepResult { scenarios }
+}
 
-    // Phase 1 (serial): one simulation database per platform axis. Builds
-    // are cached in the context and internally parallel already.
-    let databases: Vec<_> = grid
-        .platforms
-        .iter()
-        .map(|axis| ctx.database(&axis.platform, &axis.mixes))
-        .collect();
+/// One scenario of a grid as `(platform, mix, qos, variant)` axis indices.
+pub(crate) type GridPoint = (usize, usize, usize, usize);
 
-    // Phase 2: one simulator per (platform, mix), then each workload's
-    // baseline run — baselines are manager- and QoS-independent, so a
-    // sweep with Q QoS points and V variants reuses each one Q·V times.
-    let simulators: Vec<Vec<CophaseSimulator>> = grid
-        .platforms
-        .iter()
-        .zip(&databases)
-        .map(|(axis, db)| {
-            axis.mixes
-                .iter()
-                .map(|mix| {
-                    CophaseSimulator::new(db, mix, grid.options.clone())
-                        .expect("mix validated against its platform")
-                })
-                .collect()
-        })
-        .collect();
-    let baseline_refs: Vec<&CophaseSimulator> =
-        simulators.iter().flat_map(|sims| sims.iter()).collect();
-    let run_baseline = |sim: &&CophaseSimulator| -> SimulationResult {
-        sim.run_baseline()
-            .expect("baseline run must finish within the event budget")
-    };
-    let baselines_flat: Vec<SimulationResult> = if options.parallel {
-        baseline_refs.par_iter().map(run_baseline).collect()
-    } else {
-        baseline_refs.iter().map(run_baseline).collect()
-    };
-    let mut baselines: Vec<Vec<SimulationResult>> = Vec::with_capacity(simulators.len());
-    let mut flat = baselines_flat.into_iter();
-    for sims in &simulators {
-        baselines.push(flat.by_ref().take(sims.len()).collect());
-    }
-
-    // Phase 3: enumerate and evaluate the scenarios.
+/// Enumerates a grid's scenarios in the canonical axis order
+/// (platform → mix → QoS → variant) — the order of [`SweepResult`] rows.
+pub(crate) fn grid_points(grid: &ScenarioGrid) -> Vec<GridPoint> {
     let mut points = Vec::with_capacity(grid.len());
     for (a, axis) in grid.platforms.iter().enumerate() {
         for m in 0..axis.mixes.len() {
@@ -512,37 +486,148 @@ pub fn run_with(
             }
         }
     }
+    points
+}
 
-    let evaluate = |&(a, m, q, v): &(usize, usize, usize, usize)| -> ScenarioOutcome {
-        let axis = &grid.platforms[a];
-        let qos_axis = &grid.qos[q];
-        let variant = &grid.variants[v];
+/// The [`ScenarioKey`] of one grid point.
+pub(crate) fn scenario_key(grid: &ScenarioGrid, (a, m, q, v): GridPoint) -> ScenarioKey {
+    ScenarioKey {
+        platform: grid.platforms[a].label.clone(),
+        mix: grid.platforms[a].mixes[m].name.clone(),
+        qos: grid.qos[q].label.clone(),
+        variant: grid.variants[v].label().to_string(),
+    }
+}
+
+/// The distinct `(platform, mix)` pairs of a point list, in first-seen
+/// order (points are enumerated in axis order, so this is axis order too).
+pub(crate) fn mix_pairs(points: &[GridPoint]) -> Vec<(usize, usize)> {
+    let mut seen = std::collections::HashSet::new();
+    let mut pairs = Vec::new();
+    for &(a, m, _, _) in points {
+        if seen.insert((a, m)) {
+            pairs.push((a, m));
+        }
+    }
+    pairs
+}
+
+/// The per-`(platform, mix)` state a scenario evaluation needs: the
+/// simulator and the manager-independent baseline run (reused across all
+/// QoS points and variants of the mix).
+pub(crate) struct MixUnit {
+    simulator: CophaseSimulator,
+    baseline: SimulationResult,
+}
+
+/// Shared evaluation machinery of the in-memory ([`run_with`]) and
+/// streaming (`crate::stream`) executors: the per-platform databases plus
+/// the single-scenario evaluation path. [`MixUnit`]s are built explicitly
+/// (and can be dropped between shards), so the caller controls how much
+/// simulation state is resident at once.
+pub(crate) struct SweepEngine<'g> {
+    grid: &'g ScenarioGrid,
+    options: SweepOptions,
+    curve_cache: std::sync::Arc<qosrm_core::CurveCache>,
+    databases: Vec<simdb::SimDb>,
+}
+
+impl<'g> SweepEngine<'g> {
+    /// Builds the engine: one simulation database per platform axis
+    /// (cached in the context and internally parallel already).
+    pub fn new(grid: &'g ScenarioGrid, ctx: &ExperimentContext, options: SweepOptions) -> Self {
+        let databases = grid
+            .platforms
+            .iter()
+            .map(|axis| ctx.database(&axis.platform, &axis.mixes))
+            .collect();
+        SweepEngine {
+            grid,
+            options,
+            curve_cache: ctx.curve_cache().clone(),
+            databases,
+        }
+    }
+
+    /// Builds the simulator and baseline run of every listed
+    /// `(platform, mix)` pair — baselines are manager- and QoS-independent,
+    /// so a sweep with Q QoS points and V variants reuses each one Q·V
+    /// times. Runs in parallel when the sweep options say so.
+    pub fn build_units(&self, pairs: &[(usize, usize)]) -> HashMap<(usize, usize), MixUnit> {
+        let build = |&(a, m): &(usize, usize)| -> ((usize, usize), MixUnit) {
+            let axis = &self.grid.platforms[a];
+            let simulator = CophaseSimulator::new(
+                &self.databases[a],
+                &axis.mixes[m],
+                self.grid.options.clone(),
+            )
+            .expect("mix validated against its platform");
+            let baseline = simulator
+                .run_baseline()
+                .expect("baseline run must finish within the event budget");
+            (
+                (a, m),
+                MixUnit {
+                    simulator,
+                    baseline,
+                },
+            )
+        };
+        if self.options.parallel {
+            pairs.par_iter().map(build).collect::<Vec<_>>()
+        } else {
+            pairs.iter().map(build).collect::<Vec<_>>()
+        }
+        .into_iter()
+        .collect()
+    }
+
+    /// Evaluates one scenario against its prebuilt [`MixUnit`].
+    pub fn evaluate(
+        &self,
+        units: &HashMap<(usize, usize), MixUnit>,
+        (a, m, q, v): GridPoint,
+    ) -> ScenarioOutcome {
+        let axis = &self.grid.platforms[a];
+        let qos_axis = &self.grid.qos[q];
+        let variant = &self.grid.variants[v];
+        let unit = units
+            .get(&(a, m))
+            .expect("mix unit built before evaluation");
         let qos = qos_axis.policy.resolve(axis.platform.num_cores);
         let mut manager = variant.build(&axis.platform, qos.clone());
-        if options.memoize {
-            manager = manager.with_curve_cache(ctx.curve_cache().clone());
+        if self.options.memoize {
+            manager = manager.with_curve_cache(self.curve_cache.clone());
         }
-        let (comparison, _managed) = simulators[a][m]
-            .run_comparison(&mut manager, &baselines[a][m], &qos)
+        let (comparison, _managed) = unit
+            .simulator
+            .run_comparison(&mut manager, &unit.baseline, &qos)
             .unwrap_or_else(|e| panic!("scenario simulation failed: {e}"));
         ScenarioOutcome {
-            key: ScenarioKey {
-                platform: axis.label.clone(),
-                mix: axis.mixes[m].name.clone(),
-                qos: qos_axis.label.clone(),
-                variant: variant.label().to_string(),
-            },
+            key: scenario_key(self.grid, (a, m, q, v)),
             comparison,
         }
-    };
+    }
 
-    let scenarios: Vec<ScenarioOutcome> = if options.parallel {
-        points.par_iter().map(evaluate).collect()
-    } else {
-        points.iter().map(evaluate).collect()
-    };
-
-    SweepResult { scenarios }
+    /// Evaluates the listed scenarios (in parallel when enabled), returning
+    /// outcomes in the order of `points` regardless of execution order.
+    pub fn evaluate_all(
+        &self,
+        units: &HashMap<(usize, usize), MixUnit>,
+        points: &[GridPoint],
+    ) -> Vec<ScenarioOutcome> {
+        if self.options.parallel {
+            points
+                .par_iter()
+                .map(|&point| self.evaluate(units, point))
+                .collect()
+        } else {
+            points
+                .iter()
+                .map(|&point| self.evaluate(units, point))
+                .collect()
+        }
+    }
 }
 
 #[cfg(test)]

@@ -31,11 +31,15 @@ use qosrm_types::{
     FreqLevel, IntervalStats, MissProfile, MlpProfile, PhaseId, PlatformConfig, QosrmError,
     ResourceManager, SettingDelta, SystemSetting,
 };
+use serde::{Deserialize, Serialize};
 use simdb::{BenchmarkRecord, GroundTruth, SimDb};
 use workload::WorkloadMix;
 
 /// Options of a simulation run.
-#[derive(Debug, Clone)]
+///
+/// Serializable so a scenario spec file (`experiments::spec`) can pin the
+/// exact simulation configuration of a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationOptions {
     /// Give the manager the ground-truth configuration table of the upcoming
     /// interval (perfect-model experiments).

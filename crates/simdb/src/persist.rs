@@ -10,21 +10,61 @@ use qosrm_types::QosrmError;
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Saves any serializable value to `path` as JSON, creating parent
 /// directories as needed.
 ///
 /// Shared by the database cache and by downstream result tables (e.g. the
 /// sweep results of `experiments::sweep`), so everything the pipeline
-/// persists goes through one code path.
+/// persists goes through one code path. The write is atomic (see
+/// [`write_atomic`]): a reader — including a later `load`/`resume` — never
+/// observes a half-written file, even if the process is killed mid-save.
 pub fn save_json<T: Serialize>(value: &T, path: &Path) -> Result<(), QosrmError> {
     let json = serde_json::to_string(value).map_err(|e| QosrmError::Io(e.to_string()))?;
+    write_atomic(path, json.as_bytes())
+}
+
+/// Distinguishes concurrent temp files of one process (the pid alone is not
+/// enough when several threads save under the same directory).
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Atomically replaces the file at `path` with `bytes`, creating parent
+/// directories as needed.
+///
+/// The bytes are written to a unique sibling temp file which is then renamed
+/// over `path` — on POSIX a rename within one directory is atomic, so a
+/// crash at any point leaves either the old content, the new content, or a
+/// stray `.tmp` file, never a truncated `path`.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), QosrmError> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             fs::create_dir_all(parent)?;
         }
     }
-    fs::write(path, json)?;
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| QosrmError::Io(format!("cannot write to {}: no file name", path.display())))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = path.with_file_name(format!(
+        ".{file_name}.{}.{}.tmp",
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    if let Err(e) = fs::write(&tmp, bytes) {
+        // Don't strand the temp file (e.g. a partial write on ENOSPC).
+        let _ = fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    fs::rename(&tmp, path).map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        QosrmError::Io(format!(
+            "failed to move {} into place at {}: {e}",
+            tmp.display(),
+            path.display()
+        ))
+    })?;
     Ok(())
 }
 
@@ -110,6 +150,25 @@ mod tests {
         assert_eq!(builds, 1, "second call must hit the cache");
         assert_eq!(db1, db2);
         fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join("qosrm_simdb_atomic_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("value.json");
+        save_json(&vec![1u64, 2, 3], &path).unwrap();
+        // Overwriting an existing file goes through the same temp+rename.
+        save_json(&vec![4u64], &path).unwrap();
+        let loaded: Vec<u64> = load_json(&path).unwrap();
+        assert_eq!(loaded, vec![4]);
+        let stray: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(stray.is_empty(), "temp files left behind: {stray:?}");
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -24,7 +24,11 @@
 //!   SimPoint output the co-phase simulator consumes, plus a small k-means
 //!   clustering utility ([`simpoint`]) over slice feature vectors;
 //! * the paper's **application categorization** ([`category`]) and the
-//!   **workload mixes** ([`mixes`]) used by every experiment.
+//!   **workload mixes** ([`mixes`]) used by every experiment;
+//! * a seeded **mix synthesizer** ([`synth`]) that expands a serializable
+//!   [`SynthSpec`] into arbitrarily many mixes drawn from the category
+//!   pools — deterministic per `(seed, index)`, so scenario sweeps can scale
+//!   far beyond the hand-enumerated paper mixes.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,6 +40,7 @@ pub mod phase;
 pub mod simpoint;
 pub mod stream;
 pub mod suite;
+pub mod synth;
 pub mod trace;
 
 pub use category::{classify, AppCategory, CategoryThresholds, Paper1Category, Paper2Category};
@@ -48,4 +53,5 @@ pub use phase::{PhaseSpec, Region};
 pub use simpoint::{cluster_slices, SliceFeatures};
 pub use stream::StreamGenerator;
 pub use suite::{benchmark, benchmark_names, BenchmarkProfile};
+pub use synth::{MixPopulation, SynthSpec};
 pub use trace::PhaseTrace;

@@ -79,8 +79,9 @@ pub fn validate_mix_axis(mixes: &[WorkloadMix]) -> Result<(), QosrmError> {
     Ok(())
 }
 
-/// Category pools used to compose the mixes.
-mod pools {
+/// Category pools used to compose the mixes (shared with the seeded
+/// synthesizer in [`crate::synth`]).
+pub(crate) mod pools {
     /// Memory-intensive, cache-sensitive, dependent misses (CS-PI).
     pub const CS_PI: [&str; 4] = ["mcf_like", "omnetpp_like", "astar_like", "xalancbmk_like"];
     /// Memory-intensive, cache-sensitive, bursty misses (CS-PS).

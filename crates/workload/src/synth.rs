@@ -1,0 +1,288 @@
+//! Seeded synthesis of workload mixes.
+//!
+//! The paper evaluates on a handful of hand-picked mixes; the interesting
+//! behaviour of a coordinated resource manager lives in the long tail of the
+//! scenario space. This module turns "200 mixes drawn from a streaming-heavy
+//! population on 8 cores" into data: a [`SynthSpec`] is serializable (so it
+//! can sit inside a scenario spec file) and expands deterministically —
+//! [`SynthSpec::mix`] depends only on `(seed, index)`, never on how many
+//! mixes were generated before it, so sharded and resumed sweeps regenerate
+//! identical workloads.
+//!
+//! Mixes are composed from the same category pools the paper's hand-built
+//! mixes use (see `mixes.rs`): each slot samples a pool according to the
+//! population's weights, then a benchmark uniformly within the pool.
+//!
+//! # Example
+//!
+//! ```
+//! use workload::{validate_mix_axis, MixPopulation, SynthSpec};
+//!
+//! let spec = SynthSpec {
+//!     seed: 42,
+//!     count: 8,
+//!     num_cores: 4,
+//!     population: MixPopulation::StreamingHeavy,
+//!     name_prefix: "syn-".to_string(),
+//! };
+//! let mixes = spec.mixes().unwrap();
+//! assert_eq!(mixes.len(), 8);
+//! assert!(validate_mix_axis(&mixes).is_ok());
+//! // Deterministic per (seed, index): regenerating any mix is exact.
+//! assert_eq!(spec.mix(5), mixes[5]);
+//! ```
+
+use crate::mixes::{pools, WorkloadMix};
+use qosrm_types::QosrmError;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which population of applications a synthesized mix draws from.
+///
+/// Each population is a weighted mixture over the category pools of
+/// `mixes.rs`; the weights steer the mix towards the paper's qualitative
+/// scenario classes without hardcoding any particular composition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MixPopulation {
+    /// Dominated by streaming, cache-insensitive memory applications
+    /// (the paper's Scenario-3 shape: only core re-configuration helps).
+    StreamingHeavy,
+    /// Dominated by cache-sensitive applications (where coordinated
+    /// DVFS + partitioning pays off most).
+    CacheSensitive,
+    /// Dominated by compute-bound applications (the paper's "no benefit"
+    /// shape).
+    ComputeBound,
+    /// A balanced draw across all category pools.
+    Mixed,
+    /// Uniform over the whole suite, ignoring categories.
+    Uniform,
+}
+
+/// One weighted pool of a population.
+type WeightedPool = (&'static [&'static str], u32);
+
+impl MixPopulation {
+    /// The weighted category pools of this population.
+    fn weighted_pools(&self) -> &'static [WeightedPool] {
+        const STREAMING: &[WeightedPool] =
+            &[(&pools::CI_PS, 6), (&pools::CS_PS, 2), (&pools::COMPUTE, 2)];
+        const CACHE_SENSITIVE: &[WeightedPool] = &[
+            (&pools::CS_PI, 4),
+            (&pools::CS_PS, 4),
+            (&pools::COMPUTE, 1),
+            (&pools::MIXED, 1),
+        ];
+        const COMPUTE_BOUND: &[WeightedPool] =
+            &[(&pools::COMPUTE, 6), (&pools::CI_PI, 3), (&pools::MIXED, 1)];
+        const MIXED: &[WeightedPool] = &[
+            (&pools::CS_PI, 1),
+            (&pools::CS_PS, 1),
+            (&pools::CI_PS, 1),
+            (&pools::CI_PI, 1),
+            (&pools::COMPUTE, 1),
+            (&pools::MIXED, 1),
+        ];
+        match self {
+            MixPopulation::StreamingHeavy => STREAMING,
+            MixPopulation::CacheSensitive => CACHE_SENSITIVE,
+            MixPopulation::ComputeBound => COMPUTE_BOUND,
+            MixPopulation::Mixed => MIXED,
+            // Uniform samples the whole suite directly (see `sample_slot`).
+            MixPopulation::Uniform => MIXED,
+        }
+    }
+}
+
+/// A declarative, serializable recipe for a family of workload mixes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthSpec {
+    /// Root seed of the family; every mix derives its generator from
+    /// `(seed, index)` alone.
+    pub seed: u64,
+    /// Number of mixes the spec expands to.
+    pub count: usize,
+    /// Applications per mix (= cores of the target platform).
+    pub num_cores: usize,
+    /// Population the applications are drawn from.
+    pub population: MixPopulation,
+    /// Prefix of the generated mix names (`"{prefix}{index:04}"`); names are
+    /// unique within the spec, as a sweep axis requires.
+    pub name_prefix: String,
+}
+
+/// SplitMix64 finalizer: decorrelates the per-mix seeds derived from
+/// `(seed, index)`.
+fn mix_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SynthSpec {
+    /// Validates the spec: at least one mix, at least one core.
+    pub fn validate(&self) -> Result<(), QosrmError> {
+        if self.count == 0 {
+            return Err(QosrmError::InvalidWorkload(
+                "synthetic workload spec expands to zero mixes".into(),
+            ));
+        }
+        if self.num_cores == 0 {
+            return Err(QosrmError::InvalidWorkload(
+                "synthetic workload spec has zero cores per mix".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Generates mix `index` of the family.
+    ///
+    /// Deterministic per `(seed, index)`: the result does not depend on
+    /// `count` or on any previously generated mix, so a resumed or sharded
+    /// sweep regenerates byte-identical workloads.
+    pub fn mix(&self, index: usize) -> WorkloadMix {
+        let mut rng = ChaCha8Rng::seed_from_u64(mix_seed(self.seed, index as u64));
+        let benchmarks: Vec<&str> = (0..self.num_cores)
+            .map(|_| self.sample_slot(&mut rng))
+            .collect();
+        WorkloadMix::new(format!("{}{index:04}", self.name_prefix), benchmarks)
+    }
+
+    /// Expands the whole family (validating first).
+    pub fn mixes(&self) -> Result<Vec<WorkloadMix>, QosrmError> {
+        self.validate()?;
+        Ok((0..self.count).map(|i| self.mix(i)).collect())
+    }
+
+    /// Samples one application slot from the population.
+    fn sample_slot(&self, rng: &mut ChaCha8Rng) -> &'static str {
+        if self.population == MixPopulation::Uniform {
+            let names = crate::suite::benchmark_names();
+            return names[rng.gen_range(0..names.len())];
+        }
+        let weighted = self.population.weighted_pools();
+        let total: u32 = weighted.iter().map(|(_, w)| w).sum();
+        let mut ticket = rng.gen_range(0..total as u64) as u32;
+        for (pool, weight) in weighted {
+            if ticket < *weight {
+                return pool[rng.gen_range(0..pool.len())];
+            }
+            ticket -= weight;
+        }
+        unreachable!("ticket exceeds total pool weight");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mixes::validate_mix_axis;
+
+    fn spec(population: MixPopulation) -> SynthSpec {
+        SynthSpec {
+            seed: 7,
+            count: 16,
+            num_cores: 4,
+            population,
+            name_prefix: "syn-".to_string(),
+        }
+    }
+
+    #[test]
+    fn families_are_valid_sweep_axes() {
+        for population in [
+            MixPopulation::StreamingHeavy,
+            MixPopulation::CacheSensitive,
+            MixPopulation::ComputeBound,
+            MixPopulation::Mixed,
+            MixPopulation::Uniform,
+        ] {
+            let mixes = spec(population).mixes().unwrap();
+            assert_eq!(mixes.len(), 16);
+            validate_mix_axis(&mixes).unwrap_or_else(|e| panic!("{population:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn per_index_determinism_is_independent_of_count() {
+        let a = spec(MixPopulation::Mixed);
+        let mut b = a.clone();
+        b.count = 3;
+        for i in 0..3 {
+            assert_eq!(a.mix(i), b.mix(i));
+        }
+        assert_eq!(a.mixes().unwrap()[..3], b.mixes().unwrap()[..]);
+    }
+
+    #[test]
+    fn different_seeds_and_indices_differ() {
+        let a = spec(MixPopulation::Mixed);
+        let mut other = a.clone();
+        other.seed = 8;
+        assert_ne!(a.mix(0).benchmarks, other.mix(0).benchmarks);
+        assert_ne!(a.mix(0).benchmarks, a.mix(1).benchmarks);
+    }
+
+    #[test]
+    fn populations_shape_the_draw() {
+        let streaming = SynthSpec {
+            count: 64,
+            ..spec(MixPopulation::StreamingHeavy)
+        };
+        let slots: Vec<String> = streaming
+            .mixes()
+            .unwrap()
+            .into_iter()
+            .flat_map(|m| m.benchmarks)
+            .collect();
+        let streaming_fraction = slots
+            .iter()
+            .filter(|b| pools::CI_PS.contains(&b.as_str()))
+            .count() as f64
+            / slots.len() as f64;
+        assert!(
+            streaming_fraction > 0.4,
+            "streaming-heavy population drew only {streaming_fraction:.2} from CI-PS"
+        );
+
+        let compute = SynthSpec {
+            count: 64,
+            ..spec(MixPopulation::ComputeBound)
+        };
+        let slots: Vec<String> = compute
+            .mixes()
+            .unwrap()
+            .into_iter()
+            .flat_map(|m| m.benchmarks)
+            .collect();
+        let compute_fraction = slots
+            .iter()
+            .filter(|b| pools::COMPUTE.contains(&b.as_str()))
+            .count() as f64
+            / slots.len() as f64;
+        assert!(
+            compute_fraction > 0.4,
+            "compute-bound population drew only {compute_fraction:.2} from COMPUTE"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        let mut zero_count = spec(MixPopulation::Mixed);
+        zero_count.count = 0;
+        assert!(zero_count.mixes().is_err());
+        let mut zero_cores = spec(MixPopulation::Mixed);
+        zero_cores.num_cores = 0;
+        assert!(zero_cores.mixes().is_err());
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let s = spec(MixPopulation::StreamingHeavy);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SynthSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property coverage of the seeded mix synthesizer: every generated family
+//! is a valid sweep axis, and generation is deterministic per
+//! `(seed, index)` — independent of the family size, which is what lets
+//! sharded/resumed sweeps regenerate identical workloads.
+
+use proptest::prelude::*;
+use workload::{validate_mix_axis, MixPopulation, SynthSpec};
+
+fn population(idx: u8) -> MixPopulation {
+    match idx % 5 {
+        0 => MixPopulation::StreamingHeavy,
+        1 => MixPopulation::CacheSensitive,
+        2 => MixPopulation::ComputeBound,
+        3 => MixPopulation::Mixed,
+        _ => MixPopulation::Uniform,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Families always pass the sweep-axis validation (valid benchmarks,
+    /// uniform width, unique names).
+    #[test]
+    fn families_are_valid_sweep_axes(
+        seed in 0u64..u64::MAX / 2,
+        count in 1usize..24,
+        num_cores in 1usize..17,
+        pop in 0u8..5,
+    ) {
+        let spec = SynthSpec {
+            seed,
+            count,
+            num_cores,
+            population: population(pop),
+            name_prefix: "p-".to_string(),
+        };
+        let mixes = spec.mixes().expect("valid spec expands");
+        prop_assert_eq!(mixes.len(), count);
+        validate_mix_axis(&mixes).expect("family is a valid axis");
+        for mix in &mixes {
+            prop_assert_eq!(mix.num_cores(), num_cores);
+        }
+    }
+
+    /// `mix(index)` depends only on `(seed, index)`: shrinking or growing
+    /// the family, or regenerating a single index, is byte-identical.
+    #[test]
+    fn generation_is_deterministic_per_seed_and_index(
+        seed in 0u64..u64::MAX / 2,
+        count in 2usize..24,
+        index_frac in 0u64..1000,
+        pop in 0u8..5,
+    ) {
+        let spec = SynthSpec {
+            seed,
+            count,
+            num_cores: 4,
+            population: population(pop),
+            name_prefix: "d-".to_string(),
+        };
+        let index = (index_frac as usize * (count - 1)) / 999;
+        let full = spec.mixes().expect("valid spec expands");
+        // Regenerating one index in isolation matches the full expansion.
+        prop_assert_eq!(&spec.mix(index), &full[index]);
+        // A truncated family is a prefix of the full one.
+        let truncated = SynthSpec { count: index + 1, ..spec.clone() };
+        prop_assert_eq!(&truncated.mixes().expect("valid")[..], &full[..index + 1]);
+        // A different seed changes the draw somewhere in the family.
+        let reseeded = SynthSpec { seed: seed + 1, ..spec };
+        let other = reseeded.mixes().expect("valid");
+        prop_assert!(
+            (0..count).any(|i| other[i].benchmarks != full[i].benchmarks),
+            "seed change left the whole family identical"
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Authoring scenario spec files in Rust.
+//!
+//! A [`experiments::ScenarioSpec`] is plain data: build it with the types
+//! of `experiments::spec`, save it as JSON, and feed it to the streaming
+//! CLI (`qosrm-experiments sweep run --spec FILE --out DIR`). This example
+//! regenerates the two spec files committed under `examples/specs/`:
+//!
+//! * `synth_smoke.json` — a small synthetic sweep the CI smoke step runs,
+//!   kills partway, resumes and merges;
+//! * `synth_sweep.json` — a 200-mix sweep drawing from three populations
+//!   (streaming-heavy, cache-sensitive, mixed) on 4-, 8- and 16-core
+//!   platforms: far beyond what the paper's hand-built mix tables cover,
+//!   and the scale the streaming executor exists for.
+//!
+//! Run with `cargo run --example scenario_spec_files [OUT_DIR]`.
+
+use experiments::spec::{PlatformAxisSpec, PlatformSpec, ScenarioSpec, WorkloadSource};
+use experiments::sweep::{QosAxis, RmaVariant};
+use qosrm_types::QosSpec;
+use workload::{MixPopulation, SynthSpec};
+
+fn synth_axis(
+    num_cores: usize,
+    count: usize,
+    population: MixPopulation,
+    tag: &str,
+) -> PlatformAxisSpec {
+    PlatformAxisSpec {
+        label: format!("{tag}-{num_cores}c"),
+        platform: PlatformSpec::Paper2 { num_cores },
+        workloads: WorkloadSource::Synth(SynthSpec {
+            seed: 2024,
+            count,
+            num_cores,
+            population,
+            name_prefix: format!("{tag}{num_cores}-"),
+        }),
+    }
+}
+
+/// The CI smoke spec: 12 mixes × 1 QoS point × 2 variants = 24 scenarios.
+fn smoke_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "synth-smoke".to_string(),
+        platforms: vec![synth_axis(4, 12, MixPopulation::Mixed, "smoke")],
+        qos: vec![QosAxis::uniform("strict", QosSpec::STRICT)],
+        variants: vec![RmaVariant::Paper1, RmaVariant::Paper2],
+        options: None,
+    }
+}
+
+/// The 200-mix scenario-space sweep: three populations over three platform
+/// widths, 200 scenarios with the single RM3 variant.
+fn sweep_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "synth-200".to_string(),
+        platforms: vec![
+            synth_axis(4, 80, MixPopulation::StreamingHeavy, "streaming"),
+            synth_axis(8, 80, MixPopulation::CacheSensitive, "cachesens"),
+            synth_axis(16, 40, MixPopulation::Mixed, "mixed"),
+        ],
+        qos: vec![QosAxis::uniform("strict", QosSpec::STRICT)],
+        variants: vec![RmaVariant::Paper2],
+        options: None,
+    }
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "examples/specs".to_string());
+    let out = std::path::Path::new(&out);
+    for (file, spec) in [
+        ("synth_smoke.json", smoke_spec()),
+        ("synth_sweep.json", sweep_spec()),
+    ] {
+        let path = out.join(file);
+        spec.lower().expect("example specs must lower");
+        spec.save(&path).expect("spec file saves");
+        println!(
+            "wrote {} ({} scenarios)",
+            path.display(),
+            spec.lower().unwrap().len()
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Equivalence guarantees of the streaming sharded executor:
+//!
+//! * an existing experiment grid (E1's) run through the streaming executor
+//!   merges to a `SweepResult` byte-identical to the in-memory path;
+//! * a sweep interrupted after N shards and resumed merges byte-identically
+//!   to an uninterrupted run of the same spec;
+//! * the checkpoint manifest tracks per-shard curve-cache statistics.
+
+use experiments::spec::{PlatformAxisSpec, PlatformSpec, ScenarioSpec, WorkloadSource};
+use experiments::sweep::{self, QosAxis, RmaVariant, SweepOptions};
+use experiments::{stream, ExperimentContext, StreamOptions, SweepManifest};
+use qosrm_types::QosSpec;
+use std::fs;
+use std::path::PathBuf;
+use workload::{MixPopulation, SynthSpec};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qosrm_streaming_it_{tag}_{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Serializes a sweep result exactly as `SweepResult::save` writes it.
+fn result_bytes(result: &sweep::SweepResult) -> String {
+    serde_json::to_string(result).expect("sweep results serialize")
+}
+
+#[test]
+fn streaming_e1_grid_merges_byte_identically_to_the_in_memory_path() {
+    let ctx = ExperimentContext::new(true);
+    let spec = experiments::e1_energy_savings::spec(&ctx);
+    let grid = spec.lower().expect("the E1 spec lowers");
+    let in_memory = sweep::run_with(&grid, &ctx, &SweepOptions::default());
+
+    let dir = temp_dir("e1");
+    let report = stream::run(
+        &spec,
+        &ctx,
+        &dir,
+        &StreamOptions {
+            shard_size: 5,
+            ..Default::default()
+        },
+    )
+    .expect("streaming run completes");
+    assert!(report.finished);
+    let merged = stream::merge(&dir).expect("complete run merges");
+
+    assert_eq!(result_bytes(&merged), result_bytes(&in_memory));
+
+    // The manifest accounts for every scenario and records the shared
+    // curve cache's per-shard hit statistics.
+    let manifest = SweepManifest::load(&dir).expect("manifest exists");
+    assert_eq!(manifest.completed_scenarios, grid.len());
+    assert_eq!(
+        manifest.shards.iter().map(|s| s.scenarios).sum::<usize>(),
+        grid.len()
+    );
+    let lookups: u64 = manifest
+        .shards
+        .iter()
+        .map(|s| s.curve_hits + s.curve_misses)
+        .sum();
+    assert!(lookups > 0, "memoized run recorded no curve lookups");
+    fs::remove_dir_all(&dir).ok();
+}
+
+fn synthetic_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "resume-equivalence".to_string(),
+        platforms: vec![PlatformAxisSpec {
+            label: "paper2-4c".to_string(),
+            platform: PlatformSpec::Paper2 { num_cores: 4 },
+            workloads: WorkloadSource::Synth(SynthSpec {
+                seed: 1234,
+                count: 8,
+                num_cores: 4,
+                population: MixPopulation::Mixed,
+                name_prefix: "rs-".to_string(),
+            }),
+        }],
+        qos: vec![QosAxis::uniform("strict", QosSpec::STRICT)],
+        variants: vec![RmaVariant::Paper1, RmaVariant::Paper2],
+        options: None,
+    }
+}
+
+#[test]
+fn interrupted_and_resumed_sweep_merges_byte_identically() {
+    let ctx = ExperimentContext::new(true);
+    let spec = synthetic_spec();
+
+    // Reference: one uninterrupted streaming run.
+    let ref_dir = temp_dir("uninterrupted");
+    let report = stream::run(
+        &spec,
+        &ctx,
+        &ref_dir,
+        &StreamOptions {
+            shard_size: 4,
+            ..Default::default()
+        },
+    )
+    .expect("uninterrupted run completes");
+    assert!(report.finished);
+    let reference = stream::merge(&ref_dir).expect("merges");
+
+    // Interrupted: stop after 2 shards, then resume to completion.
+    let dir = temp_dir("interrupted");
+    let partial = stream::run(
+        &spec,
+        &ctx,
+        &dir,
+        &StreamOptions {
+            shard_size: 4,
+            max_shards: 2,
+            ..Default::default()
+        },
+    )
+    .expect("partial run runs");
+    assert!(!partial.finished);
+    assert_eq!(partial.completed, 8);
+    assert!(
+        stream::merge(&dir).is_err(),
+        "merging an incomplete run must fail"
+    );
+
+    let resumed = stream::resume(
+        &ctx,
+        &dir,
+        &StreamOptions {
+            shard_size: 4,
+            ..Default::default()
+        },
+    )
+    .expect("resume completes");
+    assert!(resumed.finished);
+    assert_eq!(resumed.skipped, 8);
+    let merged = stream::merge(&dir).expect("resumed run merges");
+
+    assert_eq!(result_bytes(&merged), result_bytes(&reference));
+
+    // Saved result files are byte-identical too (the acceptance criterion
+    // the CI smoke step checks with `cmp`).
+    let ref_file = ref_dir.join("result.json");
+    let resumed_file = dir.join("result.json");
+    reference.save(&ref_file).unwrap();
+    merged.save(&resumed_file).unwrap();
+    assert_eq!(
+        fs::read(&ref_file).unwrap(),
+        fs::read(&resumed_file).unwrap()
+    );
+
+    fs::remove_dir_all(&ref_dir).ok();
+    fs::remove_dir_all(&dir).ok();
+}
