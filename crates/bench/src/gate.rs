@@ -1,10 +1,11 @@
 //! The CI performance-regression gate.
 //!
 //! [`bench_gate`](../../bench_gate/index.html) (the `bench_gate` binary) runs
-//! three fixed, deterministic workloads — the co-phase simulator loop on a
+//! four fixed, deterministic workloads — the co-phase simulator loop on a
 //! quick-grid workload, the global way-partition optimizer on a synthetic
-//! curve set, and cold-cache energy-curve construction on real observations —
-//! and emits machine-readable reports:
+//! curve set, cold-cache energy-curve construction on real observations, and
+//! the game-theoretic best-response/equilibrium solvers on the synthetic
+//! curves — and emits machine-readable reports:
 //!
 //! * `BENCH_simulator.json` — wall time, event count and events/second of the
 //!   simulator loop;
@@ -14,7 +15,10 @@
 //!   construction through the staged `CurveBuilder`, the scalar reference's
 //!   wall time on the same inputs, their speedup ratio (gated at
 //!   [`MIN_LOCAL_OPT_SPEEDUP`]) and the builder's exact model-evaluation
-//!   count (exact-compared like every deterministic counter).
+//!   count (exact-compared like every deterministic counter);
+//! * `BENCH_best_response.json` — wall time of the iterated-best-response
+//!   solver and the pure-Nash equilibrium enumeration, with their exact
+//!   round / evaluation / candidate counters.
 //!
 //! In check mode (the default, what CI runs) the fresh reports are written to
 //! `target/bench-gate/` and compared against the baselines committed at the
@@ -32,8 +36,9 @@
 //! test), so the band measures the code, not the hardware.
 
 use qosrm_core::{
-    optimize_partition_with_stats, CoordinatedRma, CurveCache, CurvePoint, EnergyCurve,
-    LocalOptimizer, LocalOptimizerConfig, ModelKind, PruneStats,
+    best_response, min_energy_equilibrium, optimize_partition_with_stats, CoordinatedRma,
+    CurveCache, CurvePoint, EnergyCurve, GameConfig, GameStats, LocalOptimizer,
+    LocalOptimizerConfig, ModelKind, PruneStats,
 };
 use qosrm_types::{CoreObservation, CoreSizeIdx, FreqLevel, PlatformConfig, QosSpec};
 use rma_sim::{CophaseSimulator, SimulationOptions};
@@ -508,6 +513,139 @@ fn run_local_opt_bench_with_rounds(
     }
 }
 
+/// Report of the game-theoretic solver benchmark
+/// (`BENCH_best_response.json`): the iterated-best-response solver over
+/// the synthetic curve sets, plus the pure-Nash equilibrium enumeration on
+/// the 4-core set (enumeration is combinatorial in the core count, so the
+/// gate pins it at the size E10 actually uses).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BestResponseReport {
+    /// Report schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Benchmark identifier (`"best_response"`).
+    pub bench: String,
+    /// Human-readable description of the fixed curve sets.
+    pub workload: String,
+    /// Measured repetitions of the call set (best time is reported).
+    pub repetitions: usize,
+    /// Best wall time of one repetition, in seconds.
+    pub wall_seconds: f64,
+    /// `best_response` calls per repetition.
+    pub br_calls: u64,
+    /// `min_energy_equilibrium` calls per repetition.
+    pub eq_calls: u64,
+    /// Best-response rounds per repetition (deterministic).
+    pub rounds: u64,
+    /// Single-core energy evaluations per repetition (deterministic).
+    pub evaluations: u64,
+    /// Equilibrium candidates examined per repetition (deterministic).
+    pub equilibria_examined: u64,
+    /// Solver operations (evaluations + candidates) per second at the best
+    /// wall time.
+    pub ops_per_sec: f64,
+    /// Throughput of the fixed calibration loop on the measuring machine
+    /// (used to normalize wall times across machines).
+    pub calibration_ops_per_sec: f64,
+}
+
+/// `best_response` calls per curve set and repetition.
+const BR_CALLS_PER_CASE: usize = 1000;
+/// `min_energy_equilibrium` calls per curve set and repetition.
+const EQ_CALLS_PER_CASE: usize = 300;
+
+/// Runs the game-theoretic solver benchmark. `calibration_ops_per_sec` is
+/// the machine's [`calibrate`] measurement, recorded in the report so later
+/// checks can normalize across machines.
+pub fn run_best_response_bench(
+    repetitions: usize,
+    calibration_ops_per_sec: f64,
+) -> BestResponseReport {
+    run_best_response_bench_with_calls(
+        repetitions,
+        calibration_ops_per_sec,
+        BR_CALLS_PER_CASE,
+        EQ_CALLS_PER_CASE,
+    )
+}
+
+/// [`run_best_response_bench`] with explicit call counts (tests use small
+/// ones so the determinism check stays fast in debug builds).
+fn run_best_response_bench_with_calls(
+    repetitions: usize,
+    calibration_ops_per_sec: f64,
+    br_calls_per_case: usize,
+    eq_calls_per_case: usize,
+) -> BestResponseReport {
+    // Best response scales to every synthetic set the global bench uses;
+    // equilibrium enumeration runs on the E10-sized 4-core set only.
+    let br_cases: Vec<(Vec<EnergyCurve>, usize)> = [(4, 16), (8, 16), (8, 32), (16, 32)]
+        .into_iter()
+        .map(|(cores, ways)| (synthetic_curves(cores, ways), ways))
+        .collect();
+    let eq_cases: Vec<(Vec<EnergyCurve>, usize)> = [(4, 16)]
+        .into_iter()
+        .map(|(cores, ways)| (synthetic_curves(cores, ways), ways))
+        .collect();
+
+    let run_once = || -> (u64, u64, GameStats) {
+        let mut br_calls = 0u64;
+        let mut eq_calls = 0u64;
+        let mut stats = GameStats::default();
+        for (curves, ways) in &br_cases {
+            for _ in 0..br_calls_per_case {
+                let (outcome, s) = best_response(curves, *ways, &GameConfig::default());
+                assert!(outcome.is_some(), "synthetic curve set must be feasible");
+                std::hint::black_box(&outcome);
+                stats.rounds += s.rounds;
+                stats.evaluations += s.evaluations;
+                br_calls += 1;
+            }
+        }
+        for (curves, ways) in &eq_cases {
+            for _ in 0..eq_calls_per_case {
+                let (outcome, s) = min_energy_equilibrium(curves, *ways);
+                assert!(outcome.is_some(), "an equilibrium must exist");
+                std::hint::black_box(&outcome);
+                stats.equilibria_examined += s.equilibria_examined;
+                eq_calls += 1;
+            }
+        }
+        (br_calls, eq_calls, stats)
+    };
+
+    // Warm-up, then best-of-N with exact determinism checks.
+    let (br_calls, eq_calls, stats) = run_once();
+    let mut best = f64::INFINITY;
+    for _ in 0..repetitions.max(1) {
+        let start = Instant::now();
+        let (run_br, run_eq, run_stats) = run_once();
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!((run_br, run_eq), (br_calls, eq_calls));
+        assert_eq!(run_stats, stats, "game solvers must be deterministic");
+        best = best.min(wall);
+    }
+
+    BestResponseReport {
+        schema: SCHEMA.to_string(),
+        bench: "best_response".to_string(),
+        workload: format!(
+            "synthetic curves: best response on (cores, ways) in \
+             {{(4,16),(8,16),(8,32),(16,32)}} x {br_calls_per_case} calls; equilibrium \
+             selection on (4,16) x {eq_calls_per_case} calls"
+        ),
+        repetitions: repetitions.max(1),
+        wall_seconds: best,
+        br_calls,
+        eq_calls,
+        rounds: stats.rounds,
+        evaluations: stats.evaluations,
+        equilibria_examined: stats.equilibria_examined,
+        ops_per_sec: (stats.evaluations + stats.equilibria_examined) as f64
+            / best.max(f64::MIN_POSITIVE),
+        calibration_ops_per_sec,
+    }
+}
+
 /// Outcome of comparing one fresh report against its committed baseline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GateOutcome {
@@ -667,6 +805,40 @@ pub fn compare_local_opt(
     outcomes
 }
 
+/// Compares a fresh game-solver report against the committed baseline. The
+/// round / evaluation / candidate counters are exact-compared: a drift
+/// means the solvers' orbits or the workload changed, which must be a
+/// deliberate baseline refresh.
+pub fn compare_best_response(
+    new: &BestResponseReport,
+    baseline: &BestResponseReport,
+    tolerance: f64,
+) -> Vec<GateOutcome> {
+    vec![
+        check_wall(
+            "best_response",
+            new.wall_seconds,
+            baseline.wall_seconds,
+            new.calibration_ops_per_sec,
+            baseline.calibration_ops_per_sec,
+            tolerance,
+        ),
+        check_counter("best_response", "rounds", new.rounds, baseline.rounds),
+        check_counter(
+            "best_response",
+            "evaluations",
+            new.evaluations,
+            baseline.evaluations,
+        ),
+        check_counter(
+            "best_response",
+            "equilibria_examined",
+            new.equilibria_examined,
+            baseline.equilibria_examined,
+        ),
+    ]
+}
+
 /// The repository root (the bench crate lives at `crates/bench`).
 pub fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -772,12 +944,26 @@ pub fn gate_main(args: &[String]) -> i32 {
         local.evaluations,
         local.curves_per_sec
     );
+    let game = run_best_response_bench(repetitions, calibration);
+    println!(
+        "best_response: {:.4}s best of {}, {} BR + {} EQ calls, {} rounds, \
+         {} evaluations, {} equilibria examined, {:.0} ops/s",
+        game.wall_seconds,
+        game.repetitions,
+        game.br_calls,
+        game.eq_calls,
+        game.rounds,
+        game.evaluations,
+        game.equilibria_examined,
+        game.ops_per_sec
+    );
 
-    let (sim_path, opt_path, local_path) = if update {
+    let (sim_path, opt_path, local_path, game_path) = if update {
         (
             root.join("BENCH_simulator.json"),
             root.join("BENCH_global_opt.json"),
             root.join("BENCH_local_opt.json"),
+            root.join("BENCH_best_response.json"),
         )
     } else {
         let out = root.join("target/bench-gate");
@@ -785,12 +971,14 @@ pub fn gate_main(args: &[String]) -> i32 {
             out.join("BENCH_simulator.json"),
             out.join("BENCH_global_opt.json"),
             out.join("BENCH_local_opt.json"),
+            out.join("BENCH_best_response.json"),
         )
     };
     for (path, result) in [
         (&sim_path, write_json(&sim_path, &simulator)),
         (&opt_path, write_json(&opt_path, &global)),
         (&local_path, write_json(&local_path, &local)),
+        (&game_path, write_json(&game_path, &game)),
     ] {
         if let Err(e) = result {
             eprintln!("{e}");
@@ -827,12 +1015,22 @@ pub fn gate_main(args: &[String]) -> i32 {
             return 2;
         }
     };
+    let game_baseline: BestResponseReport = match read_json(&root.join("BENCH_best_response.json"))
+    {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("no committed baseline; run with --update to create one");
+            return 2;
+        }
+    };
 
     let mut failed = false;
     for outcome in compare_simulator(&simulator, &sim_baseline, tolerance)
         .into_iter()
         .chain(compare_global_opt(&global, &opt_baseline, tolerance))
         .chain(compare_local_opt(&local, &local_baseline, tolerance))
+        .chain(compare_best_response(&game, &game_baseline, tolerance))
     {
         match outcome {
             GateOutcome::Pass => {}
@@ -972,5 +1170,63 @@ mod tests {
         let b = synthetic_curves(8, 16);
         assert_eq!(a, b);
         assert!(a.iter().all(|c| c.any_feasible()));
+    }
+
+    fn best_response_report(wall: f64, rounds: u64, evaluations: u64) -> BestResponseReport {
+        BestResponseReport {
+            schema: SCHEMA.to_string(),
+            bench: "best_response".to_string(),
+            workload: "test".to_string(),
+            repetitions: 1,
+            wall_seconds: wall,
+            br_calls: 10,
+            eq_calls: 3,
+            rounds,
+            evaluations,
+            equilibria_examined: 200,
+            ops_per_sec: (evaluations + 200) as f64 / wall,
+            calibration_ops_per_sec: 1_000_000.0,
+        }
+    }
+
+    #[test]
+    fn best_response_gate_checks_wall_and_exact_counters() {
+        let base = best_response_report(1.0, 40, 9000);
+        assert!(
+            compare_best_response(&best_response_report(1.1, 40, 9000), &base, 0.20)
+                .iter()
+                .all(|o| *o == GateOutcome::Pass)
+        );
+        // Wall regression beyond the band.
+        assert!(
+            compare_best_response(&best_response_report(1.3, 40, 9000), &base, 0.20)
+                .iter()
+                .any(|o| matches!(o, GateOutcome::WallRegression(_)))
+        );
+        // Any counter drift is a hard failure even when faster: the solvers'
+        // orbits over the fixed synthetic workload are deterministic.
+        assert!(
+            compare_best_response(&best_response_report(0.5, 41, 9000), &base, 0.20)
+                .iter()
+                .any(|o| matches!(o, GateOutcome::CounterDrift(_)))
+        );
+        assert!(
+            compare_best_response(&best_response_report(0.5, 40, 9001), &base, 0.20)
+                .iter()
+                .any(|o| matches!(o, GateOutcome::CounterDrift(_)))
+        );
+    }
+
+    #[test]
+    fn best_response_bench_counters_are_deterministic() {
+        // One repetition with tiny call counts through the real fixture: the
+        // gate exact-compares the counters, so two runs must agree, and both
+        // solver families must report nonzero measured work.
+        let a = run_best_response_bench_with_calls(1, 1_000_000.0, 3, 2);
+        let b = run_best_response_bench_with_calls(1, 1_000_000.0, 3, 2);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.equilibria_examined, b.equilibria_examined);
+        assert!(a.rounds > 0 && a.evaluations > 0 && a.equilibria_examined > 0);
     }
 }

@@ -39,12 +39,19 @@
 //! | [`rma::CoordinatedRma::paper1`] | RM2 / Combined RMA | VF + ways | constant-MLP (Model 2) |
 //! | [`rma::CoordinatedRma::paper2`] | RM3 | core size + VF + ways | MLP-aware (Model 3) |
 //! | [`rma::CoordinatedRma::with_model`] | — | configurable | Model 1 / 2 / 3 / perfect |
+//! | [`rma::CoordinatedRma::nash_best_response`] | — (NashBR) | VF + ways, selfish cores | constant-MLP |
+//! | [`rma::CoordinatedRma::nash_equilibrium`] | — (NashEq) | VF + ways, best equilibrium | constant-MLP |
+//!
+//! The Nash variants replace step 4's cooperative arbiter with the
+//! game-theoretic solvers of [`game`]; E10 reports their price of anarchy
+//! against RM2.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod curve;
 pub mod curve_builder;
+pub mod game;
 pub mod global;
 pub mod local;
 pub mod memo;
@@ -54,6 +61,10 @@ pub mod rma;
 
 pub use curve::{CurvePoint, EnergyCurve};
 pub use curve_builder::{CurveBuild, CurveBuilder};
+pub use game::{
+    best_response, distribute_slack, is_pure_nash, min_energy_equilibrium, total_energy,
+    GameConfig, GameOutcome, GameStats, PartitionAlgo,
+};
 pub use global::{
     exhaustive_partition, optimize_partition, optimize_partition_unpruned,
     optimize_partition_with_stats, PruneStats,

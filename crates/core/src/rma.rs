@@ -1,6 +1,7 @@
 //! The coordinated resource manager.
 
 use crate::curve::EnergyCurve;
+use crate::game::{self, GameConfig, PartitionAlgo};
 use crate::global::optimize_partition_with_stats;
 use crate::local::{LocalOptimizer, LocalOptimizerConfig};
 use crate::memo::{self, CurveCache, CurveKey};
@@ -33,6 +34,14 @@ pub struct RmaConfig {
     /// partition is changed. Repartitioning has a real cost (lines must be
     /// refilled), so ties and negligible gains keep the current partition.
     pub switch_threshold: f64,
+    /// Which algorithm the global step uses to distribute LLC ways: the
+    /// paper's cooperative arbiter or one of the game-theoretic solvers of
+    /// [`crate::game`]. Only consulted when `control_partitioning` is set.
+    ///
+    /// Deliberately absent from the curve-cache configuration fingerprint:
+    /// energy curves do not depend on how the global step distributes ways,
+    /// so cooperative and game-theoretic managers share cache entries.
+    pub partition_algo: PartitionAlgo,
 }
 
 impl RmaConfig {
@@ -47,6 +56,7 @@ impl RmaConfig {
             qos,
             energy_params: EnergyParams::default(),
             switch_threshold: 0.005,
+            partition_algo: PartitionAlgo::Cooperative,
         }
     }
 
@@ -61,6 +71,7 @@ impl RmaConfig {
             qos,
             energy_params: EnergyParams::default(),
             switch_threshold: 0.005,
+            partition_algo: PartitionAlgo::Cooperative,
         }
     }
 }
@@ -93,6 +104,44 @@ pub struct RmaWorkCounters {
     /// was silently retained. Surfaced per run via
     /// [`rma-sim`](../../rma_sim/index.html)'s `SimulationResult`.
     pub qos_at_risk_intervals: u64,
+    /// Best-response rounds executed by the game-theoretic partition
+    /// algorithms (zero under the cooperative arbiter).
+    pub game_rounds: u64,
+    /// Single-core energy lookups performed while computing best responses.
+    pub best_response_evaluations: u64,
+    /// Candidate strategy vectors examined by the equilibrium-selection
+    /// enumeration.
+    pub equilibria_examined: u64,
+}
+
+impl std::fmt::Display for RmaWorkCounters {
+    /// Renders every counter as one `key=value` line.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Exhaustive destructuring (no `..`): adding a field to
+        // RmaWorkCounters fails compilation here until the display covers
+        // it, mirroring `digest_observation` in memo.rs.
+        let RmaWorkCounters {
+            invocations,
+            curve_builds,
+            local_evaluations,
+            reduction_ops,
+            reduction_pruned,
+            qos_at_risk_intervals,
+            game_rounds,
+            best_response_evaluations,
+            equilibria_examined,
+        } = *self;
+        write!(
+            f,
+            "invocations={invocations} curve_builds={curve_builds} \
+             local_evaluations={local_evaluations} reduction_ops={reduction_ops} \
+             reduction_pruned={reduction_pruned} \
+             qos_at_risk_intervals={qos_at_risk_intervals} \
+             game_rounds={game_rounds} \
+             best_response_evaluations={best_response_evaluations} \
+             equilibria_examined={equilibria_examined}"
+        )
+    }
 }
 
 /// The coordinated QoS-driven resource manager.
@@ -175,22 +224,26 @@ impl CoordinatedRma {
     }
 
     fn default_name(config: &RmaConfig) -> String {
-        let scheme = match (
-            config.control_partitioning,
-            config.control_dvfs,
-            config.control_core_size,
-        ) {
-            (true, false, false) => "PartitioningRMA",
-            (false, true, false) => "DvfsRMA",
-            (true, true, false) => "CombinedRMA",
-            (true, true, true) => "CoordCoreRMA",
-            _ => "CustomRMA",
-        };
         let model = match config.model {
             ModelKind::SimpleLatency => "Model1",
             ModelKind::ConstantMlp => "Model2",
             ModelKind::MlpAware => "Model3",
             ModelKind::Perfect => "Perfect",
+        };
+        let scheme = match config.partition_algo {
+            PartitionAlgo::NashBestResponse => return format!("NashBR-{model}"),
+            PartitionAlgo::NashMinEnergyEquilibrium => return format!("NashEq-{model}"),
+            PartitionAlgo::Cooperative => match (
+                config.control_partitioning,
+                config.control_dvfs,
+                config.control_core_size,
+            ) {
+                (true, false, false) => "PartitioningRMA",
+                (false, true, false) => "DvfsRMA",
+                (true, true, false) => "CombinedRMA",
+                (true, true, true) => "CoordCoreRMA",
+                _ => "CustomRMA",
+            },
         };
         format!("{scheme}-{model}")
     }
@@ -207,6 +260,7 @@ impl CoordinatedRma {
                 qos,
                 energy_params: EnergyParams::default(),
                 switch_threshold: 0.005,
+                partition_algo: PartitionAlgo::Cooperative,
             },
         )
     }
@@ -225,6 +279,7 @@ impl CoordinatedRma {
                 qos,
                 energy_params: EnergyParams::default(),
                 switch_threshold: 0.005,
+                partition_algo: PartitionAlgo::Cooperative,
             },
         )
     }
@@ -232,6 +287,28 @@ impl CoordinatedRma {
     /// RM2: the Paper I Combined RMA (DVFS + partitioning, Model 2).
     pub fn paper1(platform: &PlatformConfig, qos: Vec<QosSpec>) -> Self {
         CoordinatedRma::new(platform, RmaConfig::paper1(qos))
+    }
+
+    /// A selfish manager on the RM2 knobs (DVFS + partitioning, Model 2)
+    /// whose global step runs iterated best response
+    /// ([`crate::game::best_response`]) instead of the cooperative arbiter.
+    /// Shares RM2's energy curves bit-for-bit, so E10 measures exactly the
+    /// cost of selfishness.
+    pub fn nash_best_response(platform: &PlatformConfig, qos: Vec<QosSpec>) -> Self {
+        let mut config = RmaConfig::paper1(qos);
+        config.partition_algo = PartitionAlgo::NashBestResponse;
+        CoordinatedRma::new(platform, config)
+    }
+
+    /// A manager on the RM2 knobs whose global step applies the
+    /// minimum-total-energy pure Nash equilibrium
+    /// ([`crate::game::min_energy_equilibrium`]). Equilibrium enumeration
+    /// is combinatorial in the core count — use on small (≤ 4-core)
+    /// platforms.
+    pub fn nash_equilibrium(platform: &PlatformConfig, qos: Vec<QosSpec>) -> Self {
+        let mut config = RmaConfig::paper1(qos);
+        config.partition_algo = PartitionAlgo::NashMinEnergyEquilibrium;
+        CoordinatedRma::new(platform, config)
     }
 
     /// RM3: the Paper II manager (core size + DVFS + partitioning, Model 3).
@@ -258,6 +335,7 @@ impl CoordinatedRma {
                 qos,
                 energy_params: EnergyParams::default(),
                 switch_threshold: 0.005,
+                partition_algo: PartitionAlgo::Cooperative,
             },
         )
     }
@@ -388,16 +466,39 @@ impl ResourceManager for CoordinatedRma {
             return current.clone();
         }
 
-        // Step 4: global optimization over all cores' latest curves.
+        // Step 4: global allocation over all cores' latest curves — the
+        // cooperative arbiter or, for the game-theoretic variants, a Nash
+        // solver whose slack-allowed outcome is topped up to an exact-sum
+        // allocation. Both paths feed the same hysteresis and validation
+        // below.
         let curves: Vec<EnergyCurve> = self
             .curves
             .iter()
             .map(|c| c.clone().expect("checked above"))
             .collect();
-        let (allocation, prune_stats) =
-            optimize_partition_with_stats(&curves, self.platform.llc.associativity);
-        self.counters.reduction_ops += prune_stats.ops;
-        self.counters.reduction_pruned += prune_stats.pruned;
+        let total_ways = self.platform.llc.associativity;
+        let allocation = match self.config.partition_algo {
+            PartitionAlgo::Cooperative => {
+                let (allocation, prune_stats) = optimize_partition_with_stats(&curves, total_ways);
+                self.counters.reduction_ops += prune_stats.ops;
+                self.counters.reduction_pruned += prune_stats.pruned;
+                allocation
+            }
+            PartitionAlgo::NashBestResponse => {
+                let (outcome, stats) =
+                    game::best_response(&curves, total_ways, &GameConfig::default());
+                self.counters.game_rounds += stats.rounds;
+                self.counters.best_response_evaluations += stats.evaluations;
+                outcome.map(|o| o.exact_sum_allocation(total_ways))
+            }
+            PartitionAlgo::NashMinEnergyEquilibrium => {
+                let (outcome, stats) = game::min_energy_equilibrium(&curves, total_ways);
+                self.counters.game_rounds += stats.rounds;
+                self.counters.best_response_evaluations += stats.evaluations;
+                self.counters.equilibria_examined += stats.equilibria_examined;
+                outcome.map(|o| o.exact_sum_allocation(total_ways))
+            }
+        };
         let Some(allocation) = allocation else {
             return current.clone();
         };
@@ -733,6 +834,88 @@ mod tests {
                 .name(),
             "RM3-Oracle"
         );
+        assert_eq!(
+            CoordinatedRma::nash_best_response(&p, vec![]).name(),
+            "NashBR-Model2"
+        );
+        assert_eq!(
+            CoordinatedRma::nash_equilibrium(&p, vec![]).name(),
+            "NashEq-Model2"
+        );
+    }
+
+    #[test]
+    fn nash_managers_produce_valid_settings_and_tick_game_counters() {
+        let p = platform();
+        let observations = || {
+            vec![
+                cache_sensitive_observation(0),
+                compute_observation(1),
+                streaming_observation(2),
+                compute_observation(3),
+            ]
+        };
+
+        let mut br = CoordinatedRma::nash_best_response(&p, vec![QosSpec::STRICT; 4]);
+        let setting = run_all_cores(&mut br, observations());
+        assert!(setting.validate(&p).is_ok());
+        assert_eq!(
+            setting.cores().iter().map(|c| c.ways).sum::<usize>(),
+            p.llc.associativity,
+            "slack must be redistributed into an exact-sum partition"
+        );
+        let counters = br.work_counters();
+        assert!(counters.game_rounds > 0, "best response never iterated");
+        assert!(counters.best_response_evaluations > 0);
+        assert_eq!(counters.equilibria_examined, 0);
+        assert_eq!(
+            counters.reduction_ops, 0,
+            "the cooperative arbiter must not run under a game algorithm"
+        );
+
+        let mut eq = CoordinatedRma::nash_equilibrium(&p, vec![QosSpec::STRICT; 4]);
+        let setting = run_all_cores(&mut eq, observations());
+        assert!(setting.validate(&p).is_ok());
+        let counters = eq.work_counters();
+        assert!(counters.equilibria_examined > 0, "no candidates examined");
+        assert_eq!(counters.game_rounds, 0);
+
+        // The cooperative manager never touches the game counters.
+        let mut rm2 = CoordinatedRma::paper1(&p, vec![QosSpec::STRICT; 4]);
+        run_all_cores(&mut rm2, observations());
+        let counters = rm2.work_counters();
+        assert_eq!(counters.game_rounds, 0);
+        assert_eq!(counters.best_response_evaluations, 0);
+        assert_eq!(counters.equilibria_examined, 0);
+    }
+
+    #[test]
+    fn work_counter_display_covers_every_field() {
+        let counters = RmaWorkCounters {
+            invocations: 1,
+            curve_builds: 2,
+            local_evaluations: 3,
+            reduction_ops: 4,
+            reduction_pruned: 5,
+            qos_at_risk_intervals: 6,
+            game_rounds: 7,
+            best_response_evaluations: 8,
+            equilibria_examined: 9,
+        };
+        let line = counters.to_string();
+        for field in [
+            "invocations=1",
+            "curve_builds=2",
+            "local_evaluations=3",
+            "reduction_ops=4",
+            "reduction_pruned=5",
+            "qos_at_risk_intervals=6",
+            "game_rounds=7",
+            "best_response_evaluations=8",
+            "equilibria_examined=9",
+        ] {
+            assert!(line.contains(field), "{field} missing from {line:?}");
+        }
     }
 
     #[test]

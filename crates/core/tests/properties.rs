@@ -2,9 +2,9 @@
 
 use proptest::prelude::*;
 use qosrm_core::{
-    exhaustive_partition, optimize_partition, optimize_partition_unpruned,
-    optimize_partition_with_stats, CurvePoint, EnergyCurve, LocalOptimizer, LocalOptimizerConfig,
-    ModelKind,
+    best_response, exhaustive_partition, is_pure_nash, min_energy_equilibrium, optimize_partition,
+    optimize_partition_unpruned, optimize_partition_with_stats, total_energy, CurvePoint,
+    EnergyCurve, GameConfig, LocalOptimizer, LocalOptimizerConfig, ModelKind,
 };
 use qosrm_types::{
     AppId, CoreObservation, CoreScalingProfile, CoreSizeIdx, FreqLevel, IntervalStats, MissProfile,
@@ -352,5 +352,159 @@ proptest! {
         // The table path reads every cell: its measured count is exactly the
         // worst-case bound.
         prop_assert_eq!(batched.evaluations, optimizer.evaluations_per_invocation());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every converged iterated-best-response outcome passes the
+    /// independent exhaustive `is_pure_nash` verifier exactly — the
+    /// solver never consults the checker, so this adversarially validates
+    /// the solver's fixed points against the equilibrium definition on
+    /// arbitrary random curves (non-monotone, random infeasible prefixes).
+    #[test]
+    fn converged_best_response_outcomes_are_pure_nash(
+        curves in prop::collection::vec(curve_strategy(16), 2..5),
+        total_ways in 8usize..17,
+    ) {
+        let (outcome, stats) = best_response(&curves, total_ways, &GameConfig::default());
+        if let Some(outcome) = outcome {
+            prop_assert!(stats.rounds >= 1);
+            prop_assert!(stats.evaluations > 0);
+            // The slack-allowed invariants hold regardless of convergence.
+            let used: usize = outcome.strategies.iter().sum();
+            prop_assert!(used <= total_ways);
+            prop_assert!(outcome.strategies.iter().all(|&w| w >= 1));
+            prop_assert!(
+                (outcome.total_energy - total_energy(&curves, &outcome.strategies)).abs() < 1e-9
+            );
+            if outcome.converged {
+                prop_assert!(
+                    is_pure_nash(&curves, total_ways, &outcome.strategies),
+                    "converged outcome {:?} is not a pure Nash equilibrium",
+                    outcome.strategies
+                );
+            }
+        }
+    }
+
+    /// Equilibrium selection returns the minimum-total-energy equilibrium:
+    /// brute-force every strategy vector, keep those the independent checker
+    /// certifies, and the solver's pick must match the cheapest exactly.
+    #[test]
+    fn equilibrium_selection_is_the_minimum_energy_equilibrium(
+        curves in prop::collection::vec(curve_strategy(8), 2..4),
+    ) {
+        let total_ways = 8usize;
+        let (outcome, stats) = min_energy_equilibrium(&curves, total_ways);
+
+        let mut brute_best: Option<f64> = None;
+        let mut vector = vec![1usize; curves.len()];
+        loop {
+            if is_pure_nash(&curves, total_ways, &vector) {
+                let e = total_energy(&curves, &vector);
+                if brute_best.is_none_or(|b| e < b) {
+                    brute_best = Some(e);
+                }
+            }
+            // Odometer over {1..=8}^n.
+            let mut i = 0;
+            loop {
+                if i == vector.len() {
+                    break;
+                }
+                vector[i] += 1;
+                if vector[i] <= 8 {
+                    break;
+                }
+                vector[i] = 1;
+                i += 1;
+            }
+            if i == vector.len() {
+                break;
+            }
+        }
+
+        match (outcome, brute_best) {
+            (Some(outcome), Some(best)) => {
+                prop_assert!(outcome.converged);
+                prop_assert!(stats.equilibria_examined > 0);
+                prop_assert!(
+                    is_pure_nash(&curves, total_ways, &outcome.strategies),
+                    "selected outcome {:?} is not an equilibrium",
+                    outcome.strategies
+                );
+                prop_assert!(
+                    (outcome.total_energy - best).abs() < 1e-9,
+                    "selected {} but the cheapest equilibrium costs {}",
+                    outcome.total_energy,
+                    best
+                );
+            }
+            (None, None) => {}
+            (outcome, brute) => prop_assert!(
+                false,
+                "existence disagreement: solver={outcome:?} brute={brute:?}"
+            ),
+        }
+    }
+
+    /// Price of anarchy is at least 1 (up to float noise): no best-response
+    /// outcome beats the cooperative optimum on the smoothed curves, whose
+    /// exact-sum optimum equals the slack-allowed one (free disposal). Both
+    /// solvers also agree with the arbiter on feasibility.
+    #[test]
+    fn price_of_anarchy_is_at_least_one(
+        curves in prop::collection::vec(curve_strategy(16), 2..5),
+        total_ways in 8usize..17,
+    ) {
+        let mut smoothed = curves.clone();
+        for c in &mut smoothed {
+            c.smooth_monotone();
+        }
+        let coop = optimize_partition(&smoothed, total_ways);
+        let (nash, _) = best_response(&curves, total_ways, &GameConfig::default());
+        let (equilibrium, _) = min_energy_equilibrium(&curves, total_ways);
+        prop_assert_eq!(coop.is_some(), nash.is_some());
+        prop_assert_eq!(coop.is_some(), equilibrium.is_some());
+        if let (Some(coop), Some(nash), Some(equilibrium)) = (coop, nash, equilibrium) {
+            let coop_energy: f64 = coop.iter().map(|(_, p)| p.energy_joules).sum();
+            prop_assert!(
+                nash.total_energy >= coop_energy - 1e-9,
+                "PoA < 1: best response found {} below the cooperative {}",
+                nash.total_energy,
+                coop_energy
+            );
+            prop_assert!(equilibrium.total_energy >= coop_energy - 1e-9);
+            // The selected equilibrium is never worse than an arbitrary
+            // best-response fixed point it coexists with.
+            if nash.converged {
+                prop_assert!(equilibrium.total_energy <= nash.total_energy + 1e-9);
+            }
+        }
+    }
+
+    /// Determinism: re-solving the same instance yields byte-identical
+    /// serialized outcomes and identical work counters.
+    #[test]
+    fn game_outcomes_serialize_deterministically(
+        curves in prop::collection::vec(curve_strategy(16), 2..5),
+        total_ways in 8usize..17,
+    ) {
+        let first = best_response(&curves, total_ways, &GameConfig::default());
+        let second = best_response(&curves, total_ways, &GameConfig::default());
+        prop_assert_eq!(&first.1, &second.1);
+        prop_assert_eq!(
+            serde_json::to_string(&first.0).unwrap(),
+            serde_json::to_string(&second.0).unwrap()
+        );
+        let first = min_energy_equilibrium(&curves, total_ways);
+        let second = min_energy_equilibrium(&curves, total_ways);
+        prop_assert_eq!(&first.1, &second.1);
+        prop_assert_eq!(
+            serde_json::to_string(&first.0).unwrap(),
+            serde_json::to_string(&second.0).unwrap()
+        );
     }
 }

@@ -9,7 +9,7 @@
 //! qosrm-experiments diagnose [--mix b1,b2,b3,b4]
 //! ```
 //!
-//! Without a subcommand the paper experiments (E1–E9) run as before:
+//! Without a subcommand the paper experiments (E1–E10) run as before:
 //! `--quick` uses fewer workloads and a coarser characterization so the
 //! whole suite finishes in seconds (used by the smoke tests); the full
 //! configuration is what `EXPERIMENTS.md` reports.
@@ -30,7 +30,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  qosrm-experiments [--quick] [--cache-dir DIR] [--json FILE] [e1..e9]
+  qosrm-experiments [--quick] [--cache-dir DIR] [--json FILE] [e1..e10]
   qosrm-experiments sweep run --spec FILE --out DIR [--quick] [--shard-size N] [--max-shards N] [--serial]
   qosrm-experiments sweep resume --out DIR [--max-shards N] [--serial]
   qosrm-experiments sweep merge --out DIR --result FILE

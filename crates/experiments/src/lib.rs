@@ -1,7 +1,7 @@
 //! # experiments
 //!
 //! Experiment runners that regenerate every table and figure of the paper's
-//! evaluation (the experiment index E1–E9 and its mapping to paper figures
+//! evaluation (the experiment index E1–E10 and its mapping to paper figures
 //! and tables lives in `crates/README.md`).
 //!
 //! Each experiment module exposes a `run(&ExperimentContext) -> ExperimentReport`
@@ -9,18 +9,21 @@
 //! prints the same rows/series the paper reports. The expensive
 //! simulation-results database is built once per platform and cached on disk.
 //!
-//! The baseline-comparison experiments (E1, E3, E4, E6, E7, E8) are
+//! The baseline-comparison experiments (E1, E3, E4, E6, E7, E8, E10) are
 //! declarative [`sweep::ScenarioGrid`]s over the parallel scenario-sweep
 //! engine in [`sweep`]. E2 still drives the simulator directly because its
 //! two variants run under *different* simulation options (a grid shares one
 //! options struct), and E5/E9 measure invocation overhead rather than
-//! baseline comparisons.
+//! baseline comparisons. E10 goes beyond the paper: it compares the
+//! game-theoretic managers of [`qosrm_core::game`] against the cooperative
+//! RM2 and reports their price of anarchy.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod context;
 pub mod diagnose;
+pub mod e10_price_of_anarchy;
 pub mod e1_energy_savings;
 pub mod e2_model_error;
 pub mod e3_qos_relaxation;
@@ -45,7 +48,7 @@ pub use sweep::{
 };
 
 /// Identifiers of all experiments, in execution order.
-pub const ALL_EXPERIMENTS: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+pub const ALL_EXPERIMENTS: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
 
 /// Runs one experiment by identifier.
 pub fn run_experiment(id: &str, ctx: &ExperimentContext) -> Option<ExperimentReport> {
@@ -59,6 +62,7 @@ pub fn run_experiment(id: &str, ctx: &ExperimentContext) -> Option<ExperimentRep
         "e7" => Some(e7_scenario_savings::run(ctx)),
         "e8" => Some(e8_model_comparison::run(ctx)),
         "e9" => Some(e9_overhead_scaling::run(ctx)),
+        "e10" => Some(e10_price_of_anarchy::run(ctx)),
         _ => None,
     }
 }

@@ -162,6 +162,13 @@ pub enum RmaVariant {
     Paper2,
     /// DVFS only, no repartitioning.
     DvfsOnly,
+    /// Selfish iterated best response over the shared LLC on the RM2 knobs
+    /// (label `"NashBR"`); E10 reports its price of anarchy.
+    NashBestResponse,
+    /// Minimum-total-energy pure Nash equilibrium on the RM2 knobs (label
+    /// `"NashEq"`). Equilibrium enumeration is combinatorial in the core
+    /// count — use on small (≤ 4-core) platforms.
+    NashEquilibrium,
     /// DVFS + partitioning with an explicit model choice (used by the
     /// perfect-model and model-comparison studies).
     WithModel {
@@ -183,6 +190,8 @@ impl RmaVariant {
             RmaVariant::Paper1 => "RM2",
             RmaVariant::Paper2 => "RM3",
             RmaVariant::DvfsOnly => "DVFS",
+            RmaVariant::NashBestResponse => "NashBR",
+            RmaVariant::NashEquilibrium => "NashEq",
             RmaVariant::WithModel { name, .. } => name,
         }
     }
@@ -194,6 +203,8 @@ impl RmaVariant {
             RmaVariant::Paper1 => CoordinatedRma::paper1(platform, qos),
             RmaVariant::Paper2 => CoordinatedRma::paper2(platform, qos),
             RmaVariant::DvfsOnly => CoordinatedRma::dvfs_only(platform, qos),
+            RmaVariant::NashBestResponse => CoordinatedRma::nash_best_response(platform, qos),
+            RmaVariant::NashEquilibrium => CoordinatedRma::nash_equilibrium(platform, qos),
             RmaVariant::WithModel {
                 model,
                 control_core_size,
@@ -706,6 +717,8 @@ mod tests {
         assert_eq!(RmaVariant::Paper1.label(), "RM2");
         assert_eq!(RmaVariant::Paper2.label(), "RM3");
         assert_eq!(RmaVariant::DvfsOnly.label(), "DVFS");
+        assert_eq!(RmaVariant::NashBestResponse.label(), "NashBR");
+        assert_eq!(RmaVariant::NashEquilibrium.label(), "NashEq");
         let custom = RmaVariant::WithModel {
             model: ModelKind::Perfect,
             control_core_size: false,
@@ -722,6 +735,18 @@ mod tests {
                 .build(&p, vec![QosSpec::STRICT; 4])
                 .name(),
             "CoordCoreRMA-Model3"
+        );
+        assert_eq!(
+            RmaVariant::NashBestResponse
+                .build(&p, vec![QosSpec::STRICT; 4])
+                .name(),
+            "NashBR-Model2"
+        );
+        assert_eq!(
+            RmaVariant::NashEquilibrium
+                .build(&p, vec![QosSpec::STRICT; 4])
+                .name(),
+            "NashEq-Model2"
         );
     }
 

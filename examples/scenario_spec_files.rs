@@ -12,6 +12,10 @@
 //!   platforms: far beyond what the paper's hand-built mix tables cover,
 //!   and the scale the streaming executor exists for.
 //!
+//! (The third committed spec, `e10_quick.json`, is owned by the E10
+//! experiment module: regenerate it with `QOSRM_UPDATE_SPECS=1 cargo test
+//! -p experiments --lib committed_quick_spec_is_in_sync`.)
+//!
 //! Run with `cargo run --example scenario_spec_files [OUT_DIR]`.
 
 use experiments::spec::{PlatformAxisSpec, PlatformSpec, ScenarioSpec, WorkloadSource};

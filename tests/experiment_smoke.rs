@@ -9,7 +9,7 @@ fn every_experiment_id_is_registered() {
     let ctx = ExperimentContext::new(true);
     // Unknown ids are rejected rather than silently ignored.
     assert!(run_experiment("e42", &ctx).is_none());
-    assert_eq!(ALL_EXPERIMENTS.len(), 9);
+    assert_eq!(ALL_EXPERIMENTS.len(), 10);
 }
 
 #[test]
@@ -51,6 +51,26 @@ fn paper1_energy_experiment_produces_positive_average_savings() {
     let rendered = e1.render();
     assert!(rendered.contains("Combined savings %"));
     assert!(rendered.contains("Partitioning savings %"));
+}
+
+#[test]
+fn price_of_anarchy_experiment_reports_selfishness_cost() {
+    let ctx = ExperimentContext::new(true);
+    let e10 = run_experiment("e10", &ctx).expect("e10 exists");
+    assert!(!e10.rows.is_empty());
+    assert_eq!(e10.summary.len(), 1);
+    for row in &e10.rows {
+        // Selfish play cannot beat the cooperative optimum (PoA ≥ 1 − ε)
+        // and the selected best equilibrium must track it closely.
+        let br = row.get("NashBR PoA").expect("NashBR PoA column");
+        let eq = row.get("NashEq PoA").expect("NashEq PoA column");
+        assert!(br >= 0.98, "NashBR PoA {br:.4} < 1 - ε on {}", row.label);
+        assert!(eq >= 0.98, "NashEq PoA {eq:.4} < 1 - ε on {}", row.label);
+        assert!(eq <= br + 0.02, "best equilibrium worse than best response");
+    }
+    let rendered = e10.render();
+    assert!(rendered.contains("NashBR PoA"));
+    assert!(rendered.contains("NashEq PoA"));
 }
 
 #[test]

@@ -3,7 +3,8 @@
 //! * an existing experiment grid (E1's) run through the streaming executor
 //!   merges to a `SweepResult` byte-identical to the in-memory path;
 //! * a sweep interrupted after N shards and resumed merges byte-identically
-//!   to an uninterrupted run of the same spec;
+//!   to an uninterrupted run of the same spec — exercised on a synthetic
+//!   grid and on E10's game-theoretic manager grid;
 //! * the checkpoint manifest tracks per-shard curve-cache statistics.
 
 use experiments::spec::{PlatformAxisSpec, PlatformSpec, ScenarioSpec, WorkloadSource};
@@ -150,6 +151,63 @@ fn interrupted_and_resumed_sweep_merges_byte_identically() {
         fs::read(&ref_file).unwrap(),
         fs::read(&resumed_file).unwrap()
     );
+
+    fs::remove_dir_all(&ref_dir).ok();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn interrupted_e10_poa_sweep_resumes_byte_identically() {
+    // The quick E10 grid (4 mixes × strict × {RM2, NashBR, NashEq} = 12
+    // scenarios): the game-theoretic variants must shard, resume and merge
+    // byte-identically across the interruption boundary, so the PoA report
+    // built from the merged result is byte-stable under kill/resume.
+    let ctx = ExperimentContext::new(true);
+    let spec = experiments::e10_price_of_anarchy::spec(&ctx);
+
+    let ref_dir = temp_dir("e10_uninterrupted");
+    let report = stream::run(
+        &spec,
+        &ctx,
+        &ref_dir,
+        &StreamOptions {
+            shard_size: 4,
+            ..Default::default()
+        },
+    )
+    .expect("uninterrupted E10 run completes");
+    assert!(report.finished);
+    let reference = stream::merge(&ref_dir).expect("merges");
+
+    let dir = temp_dir("e10_interrupted");
+    let partial = stream::run(
+        &spec,
+        &ctx,
+        &dir,
+        &StreamOptions {
+            shard_size: 4,
+            max_shards: 2,
+            ..Default::default()
+        },
+    )
+    .expect("partial E10 run runs");
+    assert!(!partial.finished);
+    assert_eq!(partial.completed, 8);
+
+    let resumed = stream::resume(
+        &ctx,
+        &dir,
+        &StreamOptions {
+            shard_size: 4,
+            ..Default::default()
+        },
+    )
+    .expect("resume completes");
+    assert!(resumed.finished);
+    assert_eq!(resumed.skipped, 8);
+    let merged = stream::merge(&dir).expect("resumed E10 run merges");
+
+    assert_eq!(result_bytes(&merged), result_bytes(&reference));
 
     fs::remove_dir_all(&ref_dir).ok();
     fs::remove_dir_all(&dir).ok();

@@ -25,7 +25,12 @@ fn grid(ctx: &ExperimentContext) -> ScenarioGrid {
             QosAxis::uniform("strict", QosSpec::STRICT),
             QosAxis::uniform("relaxed 40%", QosSpec::relaxed_by(0.4)),
         ],
-        variants: vec![RmaVariant::Paper1, RmaVariant::PartitioningOnly],
+        variants: vec![
+            RmaVariant::Paper1,
+            RmaVariant::PartitioningOnly,
+            RmaVariant::NashBestResponse,
+            RmaVariant::NashEquilibrium,
+        ],
         options: SimulationOptions {
             provide_mlp_profiles: false,
             ..Default::default()
@@ -69,8 +74,9 @@ fn serial_parallel_and_memoized_sweeps_are_bit_identical() {
 fn experiment_reports_render_identically_in_every_mode() {
     let serial_ctx = ExperimentContext::new(true).with_sweep_options(SweepOptions::serial());
     let default_ctx = ExperimentContext::new(true);
-    // e3 exercises the perfect-table digest branch of the curve-cache key.
-    for id in ["e1", "e3", "e7"] {
+    // e3 exercises the perfect-table digest branch of the curve-cache key;
+    // e10 the game-theoretic manager variants.
+    for id in ["e1", "e3", "e7", "e10"] {
         let serial = run_experiment(id, &serial_ctx).unwrap().render();
         let fast = run_experiment(id, &default_ctx).unwrap().render();
         assert_eq!(serial, fast, "{id} rendered differently across sweep modes");
@@ -81,7 +87,7 @@ fn experiment_reports_render_identically_in_every_mode() {
 fn memoization_pays_off_within_one_sweep() {
     let ctx = ExperimentContext::new(true);
     let result = sweep::run(&grid(&ctx), &ctx);
-    assert_eq!(result.scenarios.len(), 8);
+    assert_eq!(result.scenarios.len(), 16);
     let cache = ctx.curve_cache();
     let total = cache.hits() + cache.misses();
     assert!(
