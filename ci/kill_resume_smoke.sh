@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# Kill / resume / merge smoke shared by the sweep, E10 and serve CI jobs.
+#
+#   ci/kill_resume_smoke.sh SPEC OUT MODE
+#
+#   SPEC   scenario spec file (examples/specs/*.json)
+#   OUT    scratch directory (removed and recreated)
+#   MODE   sweep — run `sweep run` offline, SIGKILL it mid-run, `sweep
+#          resume`, `sweep merge`
+#          serve — start a `qosrm_serve` daemon, hammer it with
+#          `qosrm_load`, SIGKILL the daemon mid-run, restart it on the same
+#          port (the load generator rides out the window on transport
+#          retries) and let the resumed run complete
+#
+# Both modes first produce a reference result from one uninterrupted
+# offline `sweep run` + `sweep merge` of the same spec, then assert the
+# interrupted path's merged result is byte-identical to it (`cmp`).
+#
+# Environment overrides:
+#   QOSRM_EXPERIMENTS_BIN    default target/release/qosrm_experiments
+#   QOSRM_SERVE_BIN          default target/release/qosrm_serve
+#   QOSRM_LOAD_BIN           default target/release/qosrm_load
+#   QOSRM_SMOKE_SHARD_SIZE   default 4
+#   QOSRM_SMOKE_CLIENTS      default 100 (serve mode: concurrent submitters)
+#   QOSRM_SMOKE_SHARD_DELAY_MS  default 150 (serve mode: per-shard pause so
+#                            the SIGKILL deterministically lands mid-run)
+set -euo pipefail
+
+if [ $# -ne 3 ]; then
+  echo "usage: $0 SPEC OUT MODE(sweep|serve)" >&2
+  exit 2
+fi
+SPEC=$1
+OUT=$2
+MODE=$3
+
+EXPERIMENTS_BIN=${QOSRM_EXPERIMENTS_BIN:-target/release/qosrm_experiments}
+SERVE_BIN=${QOSRM_SERVE_BIN:-target/release/qosrm_serve}
+LOAD_BIN=${QOSRM_LOAD_BIN:-target/release/qosrm_load}
+SHARD_SIZE=${QOSRM_SMOKE_SHARD_SIZE:-4}
+CLIENTS=${QOSRM_SMOKE_CLIENTS:-100}
+SHARD_DELAY_MS=${QOSRM_SMOKE_SHARD_DELAY_MS:-150}
+
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# Polls until at least $2 shard logs match the glob $1 (unquoted on
+# purpose), or fails after 60s.
+wait_for_shards() {
+  local glob=$1 want=$2 n=0
+  for _ in $(seq 1 600); do
+    # shellcheck disable=SC2086
+    n=$(ls $glob 2>/dev/null | wc -l) || n=0
+    if [ "$n" -ge "$want" ]; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "timed out waiting for $want shard log(s) at $glob" >&2
+  return 1
+}
+
+# Reference: one uninterrupted offline run of the spec, merged.
+"$EXPERIMENTS_BIN" sweep run --spec "$SPEC" --out "$OUT/ref" \
+  --quick --shard-size "$SHARD_SIZE"
+"$EXPERIMENTS_BIN" sweep merge --out "$OUT/ref" --result "$OUT/ref.json"
+
+case "$MODE" in
+  sweep)
+    # Kill a second run of the same spec partway through (SIGKILL, no
+    # cleanup), then resume it from its shard logs and manifest.
+    "$EXPERIMENTS_BIN" sweep run --spec "$SPEC" --out "$OUT/killed" \
+      --quick --shard-size "$SHARD_SIZE" &
+    run_pid=$!
+    wait_for_shards "$OUT/killed/shard-*.jsonl" 2
+    kill -9 "$run_pid" 2>/dev/null || true
+    wait "$run_pid" 2>/dev/null || true
+    echo "killed after $(ls "$OUT"/killed/shard-*.jsonl 2>/dev/null | wc -l) shard log(s)"
+    "$EXPERIMENTS_BIN" sweep resume --out "$OUT/killed"
+    "$EXPERIMENTS_BIN" sweep merge --out "$OUT/killed" --result "$OUT/killed.json"
+    ;;
+  serve)
+    # Fixed port so the restarted daemon is reachable at the address the
+    # load generator keeps retrying (the daemon binds with retries, riding
+    # out the dying listener's TIME_WAIT).
+    ADDR="127.0.0.1:$(( (RANDOM % 20000) + 20000 ))"
+    DATA="$OUT/serve-data"
+    daemon_starts=0
+    start_daemon() {
+      "$SERVE_BIN" --addr "$ADDR" --data-dir "$DATA" \
+        --shard-size "$SHARD_SIZE" --shard-delay-ms "$SHARD_DELAY_MS" \
+        >>"$OUT/daemon.log" 2>&1 &
+      daemon_pid=$!
+      daemon_starts=$((daemon_starts + 1))
+      # The log is append-only across restarts, so wait for the Nth
+      # "listening on" line, not just any.
+      for _ in $(seq 1 600); do
+        if [ "$(grep -c "listening on" "$OUT/daemon.log" 2>/dev/null || true)" -ge "$daemon_starts" ]; then
+          return 0
+        fi
+        sleep 0.1
+      done
+      echo "daemon did not come up on $ADDR" >&2
+      return 1
+    }
+    start_daemon
+    # Hammer the daemon: every submission is the same spec, so the whole
+    # load deduplicates to one run whose merged bytes must match the
+    # offline reference.
+    "$LOAD_BIN" --addr "$ADDR" --spec "$SPEC" \
+      --clients "$CLIENTS" --per-client 1 --shard-size "$SHARD_SIZE" \
+      --timeout 300 --result "$OUT/killed.json" \
+      --summary "$OUT/load_summary.json" >"$OUT/load.log" 2>&1 &
+    load_pid=$!
+    # SIGKILL the daemon mid-run, restart it on the same port, and let the
+    # recovered run resume from its shard logs.
+    wait_for_shards "$DATA/runs/*/shard-*.jsonl" 2
+    kill -9 "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+    echo "daemon SIGKILLed after $(ls "$DATA"/runs/*/shard-*.jsonl 2>/dev/null | wc -l) shard log(s); restarting"
+    start_daemon
+    wait "$load_pid"
+    curl -fsS "http://$ADDR/stats" >"$OUT/stats.json"
+    kill -9 "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+    daemon_pid=""
+    ;;
+  *)
+    echo "unknown mode $MODE (want sweep or serve)" >&2
+    exit 2
+    ;;
+esac
+
+cmp "$OUT/ref.json" "$OUT/killed.json"
+echo "$MODE kill/resume/merge cycle is byte-identical"

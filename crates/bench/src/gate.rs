@@ -1,11 +1,12 @@
 //! The CI performance-regression gate.
 //!
 //! [`bench_gate`](../../bench_gate/index.html) (the `bench_gate` binary) runs
-//! four fixed, deterministic workloads — the co-phase simulator loop on a
+//! five fixed, deterministic workloads — the co-phase simulator loop on a
 //! quick-grid workload, the global way-partition optimizer on a synthetic
-//! curve set, cold-cache energy-curve construction on real observations, and
+//! curve set, cold-cache energy-curve construction on real observations,
 //! the game-theoretic best-response/equilibrium solvers on the synthetic
-//! curves — and emits machine-readable reports:
+//! curves, and an in-process `qosrm_serve` daemon under a fixed submission
+//! mix — and emits machine-readable reports:
 //!
 //! * `BENCH_simulator.json` — wall time, event count and events/second of the
 //!   simulator loop;
@@ -18,7 +19,12 @@
 //!   count (exact-compared like every deterministic counter);
 //! * `BENCH_best_response.json` — wall time of the iterated-best-response
 //!   solver and the pure-Nash equilibrium enumeration, with their exact
-//!   round / evaluation / candidate counters.
+//!   round / evaluation / candidate counters;
+//! * `BENCH_serve.json` — wall time of a fixed concurrent submission mix
+//!   against an in-process serving daemon on an ephemeral port, with the
+//!   exact admission / streaming / curve-cache counters its `/stats`
+//!   endpoint reports (specs admitted per second, outcomes streamed per
+//!   second, cache hit rate).
 //!
 //! In check mode (the default, what CI runs) the fresh reports are written to
 //! `target/bench-gate/` and compared against the baselines committed at the
@@ -35,10 +41,15 @@
 //! recorded the baseline sees its wall times halved before the tolerance
 //! test), so the band measures the code, not the hardware.
 
+use experiments::spec::{PlatformAxisSpec, PlatformSpec, WorkloadSource};
+use experiments::{QosAxis, RmaVariant, ScenarioSpec};
 use qosrm_core::{
     best_response, min_energy_equilibrium, optimize_partition_with_stats, CoordinatedRma,
     CurveCache, CurvePoint, EnergyCurve, GameConfig, GameStats, LocalOptimizer,
     LocalOptimizerConfig, ModelKind, PruneStats,
+};
+use qosrm_serve::{
+    execute as serve_execute, plan as serve_plan, Client, LoadConfig, ServeConfig, Server,
 };
 use qosrm_types::{CoreObservation, CoreSizeIdx, FreqLevel, PlatformConfig, QosSpec};
 use rma_sim::{CophaseSimulator, SimulationOptions};
@@ -46,8 +57,8 @@ use serde::{Deserialize, Serialize};
 use simdb::builder::{build_database_for_mixes, BuildOptions};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
-use workload::paper1_workloads;
+use std::time::{Duration, Instant};
+use workload::{paper1_workloads, MixPopulation, SynthSpec};
 
 /// Schema tag embedded in every report so downstream tooling can detect
 /// format changes.
@@ -646,6 +657,224 @@ fn run_best_response_bench_with_calls(
     }
 }
 
+/// Report of the serving-throughput benchmark (`BENCH_serve.json`): a fixed
+/// concurrent submission mix against an in-process `qosrm_serve` daemon on
+/// an ephemeral port.
+///
+/// The daemon runs one worker with serial in-run evaluation and memoization
+/// on, so every counter its `/stats` endpoint reports is deterministic
+/// regardless of admission interleaving: each distinct spec is admitted
+/// exactly once (the rest deduplicate), each curve key misses exactly once
+/// whichever run looks it up first, and every streaming tail sees its run's
+/// full outcome count. Those counters are exact-compared like the other
+/// gated workloads; the wall time of the submission mix (cold daemon,
+/// including the quick database builds its runs trigger) is
+/// calibration-banded.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Report schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Benchmark identifier (`"serve"`).
+    pub bench: String,
+    /// Human-readable description of the fixed submission mix.
+    pub workload: String,
+    /// Measured repetitions of the mix (best time is reported; each
+    /// repetition uses a fresh daemon and data directory).
+    pub repetitions: usize,
+    /// Best wall time of one repetition (submission through last merged
+    /// result fetch), in seconds.
+    pub wall_seconds: f64,
+    /// Spec submissions the daemon received per repetition (deterministic).
+    pub specs_submitted: u64,
+    /// Distinct runs admitted and completed per repetition (deterministic;
+    /// the remaining submissions deduplicate).
+    pub runs_executed: u64,
+    /// Scenario outcomes persisted across all runs per repetition
+    /// (deterministic).
+    pub outcomes_total: u64,
+    /// Outcome lines written to `/stream` tails per repetition
+    /// (deterministic).
+    pub outcomes_streamed: u64,
+    /// Curve-cache hits of the daemon's quick-mode context per repetition
+    /// (deterministic: one worker, serial runs, memoization on, no
+    /// eviction).
+    pub cache_hits: u64,
+    /// Curve-cache misses per repetition (deterministic: each distinct
+    /// curve key misses exactly once).
+    pub cache_misses: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`.
+    pub cache_hit_rate: f64,
+    /// Submissions answered per second at the best wall time.
+    pub specs_per_sec: f64,
+    /// Outcomes streamed per second at the best wall time.
+    pub outcomes_per_sec: f64,
+    /// Throughput of the fixed calibration loop on the measuring machine
+    /// (used to normalize wall times across machines).
+    pub calibration_ops_per_sec: f64,
+}
+
+/// The base spec of the serving benchmark: a 4-core Paper I platform with
+/// three synthetic mixes, strict QoS, the Paper I manager — 3 scenarios per
+/// run, sharded one scenario per shard so every run exercises the
+/// manifest/shard-log persistence path the daemon serves from.
+fn serve_bench_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "serve-bench".to_string(),
+        platforms: vec![PlatformAxisSpec {
+            label: "p4".to_string(),
+            platform: PlatformSpec::Paper1 { num_cores: 4 },
+            workloads: WorkloadSource::Synth(SynthSpec {
+                seed: 1717,
+                count: 3,
+                num_cores: 4,
+                population: MixPopulation::Mixed,
+                name_prefix: "sb-".to_string(),
+            }),
+        }],
+        qos: vec![QosAxis::uniform("strict", QosSpec::STRICT)],
+        variants: vec![RmaVariant::Paper1],
+        options: Some(SimulationOptions {
+            provide_mlp_profiles: false,
+            ..Default::default()
+        }),
+    }
+}
+
+/// Client threads of the fixed submission mix.
+const SERVE_CLIENTS: usize = 6;
+/// Submissions per client thread.
+const SERVE_PER_CLIENT: usize = 4;
+/// Distinct spec variants the submissions cycle over.
+const SERVE_DISTINCT: usize = 8;
+
+/// Runs the serving-throughput benchmark. `calibration_ops_per_sec` is the
+/// machine's [`calibrate`] measurement, recorded in the report so later
+/// checks can normalize across machines.
+pub fn run_serve_bench(repetitions: usize, calibration_ops_per_sec: f64) -> ServeReport {
+    run_serve_bench_with_load(
+        repetitions,
+        calibration_ops_per_sec,
+        SERVE_CLIENTS,
+        SERVE_PER_CLIENT,
+        SERVE_DISTINCT,
+    )
+}
+
+/// [`run_serve_bench`] with an explicit submission mix (tests use a small
+/// one so the determinism check stays fast in debug builds).
+fn run_serve_bench_with_load(
+    repetitions: usize,
+    calibration_ops_per_sec: f64,
+    clients: usize,
+    per_client: usize,
+    distinct: usize,
+) -> ServeReport {
+    let load = LoadConfig {
+        clients,
+        per_client,
+        distinct,
+        seed: 2024,
+        quick: true,
+        shard_size: 1,
+    };
+    let plan = serve_plan(&serve_bench_spec(), &load).expect("fixed spec must lower");
+
+    let mut counters: Option<(u64, u64, u64, u64, u64, u64)> = None;
+    let mut best = f64::INFINITY;
+    for repetition in 0..repetitions.max(1) {
+        let dir = std::env::temp_dir().join(format!(
+            "qosrm-bench-serve-{}-{repetition}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: dir.clone(),
+            workers: 1,
+            default_shard_size: 1,
+            serial: true,
+            poll_interval_ms: 5,
+            ..Default::default()
+        })
+        .expect("in-process daemon must start on an ephemeral port");
+        let addr = server.addr();
+
+        let start = Instant::now();
+        let (report, _results) = serve_execute(addr, &plan, &load, Duration::from_secs(600));
+        let wall = start.elapsed().as_secs_f64();
+        assert!(
+            report.passed(),
+            "serve bench load must pass: {:?}",
+            report.errors
+        );
+        assert_eq!(
+            report.queue_full_rejections, 0,
+            "the fixed mix must fit the admission bound"
+        );
+
+        let client = Client::new(addr);
+        let stats = client.stats().expect("stats endpoint must answer");
+        let outcomes_total: u64 = client
+            .list()
+            .expect("run listing must answer")
+            .iter()
+            .map(|run| run.completed_scenarios as u64)
+            .sum();
+        let quick_cache = stats
+            .curve_cache
+            .iter()
+            .find(|c| c.mode == "quick")
+            .expect("quick-mode curve cache must be active");
+        let run_counters = (
+            stats.counters.submissions,
+            stats.counters.runs_completed,
+            outcomes_total,
+            stats.counters.outcomes_streamed,
+            quick_cache.hits,
+            quick_cache.misses,
+        );
+        assert_eq!(
+            quick_cache.evictions, 0,
+            "the fixed mix must fit the curve cache"
+        );
+        match counters {
+            None => counters = Some(run_counters),
+            Some(reference) => assert_eq!(
+                run_counters, reference,
+                "serving counters must be deterministic across repetitions"
+            ),
+        }
+        best = best.min(wall);
+
+        server.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let (submissions, runs_completed, outcomes_total, outcomes_streamed, hits, misses) =
+        counters.expect("at least one repetition ran");
+    ServeReport {
+        schema: SCHEMA.to_string(),
+        bench: "serve".to_string(),
+        workload: format!(
+            "in-process daemon (1 worker, serial runs, shared quick curve cache), cold per \
+             repetition: {clients} clients x {per_client} submissions cycling {distinct} \
+             variants of a paper1-4c 3-mix synth spec, shard size 1"
+        ),
+        repetitions: repetitions.max(1),
+        wall_seconds: best,
+        specs_submitted: submissions,
+        runs_executed: runs_completed,
+        outcomes_total,
+        outcomes_streamed,
+        cache_hits: hits,
+        cache_misses: misses,
+        cache_hit_rate: hits as f64 / ((hits + misses) as f64).max(1.0),
+        specs_per_sec: submissions as f64 / best.max(f64::MIN_POSITIVE),
+        outcomes_per_sec: outcomes_streamed as f64 / best.max(f64::MIN_POSITIVE),
+        calibration_ops_per_sec,
+    }
+}
+
 /// Outcome of comparing one fresh report against its committed baseline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GateOutcome {
@@ -839,6 +1068,61 @@ pub fn compare_best_response(
     ]
 }
 
+/// Compares a fresh serving report against the committed baseline. The
+/// admission / streaming / cache counters are exact-compared — the daemon's
+/// single-worker serial configuration makes them independent of thread
+/// interleaving, so a drift means the protocol, the load plan, or the
+/// memoization behaviour changed and the baseline must be refreshed
+/// deliberately. The wall time of the submission mix is
+/// calibration-banded like every other gated workload.
+pub fn compare_serve(
+    new: &ServeReport,
+    baseline: &ServeReport,
+    tolerance: f64,
+) -> Vec<GateOutcome> {
+    vec![
+        check_wall(
+            "serve",
+            new.wall_seconds,
+            baseline.wall_seconds,
+            new.calibration_ops_per_sec,
+            baseline.calibration_ops_per_sec,
+            tolerance,
+        ),
+        check_counter(
+            "serve",
+            "specs_submitted",
+            new.specs_submitted,
+            baseline.specs_submitted,
+        ),
+        check_counter(
+            "serve",
+            "runs_executed",
+            new.runs_executed,
+            baseline.runs_executed,
+        ),
+        check_counter(
+            "serve",
+            "outcomes_total",
+            new.outcomes_total,
+            baseline.outcomes_total,
+        ),
+        check_counter(
+            "serve",
+            "outcomes_streamed",
+            new.outcomes_streamed,
+            baseline.outcomes_streamed,
+        ),
+        check_counter("serve", "cache_hits", new.cache_hits, baseline.cache_hits),
+        check_counter(
+            "serve",
+            "cache_misses",
+            new.cache_misses,
+            baseline.cache_misses,
+        ),
+    ]
+}
+
 /// The repository root (the bench crate lives at `crates/bench`).
 pub fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -957,13 +1241,29 @@ pub fn gate_main(args: &[String]) -> i32 {
         game.equilibria_examined,
         game.ops_per_sec
     );
+    let serve = run_serve_bench(repetitions, calibration);
+    println!(
+        "serve: {:.4}s best of {}, {} submissions -> {} runs, {} outcomes streamed, \
+         cache {}/{} hit/miss ({:.0}% hit rate), {:.1} specs/s, {:.1} outcomes/s",
+        serve.wall_seconds,
+        serve.repetitions,
+        serve.specs_submitted,
+        serve.runs_executed,
+        serve.outcomes_streamed,
+        serve.cache_hits,
+        serve.cache_misses,
+        serve.cache_hit_rate * 100.0,
+        serve.specs_per_sec,
+        serve.outcomes_per_sec
+    );
 
-    let (sim_path, opt_path, local_path, game_path) = if update {
+    let (sim_path, opt_path, local_path, game_path, serve_path) = if update {
         (
             root.join("BENCH_simulator.json"),
             root.join("BENCH_global_opt.json"),
             root.join("BENCH_local_opt.json"),
             root.join("BENCH_best_response.json"),
+            root.join("BENCH_serve.json"),
         )
     } else {
         let out = root.join("target/bench-gate");
@@ -972,6 +1272,7 @@ pub fn gate_main(args: &[String]) -> i32 {
             out.join("BENCH_global_opt.json"),
             out.join("BENCH_local_opt.json"),
             out.join("BENCH_best_response.json"),
+            out.join("BENCH_serve.json"),
         )
     };
     for (path, result) in [
@@ -979,6 +1280,7 @@ pub fn gate_main(args: &[String]) -> i32 {
         (&opt_path, write_json(&opt_path, &global)),
         (&local_path, write_json(&local_path, &local)),
         (&game_path, write_json(&game_path, &game)),
+        (&serve_path, write_json(&serve_path, &serve)),
     ] {
         if let Err(e) = result {
             eprintln!("{e}");
@@ -1024,6 +1326,14 @@ pub fn gate_main(args: &[String]) -> i32 {
             return 2;
         }
     };
+    let serve_baseline: ServeReport = match read_json(&root.join("BENCH_serve.json")) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("no committed baseline; run with --update to create one");
+            return 2;
+        }
+    };
 
     let mut failed = false;
     for outcome in compare_simulator(&simulator, &sim_baseline, tolerance)
@@ -1031,6 +1341,7 @@ pub fn gate_main(args: &[String]) -> i32 {
         .chain(compare_global_opt(&global, &opt_baseline, tolerance))
         .chain(compare_local_opt(&local, &local_baseline, tolerance))
         .chain(compare_best_response(&game, &game_baseline, tolerance))
+        .chain(compare_serve(&serve, &serve_baseline, tolerance))
     {
         match outcome {
             GateOutcome::Pass => {}
@@ -1215,6 +1526,65 @@ mod tests {
                 .iter()
                 .any(|o| matches!(o, GateOutcome::CounterDrift(_)))
         );
+    }
+
+    fn serve_report(wall: f64, streamed: u64, hits: u64) -> ServeReport {
+        ServeReport {
+            schema: SCHEMA.to_string(),
+            bench: "serve".to_string(),
+            workload: "test".to_string(),
+            repetitions: 1,
+            wall_seconds: wall,
+            specs_submitted: 24,
+            runs_executed: 8,
+            outcomes_total: 24,
+            outcomes_streamed: streamed,
+            cache_hits: hits,
+            cache_misses: 30,
+            cache_hit_rate: hits as f64 / (hits + 30) as f64,
+            specs_per_sec: 24.0 / wall,
+            outcomes_per_sec: streamed as f64 / wall,
+            calibration_ops_per_sec: 1_000_000.0,
+        }
+    }
+
+    #[test]
+    fn serve_gate_checks_wall_and_exact_counters() {
+        let base = serve_report(1.0, 18, 60);
+        assert!(compare_serve(&serve_report(1.1, 18, 60), &base, 0.20)
+            .iter()
+            .all(|o| *o == GateOutcome::Pass));
+        // Wall regression beyond the band.
+        assert!(compare_serve(&serve_report(1.3, 18, 60), &base, 0.20)
+            .iter()
+            .any(|o| matches!(o, GateOutcome::WallRegression(_))));
+        // Streaming or cache counter drift is a hard failure even when
+        // faster: the single-worker serial daemon makes them deterministic.
+        assert!(compare_serve(&serve_report(0.5, 17, 60), &base, 0.20)
+            .iter()
+            .any(|o| matches!(o, GateOutcome::CounterDrift(_))));
+        assert!(compare_serve(&serve_report(0.5, 18, 61), &base, 0.20)
+            .iter()
+            .any(|o| matches!(o, GateOutcome::CounterDrift(_))));
+    }
+
+    #[test]
+    fn serve_bench_counters_are_deterministic() {
+        // One repetition of a tiny submission mix through a real in-process
+        // daemon, twice: the gate exact-compares the admission / streaming /
+        // cache counters, so two cold daemons must report identical values,
+        // and the mix must exercise both dedup and the curve cache.
+        let a = run_serve_bench_with_load(1, 1_000_000.0, 2, 2, 2);
+        let b = run_serve_bench_with_load(1, 1_000_000.0, 2, 2, 2);
+        assert_eq!(a.specs_submitted, b.specs_submitted);
+        assert_eq!(a.runs_executed, b.runs_executed);
+        assert_eq!(a.outcomes_total, b.outcomes_total);
+        assert_eq!(a.outcomes_streamed, b.outcomes_streamed);
+        assert_eq!(a.cache_hits, b.cache_hits);
+        assert_eq!(a.cache_misses, b.cache_misses);
+        assert_eq!(a.specs_submitted, 4);
+        assert_eq!(a.runs_executed, 2);
+        assert!(a.outcomes_total > 0 && a.cache_misses > 0);
     }
 
     #[test]

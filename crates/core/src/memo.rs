@@ -273,6 +273,8 @@ pub struct CurveCache {
     max_entries_per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    evicted_entries: AtomicU64,
 }
 
 impl CurveCache {
@@ -293,6 +295,8 @@ impl CurveCache {
             max_entries_per_shard: max_entries.div_ceil(NUM_SHARDS).max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            evicted_entries: AtomicU64::new(0),
         }
     }
 
@@ -323,6 +327,9 @@ impl CurveCache {
         let curve = compute();
         let mut shard = self.shard(key).lock().expect("curve shard poisoned");
         if shard.len() >= self.max_entries_per_shard {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evicted_entries
+                .fetch_add(shard.len() as u64, Ordering::Relaxed);
             shard.clear();
         }
         shard.insert(key, curve.clone());
@@ -352,6 +359,19 @@ impl CurveCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Epoch-eviction events: times a full shard was cleared because it
+    /// reached its capacity share. A long-lived serving process exposes
+    /// this (with [`CurveCache::evicted_entries`]) so operators can tell a
+    /// cold cache from one thrashing its capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Total entries dropped by epoch evictions.
+    pub fn evicted_entries(&self) -> u64 {
+        self.evicted_entries.load(Ordering::Relaxed)
+    }
+
     /// Fraction of lookups answered from the cache (0 when unused).
     pub fn hit_rate(&self) -> f64 {
         let hits = self.hits() as f64;
@@ -370,6 +390,8 @@ impl CurveCache {
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.evicted_entries.store(0, Ordering::Relaxed);
     }
 }
 
@@ -385,6 +407,7 @@ impl std::fmt::Debug for CurveCache {
             .field("entries", &self.len())
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
             .finish()
     }
 }
@@ -487,10 +510,16 @@ mod tests {
             "cache exceeded its bound: {} entries",
             cache.len()
         );
+        // Epoch evictions are counted for the serving telemetry.
+        assert!(cache.evictions() > 0);
+        assert!(cache.evicted_entries() >= cache.evictions());
         // Eviction is a perf event only: a re-request recomputes the same
         // curve.
         let again = cache.get_or_compute((0, 0), || curve(0.0));
         assert_eq!(again.energy(1), 0.0);
+        cache.clear();
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.evicted_entries(), 0);
     }
 
     #[test]

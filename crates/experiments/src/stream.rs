@@ -128,7 +128,9 @@ impl SweepManifest {
     }
 
     fn save(&self, dir: &Path) -> Result<(), QosrmError> {
-        simdb::persist::save_json(self, &dir.join(MANIFEST_FILE))
+        // Durable: the manifest is crash-recovery state — a daemon restart
+        // right after a "shard complete" report must find it on disk.
+        simdb::persist::save_json_durable(self, &dir.join(MANIFEST_FILE))
     }
 }
 
@@ -268,6 +270,14 @@ fn run_pending(
             });
         }
     }
+    // The inverse divergence: a crash in the rename-without-dirsync window
+    // (shard log written non-durably, manifest updated, then the log's
+    // directory entry lost) leaves a manifest record with no file behind
+    // it. Drop such ghost records — their scenarios are simply pending
+    // again — so the manifest never claims shards that do not exist.
+    manifest
+        .shards
+        .retain(|record| dir.join(&record.file).is_file());
     manifest.shards.sort_by(|a, b| a.file.cmp(&b.file));
 
     if pending.is_empty() {
@@ -304,7 +314,10 @@ fn run_pending(
             );
             log.push('\n');
         }
-        simdb::persist::write_atomic(&dir.join(&file), log.as_bytes())?;
+        // Durable (fsync file + run directory): once the shard is recorded
+        // in the manifest, a crash — even a power cut — must not be able to
+        // roll the log's rename back out of the directory.
+        simdb::persist::write_atomic_durable(&dir.join(&file), log.as_bytes())?;
 
         manifest.completed_scenarios += outcomes.len();
         manifest.shards.push(ShardRecord {
@@ -486,6 +499,50 @@ mod tests {
         run(&tiny_spec(), &ctx, &dir, &StreamOptions::default()).unwrap();
         let full = ExperimentContext::new(false);
         assert!(resume(&full, &dir, &StreamOptions::default()).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lost_shard_log_with_manifest_record_is_rerun() {
+        // Replays the rename-without-dirsync window: before the durable
+        // write fix, a crash immediately after "shard complete" could
+        // persist the manifest record while the shard log's rename never
+        // reached the directory. The run directory then claims a shard
+        // that does not exist; resume must treat its scenarios as pending
+        // and heal to a byte-identical merge.
+        let dir = temp_dir("lost_log");
+        let ctx = ExperimentContext::new(true);
+        run(
+            &tiny_spec(),
+            &ctx,
+            &dir,
+            &StreamOptions {
+                shard_size: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let reference = serde_json::to_string(&merge(&dir).unwrap()).unwrap();
+        // Simulate the lost rename: delete a middle shard log but keep its
+        // manifest record (the manifest was saved after the shard).
+        fs::remove_file(dir.join("shard-0001.jsonl")).unwrap();
+        let manifest = SweepManifest::load(&dir).unwrap();
+        assert!(manifest.shards.iter().any(|s| s.file == "shard-0001.jsonl"));
+        assert!(
+            merge(&dir).is_err(),
+            "merge must refuse the healed-over gap"
+        );
+
+        let report = resume(&ctx, &dir, &StreamOptions::default()).unwrap();
+        assert!(report.finished);
+        assert_eq!(report.skipped, 2);
+        let healed = serde_json::to_string(&merge(&dir).unwrap()).unwrap();
+        assert_eq!(healed, reference, "healed merge must be byte-identical");
+        // The ghost record is gone and every recorded shard exists on disk.
+        let manifest = SweepManifest::load(&dir).unwrap();
+        assert!(manifest.shards.iter().all(|s| dir.join(&s.file).is_file()));
+        assert!(!manifest.shards.iter().any(|s| s.file == "shard-0001.jsonl"));
+        assert_eq!(manifest.completed_scenarios, 3);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,259 @@
+//! A blocking client for the daemon protocol, used by `qosrm_load`, the
+//! protocol tests, and the serving benchmark.
+
+use crate::http::WireError;
+use crate::server::{RunStatus, StatsReport};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// The daemon answered with a typed error (`kind` dispatchable:
+    /// `QueueFull`, `InvalidSpec`, `PayloadTooLarge`, `RunNotFound`,
+    /// `RunNotComplete`, ...).
+    Rejected {
+        /// HTTP status code.
+        status: u16,
+        /// Machine-readable error kind.
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The connection could not be established or died mid-exchange (the
+    /// daemon may have been killed; retrying is reasonable).
+    Transport(String),
+    /// The daemon answered with bytes the client could not interpret.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Rejected {
+                status,
+                kind,
+                message,
+            } => write!(f, "rejected ({status} {kind}): {message}"),
+            ClientError::Transport(detail) => write!(f, "transport error: {detail}"),
+            ClientError::Protocol(detail) => write!(f, "protocol error: {detail}"),
+        }
+    }
+}
+
+/// A parsed response.
+#[derive(Debug, Clone)]
+struct Response {
+    status: u16,
+    body: Vec<u8>,
+}
+
+/// Blocking daemon client. One TCP connection per call (the protocol is
+/// one request per connection).
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Creates a client for a daemon address.
+    pub fn new(addr: SocketAddr) -> Self {
+        Client {
+            addr,
+            timeout: Duration::from_secs(120),
+        }
+    }
+
+    /// Overrides the per-call socket timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Submits a spec. Returns the run status plus whether this submission
+    /// *created* the run (HTTP 202) or deduplicated to an existing one
+    /// (HTTP 200).
+    pub fn submit(
+        &self,
+        spec_json: &str,
+        client_name: &str,
+        quick: bool,
+        shard_size: usize,
+    ) -> Result<(bool, RunStatus), ClientError> {
+        let path = format!("/runs?quick={quick}&shard_size={shard_size}");
+        let response = self.request(
+            "POST",
+            &path,
+            &[
+                ("x-client", client_name),
+                ("content-type", "application/json"),
+            ],
+            spec_json.as_bytes(),
+        )?;
+        let created = response.status == 202;
+        let status = self.parse_json(&self.ok(response)?)?;
+        Ok((created, status))
+    }
+
+    /// Fetches a run's status.
+    pub fn status(&self, run_id: &str) -> Result<RunStatus, ClientError> {
+        let response = self.request("GET", &format!("/runs/{run_id}"), &[], b"")?;
+        self.parse_json(&self.ok(response)?)
+    }
+
+    /// Lists all runs.
+    pub fn list(&self) -> Result<Vec<RunStatus>, ClientError> {
+        let response = self.request("GET", "/runs", &[], b"")?;
+        self.parse_json(&self.ok(response)?)
+    }
+
+    /// Cancels a run, returning its status after the cancel.
+    pub fn cancel(&self, run_id: &str) -> Result<RunStatus, ClientError> {
+        let response = self.request("POST", &format!("/runs/{run_id}/cancel"), &[], b"")?;
+        self.parse_json(&self.ok(response)?)
+    }
+
+    /// Fetches the merged result bytes of a complete run — the exact bytes
+    /// the offline `sweep merge --result` path writes.
+    pub fn result(&self, run_id: &str) -> Result<Vec<u8>, ClientError> {
+        let response = self.request("GET", &format!("/runs/{run_id}/result"), &[], b"")?;
+        self.ok(response)
+    }
+
+    /// Fetches the `/stats` report.
+    pub fn stats(&self) -> Result<StatsReport, ClientError> {
+        let response = self.request("GET", "/stats", &[], b"")?;
+        self.parse_json(&self.ok(response)?)
+    }
+
+    /// Streams outcome lines starting at `from`, feeding each complete
+    /// JSONL line to `sink`, until the daemon closes the tail (the run
+    /// reached a terminal state). Returns the number of lines received.
+    pub fn stream(
+        &self,
+        run_id: &str,
+        from: usize,
+        mut sink: impl FnMut(&str),
+    ) -> Result<usize, ClientError> {
+        let path = format!("/runs/{run_id}/stream?from={from}");
+        let mut stream = self.connect()?;
+        self.write_request(&mut stream, "GET", &path, &[], b"")?;
+        let mut raw = Vec::new();
+        stream
+            .read_to_end(&mut raw)
+            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        let (status, body) = split_response(&raw)?;
+        if status != 200 {
+            return Err(self.rejection(status, &body));
+        }
+        let text = String::from_utf8_lossy(&body);
+        let mut count = 0;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            sink(line);
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    fn connect(&self) -> Result<TcpStream, ClientError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)
+            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        let _ = stream.set_read_timeout(Some(self.timeout));
+        let _ = stream.set_write_timeout(Some(self.timeout));
+        Ok(stream)
+    }
+
+    fn write_request(
+        &self,
+        stream: &mut TcpStream,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<(), ClientError> {
+        let mut head = format!("{method} {path} HTTP/1.0\r\n");
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body))
+            .and_then(|()| stream.flush())
+            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        // Half-close: the request is complete, so a server that rejects it
+        // without reading the body sees EOF instead of blocking on a drain.
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        Ok(())
+    }
+
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<Response, ClientError> {
+        let mut stream = self.connect()?;
+        self.write_request(&mut stream, method, path, headers, body)?;
+        let mut raw = Vec::new();
+        stream
+            .read_to_end(&mut raw)
+            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        let (status, body) = split_response(&raw)?;
+        Ok(Response { status, body })
+    }
+
+    /// Maps a non-2xx response to [`ClientError::Rejected`].
+    fn ok(&self, response: Response) -> Result<Vec<u8>, ClientError> {
+        if (200..300).contains(&response.status) {
+            Ok(response.body)
+        } else {
+            Err(self.rejection(response.status, &response.body))
+        }
+    }
+
+    fn rejection(&self, status: u16, body: &[u8]) -> ClientError {
+        let text = String::from_utf8_lossy(body);
+        match serde_json::from_str::<WireError>(&text) {
+            Ok(wire) => ClientError::Rejected {
+                status,
+                kind: wire.error.kind,
+                message: wire.error.message,
+            },
+            Err(_) => ClientError::Rejected {
+                status,
+                kind: "Unknown".to_string(),
+                message: text.into_owned(),
+            },
+        }
+    }
+
+    fn parse_json<T: serde::Deserialize>(&self, body: &[u8]) -> Result<T, ClientError> {
+        let text = String::from_utf8_lossy(body);
+        serde_json::from_str(&text).map_err(|e| {
+            ClientError::Protocol(format!("unparsable response body: {e} in {text:.120}"))
+        })
+    }
+}
+
+/// Splits raw response bytes into (status, body).
+fn split_response(raw: &[u8]) -> Result<(u16, Vec<u8>), ClientError> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| ClientError::Protocol("response has no head/body separator".to_string()))?;
+    let head = String::from_utf8_lossy(&raw[..head_end]);
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| ClientError::Protocol(format!("bad status line {status_line:?}")))?;
+    Ok((status, raw[head_end + 4..].to_vec()))
+}

@@ -1,0 +1,344 @@
+//! A deliberately minimal HTTP/1.0 subset shared by the daemon and its
+//! blocking client.
+//!
+//! The vendor/ constraint rules out async runtimes and HTTP crates, and the
+//! protocol needs very little: one request per connection, `Content-Length`
+//! bodies, `Connection: close` responses, and one streaming response shape
+//! (the JSONL outcome tail, which has no length and ends when the socket
+//! closes). The grammar the daemon accepts:
+//!
+//! ```text
+//! request  = method SP path ["?" query] SP version CRLF *(header CRLF) CRLF [body]
+//! method   = "GET" | "POST"
+//! query    = key "=" value *("&" key "=" value)
+//! header   = name ":" OWS value            ; names are case-insensitive
+//! body     = octets, exactly Content-Length of them
+//! ```
+//!
+//! Anything else — a torn head, a missing version, a body longer than the
+//! configured payload limit — yields a typed [`RequestError`], which the
+//! server maps to a JSON error response (see [`WireError`]) rather than a
+//! hangup, so clients always learn *why* they were refused.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers). Large requests
+/// put their payload in the body, never the head.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`).
+    pub method: String,
+    /// Decoded path without the query string (e.g. `/runs/r0123/stream`).
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: HashMap<String, String>,
+    /// Headers with lower-cased names.
+    pub headers: HashMap<String, String>,
+    /// Request body (`Content-Length` octets).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A query parameter, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.get(key).map(String::as_str)
+    }
+
+    /// A header value by case-insensitive name, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The head or body exceeded a configured limit (the limit in bytes).
+    TooLarge {
+        /// The limit that was exceeded, in bytes.
+        limit: usize,
+    },
+    /// The bytes on the wire were not a well-formed request (torn head,
+    /// bad request line, unparsable `Content-Length`, truncated body).
+    Malformed(String),
+    /// The peer closed the connection before sending anything.
+    Closed,
+}
+
+/// Reads one request from `stream`. `max_body` bounds the accepted
+/// `Content-Length`; the head is bounded by [`MAX_HEAD_BYTES`].
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, RequestError> {
+    // Read the head byte-wise-ish (buffered in chunks) until CRLFCRLF.
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_head_end(&head) {
+            break pos;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::TooLarge {
+                limit: MAX_HEAD_BYTES,
+            });
+        }
+        let n = stream
+            .read(&mut buf)
+            .map_err(|e| RequestError::Malformed(format!("read failed: {e}")))?;
+        if n == 0 {
+            if head.is_empty() {
+                return Err(RequestError::Closed);
+            }
+            return Err(RequestError::Malformed(
+                "connection closed before the request head completed".to_string(),
+            ));
+        }
+        head.extend_from_slice(&buf[..n]);
+    };
+    let body_prefix = head.split_off(header_end + 4);
+    let head_text = String::from_utf8(head)
+        .map_err(|_| RequestError::Malformed("request head is not UTF-8".to_string()))?;
+
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("empty request line".to_string()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("request line has no path".to_string()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("request line has no HTTP version".to_string()))?;
+    if !version.starts_with("HTTP/") {
+        return Err(RequestError::Malformed(format!(
+            "bad HTTP version {version:?}"
+        )));
+    }
+
+    let mut headers = HashMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| {
+            RequestError::Malformed(format!("header line without a colon: {line:?}"))
+        })?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    let (path, query) = parse_target(target);
+
+    let content_length = match headers.get("content-length") {
+        Some(raw) => raw
+            .parse::<usize>()
+            .map_err(|_| RequestError::Malformed(format!("unparsable Content-Length {raw:?}")))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(RequestError::TooLarge { limit: max_body });
+    }
+    let mut body = body_prefix;
+    if body.len() > content_length {
+        return Err(RequestError::Malformed(
+            "body is longer than Content-Length".to_string(),
+        ));
+    }
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut buf)
+            .map_err(|e| RequestError::Malformed(format!("read failed: {e}")))?;
+        if n == 0 {
+            return Err(RequestError::Malformed(format!(
+                "connection closed with {} of {content_length} body bytes read",
+                body.len()
+            )));
+        }
+        body.extend_from_slice(&buf[..n]);
+        if body.len() > content_length {
+            return Err(RequestError::Malformed(
+                "body is longer than Content-Length".to_string(),
+            ));
+        }
+    }
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Splits a request target into its decoded path and query map.
+fn parse_target(target: &str) -> (String, HashMap<String, String>) {
+    let (path, query_text) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut query = HashMap::new();
+    for pair in query_text.split('&') {
+        if pair.is_empty() {
+            continue;
+        }
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        query.insert(percent_decode(key), percent_decode(value));
+    }
+    (percent_decode(path), query)
+}
+
+/// Minimal percent-decoding (enough for `%2F` in labels and `+` as space).
+fn percent_decode(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = &text[i + 1..i + 3];
+                if let Ok(v) = u8::from_str_radix(hex, 16) {
+                    out.push(v);
+                    i += 3;
+                } else {
+                    out.push(b'%');
+                    i += 1;
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// The body of every error response: `{"error":{"kind":...,"message":...}}`.
+///
+/// `kind` is a stable machine-readable discriminator (`PayloadTooLarge`,
+/// `MalformedRequest`, `InvalidSpec`, `QueueFull`, `RunNotFound`,
+/// `RunNotComplete`, `NotFound`, `MethodNotAllowed`); `message` is
+/// human-readable detail. Clients dispatch on `kind`, never on `message`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireError {
+    /// The error payload.
+    pub error: WireErrorBody,
+}
+
+/// Inner payload of [`WireError`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireErrorBody {
+    /// Stable machine-readable discriminator.
+    pub kind: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds an error body.
+    pub fn new(kind: &str, message: impl Into<String>) -> Self {
+        WireError {
+            error: WireErrorBody {
+                kind: kind.to_string(),
+                message: message.into(),
+            },
+        }
+    }
+}
+
+/// Writes a complete response with a `Content-Length` and closes semantics
+/// (`Connection: close`; the server drops the stream afterwards).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes a JSON response.
+pub fn write_json(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write_response(stream, status, reason, "application/json", body.as_bytes())
+}
+
+/// Writes a typed JSON error response.
+pub fn write_error(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    error: &WireError,
+) -> std::io::Result<()> {
+    let body = serde_json::to_string(error).unwrap_or_else(|_| "{}".to_string());
+    write_json(stream, status, reason, &body)
+}
+
+/// Writes the head of a streaming (unbounded) response; the body follows as
+/// raw writes and ends when the connection closes.
+pub fn write_stream_head(stream: &mut TcpStream, content_type: &str) -> std::io::Result<()> {
+    let head =
+        format!("HTTP/1.0 200 OK\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_parsing_splits_path_and_query() {
+        let (path, query) = parse_target("/runs/r01/stream?from=42&quick=false");
+        assert_eq!(path, "/runs/r01/stream");
+        assert_eq!(query.get("from").map(String::as_str), Some("42"));
+        assert_eq!(query.get("quick").map(String::as_str), Some("false"));
+        let (path, query) = parse_target("/stats");
+        assert_eq!(path, "/stats");
+        assert!(query.is_empty());
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%2Fb+c"), "a/b c");
+        assert_eq!(percent_decode("plain"), "plain");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+    }
+
+    #[test]
+    fn wire_error_roundtrip() {
+        let err = WireError::new("QueueFull", "queue is at its 64-run bound");
+        let json = serde_json::to_string(&err).unwrap();
+        assert!(json.contains("\"QueueFull\""));
+        let back: WireError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, err);
+    }
+}

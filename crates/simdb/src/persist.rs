@@ -25,6 +25,16 @@ pub fn save_json<T: Serialize>(value: &T, path: &Path) -> Result<(), QosrmError>
     write_atomic(path, json.as_bytes())
 }
 
+/// [`save_json`] with the durability guarantees of [`write_atomic_durable`]:
+/// the serialized bytes *and* the directory entry are fsynced before the
+/// call returns. Used for crash-recovery state (streaming-run manifests and
+/// shard logs) that must survive a power-cut or SIGKILL the instant the
+/// writer reports completion.
+pub fn save_json_durable<T: Serialize>(value: &T, path: &Path) -> Result<(), QosrmError> {
+    let json = serde_json::to_string(value).map_err(|e| QosrmError::Io(e.to_string()))?;
+    write_atomic_durable(path, json.as_bytes())
+}
+
 /// Distinguishes concurrent temp files of one process (the pid alone is not
 /// enough when several threads save under the same directory).
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -37,6 +47,24 @@ static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 /// crash at any point leaves either the old content, the new content, or a
 /// stray `.tmp` file, never a truncated `path`.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), QosrmError> {
+    write_atomic_impl(path, bytes, false)
+}
+
+/// [`write_atomic`] plus crash durability: the temp file is fsynced before
+/// the rename, and the parent directory is fsynced after it.
+///
+/// Plain [`write_atomic`] guarantees a reader never sees a torn file, but
+/// not that the file survives a crash: the rename can be journaled before
+/// the data blocks reach the disk (a zero-length or stale file after a
+/// power cut), and the rename itself lives in the directory, so without a
+/// directory fsync a crash immediately after "write complete" can roll the
+/// whole file back. A daemon that reports a shard as durable must close
+/// both windows, in order: data → fsync(file) → rename → fsync(dir).
+pub fn write_atomic_durable(path: &Path, bytes: &[u8]) -> Result<(), QosrmError> {
+    write_atomic_impl(path, bytes, true)
+}
+
+fn write_atomic_impl(path: &Path, bytes: &[u8], durable: bool) -> Result<(), QosrmError> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             fs::create_dir_all(parent)?;
@@ -52,7 +80,17 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), QosrmError> {
         std::process::id(),
         TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
     ));
-    if let Err(e) = fs::write(&tmp, bytes) {
+    let write = || -> std::io::Result<()> {
+        let mut file = fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut file, bytes)?;
+        if durable {
+            // The data must be on stable storage *before* the rename is,
+            // or a crash can journal the rename ahead of the contents.
+            file.sync_all()?;
+        }
+        Ok(())
+    };
+    if let Err(e) = write() {
         // Don't strand the temp file (e.g. a partial write on ENOSPC).
         let _ = fs::remove_file(&tmp);
         return Err(e.into());
@@ -65,7 +103,24 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), QosrmError> {
             path.display()
         ))
     })?;
+    if durable {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fsync_dir(parent)?;
+            }
+        }
+    }
     Ok(())
+}
+
+/// Fsyncs a directory, committing its entries (renames, creations) to
+/// stable storage. On Linux a directory opened read-only accepts fsync.
+fn fsync_dir(dir: &Path) -> Result<(), QosrmError> {
+    let handle = fs::File::open(dir)
+        .map_err(|e| QosrmError::Io(format!("cannot open directory {}: {e}", dir.display())))?;
+    handle
+        .sync_all()
+        .map_err(|e| QosrmError::Io(format!("cannot fsync directory {}: {e}", dir.display())))
 }
 
 /// Loads any deserializable value from the JSON file at `path`.
@@ -162,6 +217,25 @@ mod tests {
         save_json(&vec![4u64], &path).unwrap();
         let loaded: Vec<u64> = load_json(&path).unwrap();
         assert_eq!(loaded, vec![4]);
+        let stray: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(stray.is_empty(), "temp files left behind: {stray:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_write_replaces_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join("qosrm_simdb_durable_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("value.json");
+        write_atomic_durable(&path, b"[1,2]").unwrap();
+        // Overwriting goes through the same temp + fsync + rename + dirsync.
+        save_json_durable(&vec![7u64], &path).unwrap();
+        let loaded: Vec<u64> = load_json(&path).unwrap();
+        assert_eq!(loaded, vec![7]);
         let stray: Vec<_> = fs::read_dir(&dir)
             .unwrap()
             .filter_map(|e| e.ok())
