@@ -11,8 +11,13 @@
 #          `qosrm_load`, SIGKILL the daemon mid-run, restart it on the same
 #          port (the load generator rides out the window on transport
 #          retries) and let the resumed run complete
+#          dist — start a `sweep coordinate` coordinator and three `sweep
+#          work` worker processes; SIGKILL one worker mid-shard (a per-shard
+#          delay parks it between lease and completion), wait for its lease
+#          to expire and the shard to be reinjected to a surviving worker,
+#          then `sweep merge` the distributed run
 #
-# Both modes first produce a reference result from one uninterrupted
+# All modes first produce a reference result from one uninterrupted
 # offline `sweep run` + `sweep merge` of the same spec, then assert the
 # interrupted path's merged result is byte-identical to it (`cmp`).
 #
@@ -24,10 +29,14 @@
 #   QOSRM_SMOKE_CLIENTS      default 100 (serve mode: concurrent submitters)
 #   QOSRM_SMOKE_SHARD_DELAY_MS  default 150 (serve mode: per-shard pause so
 #                            the SIGKILL deterministically lands mid-run)
+#   QOSRM_SMOKE_LEASE_MS     default 1500 (dist mode: coordinator lease)
+#   QOSRM_SMOKE_VICTIM_DELAY_MS  default 2000 (dist mode: the victim
+#                            worker's per-shard delay, the window the
+#                            SIGKILL lands in)
 set -euo pipefail
 
 if [ $# -ne 3 ]; then
-  echo "usage: $0 SPEC OUT MODE(sweep|serve)" >&2
+  echo "usage: $0 SPEC OUT MODE(sweep|serve|dist)" >&2
   exit 2
 fi
 SPEC=$1
@@ -40,15 +49,35 @@ LOAD_BIN=${QOSRM_LOAD_BIN:-target/release/qosrm_load}
 SHARD_SIZE=${QOSRM_SMOKE_SHARD_SIZE:-4}
 CLIENTS=${QOSRM_SMOKE_CLIENTS:-100}
 SHARD_DELAY_MS=${QOSRM_SMOKE_SHARD_DELAY_MS:-150}
+LEASE_MS=${QOSRM_SMOKE_LEASE_MS:-1500}
+VICTIM_DELAY_MS=${QOSRM_SMOKE_VICTIM_DELAY_MS:-2000}
 
 rm -rf "$OUT"
 mkdir -p "$OUT"
 
 daemon_pid=""
+extra_pids=""
 cleanup() {
   [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+  for pid in $extra_pids; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
 }
 trap cleanup EXIT
+
+# Polls until $2 appears in the (possibly not-yet-created) log file $1, or
+# fails after 60s.
+wait_for_line() {
+  local file=$1 pattern=$2
+  for _ in $(seq 1 1200); do
+    if grep -q -- "$pattern" "$file" 2>/dev/null; then
+      return 0
+    fi
+    sleep 0.05
+  done
+  echo "timed out waiting for \"$pattern\" in $file" >&2
+  return 1
+}
 
 # Polls until at least $2 shard logs match the glob $1 (unquoted on
 # purpose), or fails after 60s.
@@ -131,8 +160,53 @@ case "$MODE" in
     wait "$daemon_pid" 2>/dev/null || true
     daemon_pid=""
     ;;
+  dist)
+    # Coordinator + three wire workers. worker-1 is the victim: its long
+    # per-shard delay parks it between leasing a shard and delivering the
+    # completion, so the SIGKILL deterministically lands mid-shard. The
+    # survivors drain the rest, the victim's lease expires after
+    # $LEASE_MS, the coordinator reinjects the orphaned shard, and a
+    # survivor re-runs it — the merged result must still be byte-identical
+    # to the single-process reference.
+    ADDR="127.0.0.1:$(( (RANDOM % 20000) + 20000 ))"
+    "$EXPERIMENTS_BIN" sweep coordinate --spec "$SPEC" --out "$OUT/dist" \
+      --quick --shard-size "$SHARD_SIZE" --addr "$ADDR" \
+      --lease-ms "$LEASE_MS" >"$OUT/coordinator.log" 2>&1 &
+    coord_pid=$!
+    extra_pids="$coord_pid"
+    wait_for_line "$OUT/coordinator.log" "coordinating on"
+
+    "$EXPERIMENTS_BIN" sweep work --addr "$ADDR" --worker worker-1 \
+      --shard-delay-ms "$VICTIM_DELAY_MS" >"$OUT/worker-1.log" 2>&1 &
+    victim_pid=$!
+    extra_pids="$extra_pids $victim_pid"
+    # Kill the victim as soon as the coordinator grants it a shard — it is
+    # still $VICTIM_DELAY_MS away from completing that shard.
+    wait_for_line "$OUT/coordinator.log" "-> worker-1"
+    kill -9 "$victim_pid" 2>/dev/null || true
+    wait "$victim_pid" 2>/dev/null || true
+    echo "worker-1 SIGKILLed mid-shard"
+
+    "$EXPERIMENTS_BIN" sweep work --addr "$ADDR" --worker worker-2 \
+      >"$OUT/worker-2.log" 2>&1 &
+    w2_pid=$!
+    "$EXPERIMENTS_BIN" sweep work --addr "$ADDR" --worker worker-3 \
+      >"$OUT/worker-3.log" 2>&1 &
+    w3_pid=$!
+    extra_pids="$extra_pids $w2_pid $w3_pid"
+
+    wait "$coord_pid"
+    wait "$w2_pid"
+    wait "$w3_pid"
+    extra_pids=""
+    # The orphaned shard must have come back through lease expiry, not by
+    # any other path.
+    grep -q "expired lease(s) reinjected" "$OUT/coordinator.log"
+    grep "^leases:" "$OUT/coordinator.log" || true
+    "$EXPERIMENTS_BIN" sweep merge --out "$OUT/dist" --result "$OUT/killed.json"
+    ;;
   *)
-    echo "unknown mode $MODE (want sweep or serve)" >&2
+    echo "unknown mode $MODE (want sweep, serve or dist)" >&2
     exit 2
     ;;
 esac

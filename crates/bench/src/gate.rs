@@ -1,12 +1,13 @@
 //! The CI performance-regression gate.
 //!
 //! [`bench_gate`](../../bench_gate/index.html) (the `bench_gate` binary) runs
-//! five fixed, deterministic workloads — the co-phase simulator loop on a
+//! six fixed, deterministic workloads — the co-phase simulator loop on a
 //! quick-grid workload, the global way-partition optimizer on a synthetic
 //! curve set, cold-cache energy-curve construction on real observations,
 //! the game-theoretic best-response/equilibrium solvers on the synthetic
-//! curves, and an in-process `qosrm_serve` daemon under a fixed submission
-//! mix — and emits machine-readable reports:
+//! curves, an in-process `qosrm_serve` daemon under a fixed submission
+//! mix, and a distributed sweep (in-process coordinator + wire workers)
+//! over a fixed spec — and emits machine-readable reports:
 //!
 //! * `BENCH_simulator.json` — wall time, event count and events/second of the
 //!   simulator loop;
@@ -24,7 +25,12 @@
 //!   against an in-process serving daemon on an ephemeral port, with the
 //!   exact admission / streaming / curve-cache counters its `/stats`
 //!   endpoint reports (specs admitted per second, outcomes streamed per
-//!   second, cache hit rate).
+//!   second, cache hit rate);
+//! * `BENCH_dist.json` — wall time of a fixed spec drained by an in-process
+//!   lease coordinator plus four wire workers on an ephemeral port, the
+//!   wall time of the same spec through the single-process streaming
+//!   executor, and the exact lease-protocol counters (granted / renewed /
+//!   expired / reinjected / stale / completed) of the distributed run.
 //!
 //! In check mode (the default, what CI runs) the fresh reports are written to
 //! `target/bench-gate/` and compared against the baselines committed at the
@@ -41,8 +47,11 @@
 //! recorded the baseline sees its wall times halved before the tolerance
 //! test), so the band measures the code, not the hardware.
 
+use experiments::dist::{self, Coordinator, CoordinatorConfig, WorkerConfig};
 use experiments::spec::{PlatformAxisSpec, PlatformSpec, WorkloadSource};
-use experiments::{QosAxis, RmaVariant, ScenarioSpec};
+use experiments::{
+    stream, ExperimentContext, LeaseCounters, QosAxis, RmaVariant, ScenarioSpec, StreamOptions,
+};
 use qosrm_core::{
     best_response, min_energy_equilibrium, optimize_partition_with_stats, CoordinatedRma,
     CurveCache, CurvePoint, EnergyCurve, GameConfig, GameStats, LocalOptimizer,
@@ -875,6 +884,273 @@ fn run_serve_bench_with_load(
     }
 }
 
+/// Report of the distributed-sweep benchmark (`BENCH_dist.json`): a fixed
+/// spec drained by an in-process lease [`Coordinator`] serving wire workers
+/// on an ephemeral port, against the same spec through the single-process
+/// streaming executor.
+///
+/// Both sides share one warm quick-mode context (the databases are built in
+/// an untimed warm-up), so the walls measure coordination overhead plus
+/// evaluation, not database construction. The lease counters are
+/// deterministic — the lease is far longer than the run, so every shard is
+/// granted exactly once and nothing expires, is reinjected, renewed or
+/// rejected — and exact-compared like every other gated counter. The merged
+/// distributed result is asserted byte-identical to the single-process
+/// merge on every repetition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistReport {
+    /// Report schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Benchmark identifier (`"dist"`).
+    pub bench: String,
+    /// Human-readable description of the fixed spec and worker fleet.
+    pub workload: String,
+    /// Measured repetitions (best times are reported; each repetition uses
+    /// fresh run directories).
+    pub repetitions: usize,
+    /// Best wall time of one coordinated repetition (coordinator open
+    /// through last worker exit), in seconds — the gated number.
+    pub wall_seconds: f64,
+    /// Best wall time of the single-process streaming run of the same spec
+    /// (run through merge), in seconds.
+    pub single_wall_seconds: f64,
+    /// Wire workers draining the coordinator.
+    pub workers: u64,
+    /// Shards of the fixed spec (deterministic).
+    pub shards: u64,
+    /// Scenarios of the fixed spec (deterministic).
+    pub scenarios_total: u64,
+    /// Leases granted per coordinated repetition (deterministic: one per
+    /// shard, nothing expires).
+    pub leases_granted: u64,
+    /// Leases renewed per repetition (deterministic: 0 — the lease is far
+    /// longer than the heartbeat interval needs).
+    pub leases_renewed: u64,
+    /// Leases expired per repetition (deterministic: 0).
+    pub leases_expired: u64,
+    /// Shards reinjected per repetition (deterministic: 0).
+    pub shards_reinjected: u64,
+    /// Stale completions rejected per repetition (deterministic: 0).
+    pub stale_completions: u64,
+    /// Shard completions accepted per repetition (deterministic: one per
+    /// shard).
+    pub shards_completed: u64,
+    /// Scenarios per second through the coordinated path at the best wall.
+    pub scenarios_per_sec: f64,
+    /// Throughput of the fixed calibration loop on the measuring machine
+    /// (used to normalize wall times across machines).
+    pub calibration_ops_per_sec: f64,
+}
+
+/// The fixed spec of the distributed benchmark: a 4-core Paper I platform,
+/// `mixes` synthetic mixes, strict QoS, both manager variants — `2 * mixes`
+/// scenarios, sharded one scenario per shard so the lease protocol round-
+/// trips once per scenario.
+fn dist_bench_spec(mixes: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "dist-bench".to_string(),
+        platforms: vec![PlatformAxisSpec {
+            label: "p4".to_string(),
+            platform: PlatformSpec::Paper1 { num_cores: 4 },
+            workloads: WorkloadSource::Synth(SynthSpec {
+                seed: 4242,
+                count: mixes,
+                num_cores: 4,
+                population: MixPopulation::Mixed,
+                name_prefix: "db-".to_string(),
+            }),
+        }],
+        qos: vec![QosAxis::uniform("strict", QosSpec::STRICT)],
+        variants: vec![RmaVariant::Paper1, RmaVariant::Paper2],
+        options: Some(SimulationOptions {
+            provide_mlp_profiles: false,
+            ..Default::default()
+        }),
+    }
+}
+
+/// Wire workers of the fixed distributed benchmark.
+const DIST_WORKERS: usize = 4;
+/// Synthetic mixes of the fixed distributed benchmark (scenarios = 2x).
+const DIST_MIXES: usize = 4;
+
+/// Runs the distributed-sweep benchmark. `calibration_ops_per_sec` is the
+/// machine's [`calibrate`] measurement, recorded in the report so later
+/// checks can normalize across machines.
+pub fn run_dist_bench(repetitions: usize, calibration_ops_per_sec: f64) -> DistReport {
+    run_dist_bench_with(
+        repetitions,
+        calibration_ops_per_sec,
+        DIST_WORKERS,
+        DIST_MIXES,
+    )
+}
+
+/// Per-repetition deterministic counters of the dist bench, in order:
+/// shards, scenarios, granted, renewed, expired, reinjected, stale,
+/// completed. Compared exactly across repetitions.
+type DistCounters = (u64, u64, u64, u64, u64, u64, u64, u64);
+
+/// [`run_dist_bench`] with an explicit fleet and spec size (tests use a
+/// small one so the determinism check stays fast in debug builds).
+fn run_dist_bench_with(
+    repetitions: usize,
+    calibration_ops_per_sec: f64,
+    workers: usize,
+    mixes: usize,
+) -> DistReport {
+    let spec = dist_bench_spec(mixes);
+    let ctx = Arc::new(ExperimentContext::new(true));
+    let base = std::env::temp_dir().join(format!("qosrm-bench-dist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Untimed warm-up: builds the quick databases (disk + in-context
+    // caches) so the timed walls on both sides measure evaluation and
+    // coordination, not database construction.
+    let warm_dir = base.join("warm");
+    stream::run(
+        &spec,
+        &ctx,
+        &warm_dir,
+        &StreamOptions {
+            shard_size: 1,
+            ..Default::default()
+        },
+    )
+    .expect("warm-up run completes");
+
+    let mut counters_ref: Option<DistCounters> = None;
+    let mut best_dist = f64::INFINITY;
+    let mut best_single = f64::INFINITY;
+    for repetition in 0..repetitions.max(1) {
+        // Single-process side: the streaming executor, one shard per
+        // scenario, run through merge.
+        let single_dir = base.join(format!("single-{repetition}"));
+        let start = Instant::now();
+        let report = stream::run(
+            &spec,
+            &ctx,
+            &single_dir,
+            &StreamOptions {
+                shard_size: 1,
+                ..Default::default()
+            },
+        )
+        .expect("single-process run completes");
+        let single_result = stream::merge(&single_dir).expect("single-process run merges");
+        best_single = best_single.min(start.elapsed().as_secs_f64());
+        assert!(report.finished);
+
+        // Distributed side: coordinator on an ephemeral port, `workers`
+        // wire workers sharing the warm context, timed from coordinator
+        // open through the last worker's exit.
+        let dist_dir = base.join(format!("dist-{repetition}"));
+        let lease_counters = Arc::new(LeaseCounters::default());
+        let config = CoordinatorConfig {
+            shard_size: 1,
+            // Far longer than the run: no expiry, reinjection or renewal,
+            // so the lease counters are exactly comparable.
+            lease_ms: 600_000,
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let coordinator = Arc::new(
+            Coordinator::open(
+                "dist-bench",
+                &spec,
+                true,
+                &dist_dir,
+                &config,
+                lease_counters,
+            )
+            .expect("coordinator opens"),
+        );
+        let server = dist::serve_coordinator("127.0.0.1:0", coordinator.clone())
+            .expect("coordinator listener binds");
+        let addr = server.addr().to_string();
+        let reports: Vec<dist::WorkerReport> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers.max(1))
+                .map(|i| {
+                    let addr = addr.clone();
+                    let ctx = ctx.clone();
+                    scope.spawn(move || {
+                        let config = WorkerConfig {
+                            worker: format!("bench-w{i}"),
+                            poll_ms: 10,
+                            ..Default::default()
+                        };
+                        dist::run_worker_with(&addr, &config, &mut |_| ctx.clone())
+                            .expect("worker drains the coordinator")
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread joins"))
+                .collect()
+        });
+        best_dist = best_dist.min(start.elapsed().as_secs_f64());
+        server.stop();
+        assert!(coordinator.finished());
+
+        let merged = stream::merge(&dist_dir).expect("distributed run merges");
+        assert_eq!(
+            serde_json::to_string(&merged).expect("results serialize"),
+            serde_json::to_string(&single_result).expect("results serialize"),
+            "the distributed merge must be byte-identical to the single-process run"
+        );
+
+        let telemetry = coordinator.telemetry();
+        let (completed, total) = coordinator.progress();
+        let shards: u64 = reports.iter().map(|r| r.shards_completed).sum();
+        assert_eq!(completed, total, "every scenario must complete");
+        let run_counters = (
+            shards,
+            total as u64,
+            telemetry.granted,
+            telemetry.renewed,
+            telemetry.expired,
+            telemetry.reinjected,
+            telemetry.stale_rejected,
+            telemetry.completed,
+        );
+        match counters_ref {
+            None => counters_ref = Some(run_counters),
+            Some(reference) => assert_eq!(
+                run_counters, reference,
+                "lease counters must be deterministic across repetitions"
+            ),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&base);
+
+    let (shards, scenarios_total, granted, renewed, expired, reinjected, stale, completed) =
+        counters_ref.expect("at least one repetition ran");
+    DistReport {
+        schema: SCHEMA.to_string(),
+        bench: "dist".to_string(),
+        workload: format!(
+            "in-process coordinator + {workers} wire workers on an ephemeral port (shared warm \
+             quick context, lease 600s) vs the single-process streaming executor: paper1-4c \
+             {mixes}-mix synth spec x {{Paper1, Paper2}}, shard size 1"
+        ),
+        repetitions: repetitions.max(1),
+        wall_seconds: best_dist,
+        single_wall_seconds: best_single,
+        workers: workers.max(1) as u64,
+        shards,
+        scenarios_total,
+        leases_granted: granted,
+        leases_renewed: renewed,
+        leases_expired: expired,
+        shards_reinjected: reinjected,
+        stale_completions: stale,
+        shards_completed: completed,
+        scenarios_per_sec: scenarios_total as f64 / best_dist.max(f64::MIN_POSITIVE),
+        calibration_ops_per_sec,
+    }
+}
+
 /// Outcome of comparing one fresh report against its committed baseline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GateOutcome {
@@ -1123,6 +1399,76 @@ pub fn compare_serve(
     ]
 }
 
+/// Compares a fresh distributed-sweep report against the committed
+/// baseline. Both walls (coordinated and single-process) are
+/// calibration-banded; every lease-protocol counter is exact-compared — a
+/// drift means the lease protocol, the shard chunking, or the fixed spec
+/// changed, which must be a deliberate baseline refresh.
+pub fn compare_dist(new: &DistReport, baseline: &DistReport, tolerance: f64) -> Vec<GateOutcome> {
+    vec![
+        check_wall(
+            "dist coordinated",
+            new.wall_seconds,
+            baseline.wall_seconds,
+            new.calibration_ops_per_sec,
+            baseline.calibration_ops_per_sec,
+            tolerance,
+        ),
+        check_wall(
+            "dist single-process",
+            new.single_wall_seconds,
+            baseline.single_wall_seconds,
+            new.calibration_ops_per_sec,
+            baseline.calibration_ops_per_sec,
+            tolerance,
+        ),
+        check_counter("dist", "workers", new.workers, baseline.workers),
+        check_counter("dist", "shards", new.shards, baseline.shards),
+        check_counter(
+            "dist",
+            "scenarios_total",
+            new.scenarios_total,
+            baseline.scenarios_total,
+        ),
+        check_counter(
+            "dist",
+            "leases_granted",
+            new.leases_granted,
+            baseline.leases_granted,
+        ),
+        check_counter(
+            "dist",
+            "leases_renewed",
+            new.leases_renewed,
+            baseline.leases_renewed,
+        ),
+        check_counter(
+            "dist",
+            "leases_expired",
+            new.leases_expired,
+            baseline.leases_expired,
+        ),
+        check_counter(
+            "dist",
+            "shards_reinjected",
+            new.shards_reinjected,
+            baseline.shards_reinjected,
+        ),
+        check_counter(
+            "dist",
+            "stale_completions",
+            new.stale_completions,
+            baseline.stale_completions,
+        ),
+        check_counter(
+            "dist",
+            "shards_completed",
+            new.shards_completed,
+            baseline.shards_completed,
+        ),
+    ]
+}
+
 /// The repository root (the bench crate lives at `crates/bench`).
 pub fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -1256,14 +1602,33 @@ pub fn gate_main(args: &[String]) -> i32 {
         serve.specs_per_sec,
         serve.outcomes_per_sec
     );
+    let dist = run_dist_bench(repetitions, calibration);
+    println!(
+        "dist: coordinated {:.4}s vs single-process {:.4}s best of {}, {} workers, {} shards, \
+         {} scenarios, leases {} granted / {} renewed / {} expired / {} reinjected / {} stale, \
+         {:.1} scenarios/s",
+        dist.wall_seconds,
+        dist.single_wall_seconds,
+        dist.repetitions,
+        dist.workers,
+        dist.shards,
+        dist.scenarios_total,
+        dist.leases_granted,
+        dist.leases_renewed,
+        dist.leases_expired,
+        dist.shards_reinjected,
+        dist.stale_completions,
+        dist.scenarios_per_sec
+    );
 
-    let (sim_path, opt_path, local_path, game_path, serve_path) = if update {
+    let (sim_path, opt_path, local_path, game_path, serve_path, dist_path) = if update {
         (
             root.join("BENCH_simulator.json"),
             root.join("BENCH_global_opt.json"),
             root.join("BENCH_local_opt.json"),
             root.join("BENCH_best_response.json"),
             root.join("BENCH_serve.json"),
+            root.join("BENCH_dist.json"),
         )
     } else {
         let out = root.join("target/bench-gate");
@@ -1273,6 +1638,7 @@ pub fn gate_main(args: &[String]) -> i32 {
             out.join("BENCH_local_opt.json"),
             out.join("BENCH_best_response.json"),
             out.join("BENCH_serve.json"),
+            out.join("BENCH_dist.json"),
         )
     };
     for (path, result) in [
@@ -1281,6 +1647,7 @@ pub fn gate_main(args: &[String]) -> i32 {
         (&local_path, write_json(&local_path, &local)),
         (&game_path, write_json(&game_path, &game)),
         (&serve_path, write_json(&serve_path, &serve)),
+        (&dist_path, write_json(&dist_path, &dist)),
     ] {
         if let Err(e) = result {
             eprintln!("{e}");
@@ -1334,6 +1701,14 @@ pub fn gate_main(args: &[String]) -> i32 {
             return 2;
         }
     };
+    let dist_baseline: DistReport = match read_json(&root.join("BENCH_dist.json")) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("no committed baseline; run with --update to create one");
+            return 2;
+        }
+    };
 
     let mut failed = false;
     for outcome in compare_simulator(&simulator, &sim_baseline, tolerance)
@@ -1342,6 +1717,7 @@ pub fn gate_main(args: &[String]) -> i32 {
         .chain(compare_local_opt(&local, &local_baseline, tolerance))
         .chain(compare_best_response(&game, &game_baseline, tolerance))
         .chain(compare_serve(&serve, &serve_baseline, tolerance))
+        .chain(compare_dist(&dist, &dist_baseline, tolerance))
     {
         match outcome {
             GateOutcome::Pass => {}
@@ -1585,6 +1961,77 @@ mod tests {
         assert_eq!(a.specs_submitted, 4);
         assert_eq!(a.runs_executed, 2);
         assert!(a.outcomes_total > 0 && a.cache_misses > 0);
+    }
+
+    fn dist_report(wall: f64, granted: u64, reinjected: u64) -> DistReport {
+        DistReport {
+            schema: SCHEMA.to_string(),
+            bench: "dist".to_string(),
+            workload: "test".to_string(),
+            repetitions: 1,
+            wall_seconds: wall,
+            single_wall_seconds: wall * 2.0,
+            workers: 4,
+            shards: 8,
+            scenarios_total: 8,
+            leases_granted: granted,
+            leases_renewed: 0,
+            leases_expired: 0,
+            shards_reinjected: reinjected,
+            stale_completions: 0,
+            shards_completed: 8,
+            scenarios_per_sec: 8.0 / wall,
+            calibration_ops_per_sec: 1_000_000.0,
+        }
+    }
+
+    #[test]
+    fn dist_gate_checks_both_walls_and_exact_lease_counters() {
+        let base = dist_report(1.0, 8, 0);
+        assert!(compare_dist(&dist_report(1.1, 8, 0), &base, 0.20)
+            .iter()
+            .all(|o| *o == GateOutcome::Pass));
+        // Coordinated wall regression beyond the band.
+        assert!(compare_dist(&dist_report(1.3, 8, 0), &base, 0.20)
+            .iter()
+            .any(|o| matches!(o, GateOutcome::WallRegression(_))));
+        // The single-process wall is banded too.
+        let mut slow_single = dist_report(1.0, 8, 0);
+        slow_single.single_wall_seconds = 3.0;
+        assert!(compare_dist(&slow_single, &base, 0.20)
+            .iter()
+            .any(|o| matches!(o, GateOutcome::WallRegression(_))));
+        // Lease-counter drift is a hard failure even when faster: a grant
+        // or reinjection the baseline never saw means the protocol or the
+        // chunking changed.
+        assert!(compare_dist(&dist_report(0.5, 9, 0), &base, 0.20)
+            .iter()
+            .any(|o| matches!(o, GateOutcome::CounterDrift(_))));
+        assert!(compare_dist(&dist_report(0.5, 8, 1), &base, 0.20)
+            .iter()
+            .any(|o| matches!(o, GateOutcome::CounterDrift(_))));
+    }
+
+    #[test]
+    fn dist_bench_counters_are_deterministic() {
+        // One repetition of a tiny fleet (2 workers, 2 scenarios) through a
+        // real in-process coordinator, twice: the gate exact-compares the
+        // lease counters, so both runs must agree — every shard granted
+        // exactly once, nothing expired, reinjected or rejected — and the
+        // runner itself asserts the distributed merge is byte-identical to
+        // the single-process run.
+        let a = run_dist_bench_with(1, 1_000_000.0, 2, 1);
+        let b = run_dist_bench_with(1, 1_000_000.0, 2, 1);
+        assert_eq!(a.shards, b.shards);
+        assert_eq!(a.scenarios_total, b.scenarios_total);
+        assert_eq!(a.leases_granted, b.leases_granted);
+        assert_eq!(a.shards_completed, b.shards_completed);
+        assert_eq!(a.scenarios_total, 2);
+        assert_eq!(a.leases_granted, 2);
+        assert_eq!(a.shards_completed, 2);
+        assert_eq!(a.leases_expired, 0);
+        assert_eq!(a.shards_reinjected, 0);
+        assert_eq!(a.stale_completions, 0);
     }
 
     #[test]

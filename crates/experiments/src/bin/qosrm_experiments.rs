@@ -6,6 +6,11 @@
 //!                                [--max-shards N] [--serial]
 //! qosrm-experiments sweep resume --out DIR [--max-shards N] [--serial]
 //! qosrm-experiments sweep merge  --out DIR --result FILE
+//! qosrm-experiments sweep coordinate --spec FILE --out DIR --addr HOST:PORT
+//!                                [--quick] [--shard-size N] [--serial]
+//!                                [--lease-ms MS] [--linger-ms MS]
+//! qosrm-experiments sweep work   --addr HOST:PORT [--worker NAME]
+//!                                [--poll-ms MS] [--shard-delay-ms MS]
 //! qosrm-experiments diagnose [--mix b1,b2,b3,b4]
 //! ```
 //!
@@ -19,12 +24,16 @@
 //! an output directory, `resume` continues a killed or partial run
 //! (completed scenarios are skipped; the final result is byte-identical to
 //! an uninterrupted run), and `merge` folds the shard logs into one
-//! `SweepResult` JSON file. `diagnose` dumps RM3's decisions for one
+//! `SweepResult` JSON file. `coordinate` serves the same run directory as
+//! a lease-granting coordinator and `work` drains one from any number of
+//! processes — the distributed pair shares the manifest/shard-log format
+//! with `run`/`resume`, so `merge` of a distributed run is byte-identical
+//! to a single-process one. `diagnose` dumps RM3's decisions for one
 //! workload (formerly the separate `debug_s3` binary).
 
 use experiments::{
-    diagnose, run_experiment, stream, ExperimentContext, ScenarioSpec, StreamOptions, SweepOptions,
-    ALL_EXPERIMENTS,
+    diagnose, dist, run_experiment, stream, ExperimentContext, ScenarioSpec, StreamOptions,
+    SweepOptions, ALL_EXPERIMENTS,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -34,6 +43,8 @@ const USAGE: &str = "usage:
   qosrm-experiments sweep run --spec FILE --out DIR [--quick] [--shard-size N] [--max-shards N] [--serial]
   qosrm-experiments sweep resume --out DIR [--max-shards N] [--serial]
   qosrm-experiments sweep merge --out DIR --result FILE
+  qosrm-experiments sweep coordinate --spec FILE --out DIR --addr HOST:PORT [--quick] [--shard-size N] [--serial] [--lease-ms MS] [--linger-ms MS]
+  qosrm-experiments sweep work --addr HOST:PORT [--worker NAME] [--poll-ms MS] [--shard-delay-ms MS]
   qosrm-experiments diagnose [--mix b1,b2,...]";
 
 fn main() -> ExitCode {
@@ -162,6 +173,12 @@ struct SweepArgs {
     serial: bool,
     shard_size: Option<usize>,
     max_shards: usize,
+    addr: Option<String>,
+    worker: Option<String>,
+    lease_ms: Option<u64>,
+    linger_ms: Option<u64>,
+    poll_ms: Option<u64>,
+    shard_delay_ms: Option<u64>,
 }
 
 fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, String> {
@@ -187,6 +204,24 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, String> {
             }
             "--max-shards" => {
                 parsed.max_shards = parse_count(iter.next(), "--max-shards")?;
+            }
+            "--addr" => {
+                parsed.addr = Some(iter.next().ok_or("--addr requires HOST:PORT")?.clone());
+            }
+            "--worker" => {
+                parsed.worker = Some(iter.next().ok_or("--worker requires a name")?.clone());
+            }
+            "--lease-ms" => {
+                parsed.lease_ms = Some(parse_count(iter.next(), "--lease-ms")? as u64);
+            }
+            "--linger-ms" => {
+                parsed.linger_ms = Some(parse_count(iter.next(), "--linger-ms")? as u64);
+            }
+            "--poll-ms" => {
+                parsed.poll_ms = Some(parse_count(iter.next(), "--poll-ms")? as u64);
+            }
+            "--shard-delay-ms" => {
+                parsed.shard_delay_ms = Some(parse_count(iter.next(), "--shard-delay-ms")? as u64);
             }
             other => return Err(format!("unknown sweep flag {other}\n{USAGE}")),
         }
@@ -237,6 +272,9 @@ fn sweep_main(args: &[String]) -> Result<(), String> {
         .split_first()
         .ok_or_else(|| format!("sweep requires an action\n{USAGE}"))?;
     let parsed = parse_sweep_args(rest)?;
+    if action == "work" {
+        return work_main(&parsed);
+    }
     let out = parsed
         .out
         .clone()
@@ -291,8 +329,86 @@ fn sweep_main(args: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
+        "coordinate" => coordinate_main(&parsed, &out),
         other => Err(format!("unknown sweep action {other}\n{USAGE}")),
     }
+}
+
+// ---------------------------------------------------------------------------
+// sweep coordinate / work (distributed mode)
+// ---------------------------------------------------------------------------
+
+fn coordinate_main(parsed: &SweepArgs, out: &std::path::Path) -> Result<(), String> {
+    use std::io::Write as _;
+
+    let spec_path = parsed
+        .spec
+        .clone()
+        .ok_or_else(|| format!("sweep coordinate requires --spec FILE\n{USAGE}"))?;
+    let addr = parsed
+        .addr
+        .clone()
+        .ok_or_else(|| format!("sweep coordinate requires --addr HOST:PORT\n{USAGE}"))?;
+    let spec = ScenarioSpec::load(&spec_path)
+        .map_err(|e| format!("failed to load {}: {e}", spec_path.display()))?;
+    let config = dist::CoordinatorConfig {
+        shard_size: parsed.shard_size.unwrap_or(32).max(1),
+        lease_ms: parsed.lease_ms.unwrap_or(10_000).max(100),
+        serial: parsed.serial,
+        verbose: true,
+        ..Default::default()
+    };
+    let counters = std::sync::Arc::new(experiments::LeaseCounters::default());
+    let coordinator = std::sync::Arc::new(
+        dist::Coordinator::open(&spec.name, &spec, parsed.quick, out, &config, counters)
+            .map_err(|e| e.to_string())?,
+    );
+    let server = dist::serve_coordinator(&addr, coordinator.clone()).map_err(|e| e.to_string())?;
+    // Parseable liveness line (the smoke scripts wait for it). Flushed
+    // explicitly: stdout is block-buffered when redirected to a log file.
+    println!("coordinating on {}", server.addr());
+    std::io::stdout().flush().ok();
+
+    while !coordinator.finished() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    // Linger so workers polling /lease observe `finished` and exit cleanly
+    // instead of dying on a refused connection.
+    let linger = parsed.linger_ms.unwrap_or(3_000);
+    std::thread::sleep(std::time::Duration::from_millis(linger));
+    let (completed, total) = coordinator.progress();
+    let telemetry = coordinator.telemetry();
+    server.stop();
+    println!(
+        "coordinated {completed}/{total} scenarios in {}",
+        out.display()
+    );
+    println!("{telemetry}");
+    println!("run `sweep merge` to fold the shards into a result file");
+    Ok(())
+}
+
+fn work_main(parsed: &SweepArgs) -> Result<(), String> {
+    let addr = parsed
+        .addr
+        .clone()
+        .ok_or_else(|| format!("sweep work requires --addr HOST:PORT\n{USAGE}"))?;
+    let mut config = dist::WorkerConfig::default();
+    if let Some(worker) = &parsed.worker {
+        config.worker = worker.clone();
+    }
+    if let Some(poll_ms) = parsed.poll_ms {
+        config.poll_ms = poll_ms.max(10);
+    }
+    if let Some(delay) = parsed.shard_delay_ms {
+        config.shard_delay_ms = delay;
+    }
+    let report = dist::run_worker(&addr, &config).map_err(|e| e.to_string())?;
+    println!(
+        "worker {}: {} shard(s) accepted, {} stale, {} scenario(s) evaluated",
+        config.worker, report.shards_completed, report.shards_stale, report.scenarios
+    );
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------

@@ -23,6 +23,7 @@
 
 pub mod context;
 pub mod diagnose;
+pub mod dist;
 pub mod e10_price_of_anarchy;
 pub mod e1_energy_savings;
 pub mod e2_model_error;
@@ -39,9 +40,12 @@ pub mod stream;
 pub mod sweep;
 
 pub use context::ExperimentContext;
+pub use dist::{Coordinator, CoordinatorConfig, CoordinatorServer, Resolution, WorkerConfig};
 pub use report::{ExperimentReport, ReportRow};
 pub use spec::{MixSelection, PlatformAxisSpec, PlatformSpec, ScenarioSpec, WorkloadSource};
-pub use stream::{StreamOptions, StreamReport, SweepManifest};
+pub use stream::{
+    LeaseCounters, LeaseRecord, ShardScheduler, StreamOptions, StreamReport, SweepManifest,
+};
 pub use sweep::{
     PlatformAxis, QosAxis, QosPolicy, RmaVariant, ScenarioGrid, ScenarioKey, ScenarioOutcome,
     SweepOptions, SweepResult,

@@ -1,4 +1,6 @@
-//! Streaming, sharded, resumable execution of scenario sweeps.
+//! Streaming, sharded, resumable execution of scenario sweeps — now built
+//! on a **lease-based shard scheduler** so the same run directory can be
+//! driven by one process or by many.
 //!
 //! The in-memory executor ([`crate::sweep::run_with`]) holds every
 //! [`ScenarioOutcome`] until the sweep completes — fine for the paper's
@@ -12,8 +14,7 @@
 //!   (`shard-0000.jsonl`, one serialized [`ScenarioOutcome`] per line,
 //!   written atomically) and recorded in the checkpoint manifest
 //!   (`manifest.json`) together with its [`qosrm_core::CurveCache`] hit
-//!   statistics — the cache itself is shared across shards, so later
-//!   shards benefit from curves computed by earlier ones;
+//!   statistics;
 //! * per-mix simulators and baselines live only for the duration of their
 //!   shard, and outcomes go to disk as soon as their shard completes, so
 //!   resident memory is bounded by the shard size, not the sweep size;
@@ -22,6 +23,28 @@
 //!   simulated. Simulation is deterministic, so the final [`merge`]d
 //!   [`SweepResult`] is byte-identical to an uninterrupted run — and to
 //!   the in-memory executor (`tests/streaming_resume.rs` locks both in).
+//!
+//! ## The lease protocol
+//!
+//! Work distribution is a [`ShardScheduler`] over durable [`LeaseRecord`]s
+//! in the manifest. Each shard moves through three states:
+//!
+//! ```text
+//!            lease()                 complete(epoch match)
+//! Pending ────────────▶ Leased{worker, epoch, expiry} ───────▶ Done
+//!    ▲                       │              │
+//!    │   expiry (reinject)   │              │ heartbeat()
+//!    └───────────────────────┘              ▼ (renews expiry)
+//! ```
+//!
+//! Every grant increments the shard's **lease epoch**; a completion is
+//! accepted only if it names the currently active epoch, so when a lease
+//! expires and the shard is reinjected, a presumed-dead worker finishing
+//! late is rejected as *stale* and exactly one shard log ever wins. The
+//! single-process [`run`]/[`resume`] path is the degenerate case — one
+//! `"local"` worker leasing from its own scheduler — so the multi-process
+//! coordinator ([`crate::dist`]) shares every line of the checkpoint and
+//! recovery logic with the path the tests already pin down.
 //!
 //! The unit of work on disk is the [`ScenarioSpec`] IR: the manifest embeds
 //! the spec (plus the quick/full database mode), so a run directory is
@@ -33,11 +56,14 @@ use crate::sweep::{
     grid_points, mix_pairs, scenario_key, GridPoint, ScenarioKey, ScenarioOutcome, SweepEngine,
     SweepOptions, SweepResult,
 };
+use qosrm_proto::LeaseTelemetry;
 use qosrm_types::QosrmError;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Execution knobs of a streaming sweep. Like [`SweepOptions`], none of
 /// them affect results — only how the work is chunked and executed.
@@ -99,6 +125,35 @@ impl ShardRecord {
     }
 }
 
+/// The durable lease state of one shard — who holds it, under which epoch,
+/// until when, and which grid points it covers.
+///
+/// Exactly one record exists per shard; a re-grant after expiry updates the
+/// record in place with a higher epoch, so the record always carries the
+/// highest epoch ever issued for the shard and epochs can never regress
+/// across a coordinator restart.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeaseRecord {
+    /// Shard index (names the `shard-NNNN.jsonl` log).
+    pub shard: u64,
+    /// Worker the shard is (or was last) leased to; empty before the first
+    /// grant.
+    pub worker: String,
+    /// Highest lease epoch issued for the shard (0 = never granted). Only
+    /// a completion naming this exact epoch — while the lease is live — is
+    /// accepted.
+    pub epoch: u64,
+    /// Coordinator-clock lease expiry, milliseconds since the Unix epoch.
+    pub expires_ms: u64,
+    /// Whether the shard's log has been accepted and durably written.
+    pub done: bool,
+    /// Grid-point indices (into the spec's canonical point order) the
+    /// shard evaluates. Persisted so chunk boundaries survive a
+    /// coordinator restart — re-chunking live points would otherwise shift
+    /// assignments under workers holding leases.
+    pub indices: Vec<u64>,
+}
+
 /// The checkpoint manifest of a streaming run directory.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepManifest {
@@ -114,12 +169,20 @@ pub struct SweepManifest {
     pub total_scenarios: usize,
     /// Scenarios completed across all shards so far.
     pub completed_scenarios: usize,
-    /// Completed shards, in execution order.
+    /// Completed shards, in completion order.
     pub shards: Vec<ShardRecord>,
+    /// Durable per-shard lease state (see [`LeaseRecord`]).
+    pub leases: Vec<LeaseRecord>,
 }
 
 /// File name of the checkpoint manifest.
 pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// Worker id of the synchronous single-process executor. Its leases are
+/// reclaimed unconditionally whenever a scheduler opens the directory: the
+/// local executor leases and completes in one call stack, so a surviving
+/// `"local"` lease always belongs to a dead process.
+pub const LOCAL_WORKER: &str = "local";
 
 impl SweepManifest {
     /// Loads the manifest of a run directory.
@@ -149,6 +212,39 @@ pub struct StreamReport {
     pub finished: bool,
 }
 
+/// Creates the manifest of a fresh streaming run directory.
+///
+/// Fails if `dir` already contains a manifest. This is the shared entry
+/// point of [`run`] and the distributed coordinator
+/// ([`crate::dist::Coordinator`]); both then drive the same
+/// [`ShardScheduler`] over the directory.
+pub fn init_manifest(
+    spec: &ScenarioSpec,
+    quick: bool,
+    dir: &Path,
+    shard_size: usize,
+) -> Result<SweepManifest, QosrmError> {
+    if dir.join(MANIFEST_FILE).exists() {
+        return Err(QosrmError::Io(format!(
+            "{} already contains a streaming run; use resume to continue it",
+            dir.display()
+        )));
+    }
+    let grid = spec.lower()?;
+    let manifest = SweepManifest {
+        spec: spec.clone(),
+        quick,
+        shard_size: shard_size.max(1),
+        total_scenarios: grid.len(),
+        completed_scenarios: 0,
+        shards: Vec::new(),
+        leases: Vec::new(),
+    };
+    fs::create_dir_all(dir)?;
+    manifest.save(dir)?;
+    Ok(manifest)
+}
+
 /// Starts a fresh streaming run of `spec` in `dir`.
 ///
 /// Fails if `dir` already contains a manifest (use [`resume`] to continue
@@ -159,23 +255,7 @@ pub fn run(
     dir: &Path,
     options: &StreamOptions,
 ) -> Result<StreamReport, QosrmError> {
-    if dir.join(MANIFEST_FILE).exists() {
-        return Err(QosrmError::Io(format!(
-            "{} already contains a streaming run; use resume to continue it",
-            dir.display()
-        )));
-    }
-    let grid = spec.lower()?;
-    let manifest = SweepManifest {
-        spec: spec.clone(),
-        quick: ctx.quick,
-        shard_size: options.shard_size.max(1),
-        total_scenarios: grid.len(),
-        completed_scenarios: 0,
-        shards: Vec::new(),
-    };
-    fs::create_dir_all(dir)?;
-    manifest.save(dir)?;
+    let manifest = init_manifest(spec, ctx.quick, dir, options.shard_size)?;
     run_pending(manifest, ctx, dir, options)
 }
 
@@ -204,7 +284,8 @@ pub fn resume(
 
 /// Merges the shard logs of a (complete) streaming run into the final
 /// [`SweepResult`], in canonical axis order — byte-identical to what the
-/// in-memory executor produces for the same spec.
+/// in-memory executor produces for the same spec, regardless of how many
+/// workers wrote the shards or in which order.
 pub fn merge(dir: &Path) -> Result<SweepResult, QosrmError> {
     let manifest = SweepManifest::load(dir)?;
     let grid = manifest.spec.lower()?;
@@ -228,85 +309,464 @@ pub fn merge(dir: &Path) -> Result<SweepResult, QosrmError> {
     Ok(SweepResult { scenarios })
 }
 
-/// Executes the scenarios of `manifest` that have no outcome on disk yet.
+/// The log file name of shard `shard` within its run directory.
+pub fn shard_file_name(shard: u64) -> String {
+    format!("shard-{shard:04}.jsonl")
+}
+
+/// Process-lifetime counters of the lease protocol, shared (via `Arc`)
+/// between a scheduler and whatever surfaces its telemetry — the
+/// coordinator's `/status`, the daemon's `/stats`.
+#[derive(Debug, Default)]
+pub struct LeaseCounters {
+    granted: AtomicU64,
+    renewed: AtomicU64,
+    expired: AtomicU64,
+    reinjected: AtomicU64,
+    stale_rejected: AtomicU64,
+    completed: AtomicU64,
+    per_worker: Mutex<BTreeMap<String, u64>>,
+}
+
+impl LeaseCounters {
+    fn bump_granted(&self) {
+        self.granted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn bump_renewed(&self) {
+        self.renewed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn bump_expired_reinjected(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+        self.reinjected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn bump_stale(&self) {
+        self.stale_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn bump_completed(&self, worker: &str) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let mut per_worker = self.per_worker.lock().unwrap();
+        *per_worker.entry(worker.to_string()).or_insert(0) += 1;
+    }
+
+    /// A plain-data snapshot of every counter.
+    pub fn snapshot(&self) -> LeaseTelemetry {
+        LeaseTelemetry {
+            granted: self.granted.load(Ordering::Relaxed),
+            renewed: self.renewed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            reinjected: self.reinjected.load(Ordering::Relaxed),
+            stale_rejected: self.stale_rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            per_worker: self.per_worker.lock().unwrap().clone(),
+        }
+    }
+}
+
+/// One granted lease, as handed to a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardLease {
+    /// Leased shard index.
+    pub shard: u64,
+    /// The lease epoch the grant was issued under; completions must echo
+    /// it exactly.
+    pub epoch: u64,
+    /// The shard's log file name.
+    pub file: String,
+    /// Grid-point indices (into the spec's canonical point order) to
+    /// evaluate.
+    pub points: Vec<u64>,
+    /// Coordinator-clock expiry of the lease, milliseconds.
+    pub expires_ms: u64,
+}
+
+/// Outcome of delivering a shard completion to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompleteOutcome {
+    /// The log was accepted and durably written.
+    pub accepted: bool,
+    /// The completion named a lease epoch that is no longer active (the
+    /// shard expired and was reinjected, or was already done) and the log
+    /// was dropped.
+    pub stale: bool,
+}
+
+/// The lease-based shard scheduler over one streaming run directory.
+///
+/// All scheduling state lives in the [`SweepManifest`] (saved durably on
+/// every mutation), so a coordinator process can be SIGKILLed and a new
+/// one re-`open`ed over the directory without losing grants: unexpired
+/// leases are restored and their workers simply keep going.
+///
+/// Time is an explicit `now_ms` argument on every method — the scheduler
+/// never reads a clock — so lease expiry is deterministic under test.
+pub struct ShardScheduler {
+    dir: PathBuf,
+    manifest: SweepManifest,
+    pending: VecDeque<u64>,
+    counters: Arc<LeaseCounters>,
+    lease_ms: u64,
+    total: usize,
+    skipped: usize,
+}
+
+impl ShardScheduler {
+    /// Opens a scheduler over `dir`, reconciling the manifest with the
+    /// shard logs actually on disk (both directions: logs without records
+    /// are adopted, records without logs are dropped and their scenarios
+    /// re-pended) and restoring unexpired leases as active. With
+    /// `reclaim`, *every* live lease is reinjected instead — the caller
+    /// asserts no worker process can still be running (the single-process
+    /// executor does, since it is the only worker).
+    pub fn open(
+        mut manifest: SweepManifest,
+        dir: &Path,
+        shard_size: usize,
+        lease_ms: u64,
+        counters: Arc<LeaseCounters>,
+        reclaim: bool,
+        now_ms: u64,
+    ) -> Result<Self, QosrmError> {
+        let grid = manifest.spec.lower()?;
+        let points = grid_points(&grid);
+        // Keys-only scan: a resume near the end of a huge sweep must not
+        // materialize every completed outcome just to know what to skip.
+        let mut completed: HashSet<ScenarioKey> = HashSet::new();
+        let mut on_disk: Vec<(String, usize)> = Vec::new();
+        scan_shards(dir, |file, outcome| {
+            completed.insert(outcome.key);
+            match on_disk.last_mut() {
+                Some((last, count)) if last == file => *count += 1,
+                _ => on_disk.push((file.to_string(), 1)),
+            }
+        })?;
+        let pending_points: Vec<u64> = (0..points.len() as u64)
+            .filter(|&idx| !completed.contains(&scenario_key(&grid, points[idx as usize])))
+            .collect();
+        let skipped = points.len() - pending_points.len();
+        // Reconcile the manifest with what is actually on disk: a kill may
+        // have landed between a shard write and its manifest update, in
+        // which case the shard's outcomes exist but its record (and cache
+        // statistics, lost with the process) does not.
+        manifest.completed_scenarios = skipped;
+        manifest.shard_size = shard_size.max(1);
+        for (file, scenarios) in &on_disk {
+            if !manifest.shards.iter().any(|record| &record.file == file) {
+                manifest.shards.push(ShardRecord {
+                    file: file.clone(),
+                    scenarios: *scenarios,
+                    curve_hits: 0,
+                    curve_misses: 0,
+                });
+            }
+        }
+        // The inverse divergence: a crash in the rename-without-dirsync
+        // window (shard log written non-durably, manifest updated, then
+        // the log's directory entry lost) leaves a manifest record with no
+        // file behind it. Drop such ghost records — their scenarios are
+        // simply pending again — so the manifest never claims shards that
+        // do not exist.
+        manifest
+            .shards
+            .retain(|record| dir.join(&record.file).is_file());
+        manifest.shards.sort_by(|a, b| a.file.cmp(&b.file));
+
+        // Lease reconciliation. A record is done iff its log exists on
+        // disk (a completion crash-lands the log before the manifest, so
+        // disk is the truth); live leases either survive the reopen or —
+        // on expiry, reclaim, or a dead-by-definition local worker — go
+        // back to pending under their recorded shard id and indices.
+        let mut pending: Vec<u64> = Vec::new();
+        let mut assigned: HashSet<u64> = HashSet::new();
+        for record in &mut manifest.leases {
+            record.done = dir.join(shard_file_name(record.shard)).is_file();
+            if record.done {
+                continue;
+            }
+            for &idx in &record.indices {
+                assigned.insert(idx);
+            }
+            if reclaim || record.worker == LOCAL_WORKER || record.expires_ms <= now_ms {
+                pending.push(record.shard);
+            }
+        }
+        // Points that are neither completed on disk nor covered by a live
+        // or re-pended assignment get fresh shards. (A torn trailing line
+        // in a done shard's log lands here: its point re-runs in a new
+        // shard, the merge dedupes by scenario key.)
+        let first_fresh_shard = next_shard_index(dir)?.max(
+            manifest
+                .leases
+                .iter()
+                .map(|record| record.shard + 1)
+                .max()
+                .unwrap_or(0),
+        );
+        let unassigned: Vec<u64> = pending_points
+            .into_iter()
+            .filter(|idx| !assigned.contains(idx))
+            .collect();
+        for (offset, chunk) in unassigned.chunks(shard_size.max(1)).enumerate() {
+            let shard = first_fresh_shard + offset as u64;
+            manifest.leases.push(LeaseRecord {
+                shard,
+                worker: String::new(),
+                epoch: 0,
+                expires_ms: 0,
+                done: false,
+                indices: chunk.to_vec(),
+            });
+            pending.push(shard);
+        }
+        manifest.leases.sort_by_key(|record| record.shard);
+        pending.sort_unstable();
+        manifest.save(dir)?;
+
+        Ok(ShardScheduler {
+            dir: dir.to_path_buf(),
+            manifest,
+            pending: pending.into(),
+            counters,
+            lease_ms,
+            total: points.len(),
+            skipped,
+        })
+    }
+
+    /// Leases the next pending shard to `worker`, first reinjecting any
+    /// leases that expired by `now_ms`. Returns `None` when nothing is
+    /// pending *right now* — which means finished only if [`finished`]
+    /// also says so; otherwise live leases may yet expire and the caller
+    /// should retry later.
+    ///
+    /// [`finished`]: ShardScheduler::finished
+    pub fn lease(&mut self, worker: &str, now_ms: u64) -> Result<Option<ShardLease>, QosrmError> {
+        let mut dirty = self.expire_stale(now_ms);
+        let lease = match self.pending.pop_front() {
+            Some(shard) => {
+                let lease_ms = self.lease_ms;
+                let record = self.record_mut(shard);
+                record.worker = worker.to_string();
+                record.epoch += 1;
+                record.expires_ms = now_ms.saturating_add(lease_ms);
+                let lease = ShardLease {
+                    shard,
+                    epoch: record.epoch,
+                    file: shard_file_name(shard),
+                    points: record.indices.clone(),
+                    expires_ms: record.expires_ms,
+                };
+                self.counters.bump_granted();
+                dirty = true;
+                Some(lease)
+            }
+            None => None,
+        };
+        if dirty {
+            self.manifest.save(&self.dir)?;
+        }
+        Ok(lease)
+    }
+
+    /// Renews `worker`'s lease on `shard` under `epoch`. Returns the new
+    /// expiry, or `None` if the lease is no longer active — the worker
+    /// should abandon the shard, since its completion would be rejected as
+    /// stale anyway.
+    pub fn heartbeat(
+        &mut self,
+        worker: &str,
+        shard: u64,
+        epoch: u64,
+        now_ms: u64,
+    ) -> Result<Option<u64>, QosrmError> {
+        let mut dirty = self.expire_stale(now_ms);
+        let renewed = if self.lease_is_active(worker, shard, epoch) {
+            let expires_ms = now_ms.saturating_add(self.lease_ms);
+            self.record_mut(shard).expires_ms = expires_ms;
+            self.counters.bump_renewed();
+            dirty = true;
+            Some(expires_ms)
+        } else {
+            None
+        };
+        if dirty {
+            self.manifest.save(&self.dir)?;
+        }
+        Ok(renewed)
+    }
+
+    /// Delivers a finished shard's outcome log.
+    ///
+    /// Accepted — durably written, recorded, lease closed — only if
+    /// `worker` still holds the shard under exactly `epoch`; any other
+    /// combination (expired, reinjected, re-leased, already done) is
+    /// rejected as stale and the log is dropped, so exactly one log per
+    /// shard ever reaches disk.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &mut self,
+        worker: &str,
+        shard: u64,
+        epoch: u64,
+        outcomes_jsonl: &str,
+        curve_hits: u64,
+        curve_misses: u64,
+        now_ms: u64,
+    ) -> Result<CompleteOutcome, QosrmError> {
+        let dirty = self.expire_stale(now_ms);
+        if !self.lease_is_active(worker, shard, epoch) {
+            self.counters.bump_stale();
+            if dirty {
+                self.manifest.save(&self.dir)?;
+            }
+            return Ok(CompleteOutcome {
+                accepted: false,
+                stale: true,
+            });
+        }
+        let file = shard_file_name(shard);
+        // Durable (fsync file + run directory): once the shard is recorded
+        // in the manifest, a crash — even a power cut — must not be able
+        // to roll the log's rename back out of the directory.
+        simdb::persist::write_atomic_durable(&self.dir.join(&file), outcomes_jsonl.as_bytes())?;
+        let scenarios = outcomes_jsonl
+            .lines()
+            .filter(|line| !line.trim().is_empty())
+            .count();
+        self.manifest.completed_scenarios += scenarios;
+        self.manifest.shards.push(ShardRecord {
+            file,
+            scenarios,
+            curve_hits,
+            curve_misses,
+        });
+        self.record_mut(shard).done = true;
+        self.counters.bump_completed(worker);
+        self.manifest.save(&self.dir)?;
+        Ok(CompleteOutcome {
+            accepted: true,
+            stale: false,
+        })
+    }
+
+    /// Whether every scenario of the sweep has a durable outcome.
+    pub fn finished(&self) -> bool {
+        self.manifest.completed_scenarios >= self.total
+    }
+
+    /// The scheduler's view of the manifest (kept saved on every change).
+    pub fn manifest(&self) -> &SweepManifest {
+        &self.manifest
+    }
+
+    /// Total scenarios of the sweep.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// A snapshot of the lease-protocol counters.
+    pub fn telemetry(&self) -> LeaseTelemetry {
+        self.counters.snapshot()
+    }
+
+    /// Builds the caller-facing report after `shards_run` local shards.
+    pub fn report(&self, shards_run: usize) -> StreamReport {
+        StreamReport {
+            total: self.total,
+            completed: self.manifest.completed_scenarios,
+            skipped: self.skipped,
+            shards_run,
+            finished: self.finished(),
+        }
+    }
+
+    /// Reinjects every live lease whose expiry has passed. Returns whether
+    /// anything changed (the caller owes a manifest save).
+    fn expire_stale(&mut self, now_ms: u64) -> bool {
+        let mut changed = false;
+        let pending = &mut self.pending;
+        for record in &mut self.manifest.leases {
+            if record.done || record.epoch == 0 || pending.contains(&record.shard) {
+                continue;
+            }
+            if record.expires_ms <= now_ms {
+                pending.push_back(record.shard);
+                self.counters.bump_expired_reinjected();
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Whether `worker` currently holds `shard` under exactly `epoch`.
+    fn lease_is_active(&self, worker: &str, shard: u64, epoch: u64) -> bool {
+        if self.pending.contains(&shard) {
+            return false;
+        }
+        self.manifest
+            .leases
+            .iter()
+            .find(|record| record.shard == shard)
+            .map(|record| !record.done && record.worker == worker && record.epoch == epoch)
+            .unwrap_or(false)
+    }
+
+    fn record_mut(&mut self, shard: u64) -> &mut LeaseRecord {
+        self.manifest
+            .leases
+            .iter_mut()
+            .find(|record| record.shard == shard)
+            .expect("lease record exists for every scheduled shard")
+    }
+}
+
+/// Lease duration of the synchronous local executor: effectively infinite,
+/// safe because every scheduler `open` reclaims [`LOCAL_WORKER`] leases
+/// unconditionally.
+const LOCAL_LEASE_MS: u64 = u64::MAX / 4;
+
+/// Executes the scenarios of `manifest` that have no outcome on disk yet,
+/// as the degenerate single-worker case of the lease scheduler.
 fn run_pending(
-    mut manifest: SweepManifest,
+    manifest: SweepManifest,
     ctx: &ExperimentContext,
     dir: &Path,
     options: &StreamOptions,
 ) -> Result<StreamReport, QosrmError> {
-    let grid = manifest.spec.lower()?;
+    let counters = Arc::new(LeaseCounters::default());
+    let mut scheduler = ShardScheduler::open(
+        manifest,
+        dir,
+        options.shard_size,
+        LOCAL_LEASE_MS,
+        counters,
+        true, // the only worker is this call stack — reclaim everything
+        0,
+    )?;
+    let grid = scheduler.manifest().spec.lower()?;
     let points = grid_points(&grid);
-    // Keys-only scan: a resume near the end of a huge sweep must not
-    // materialize every completed outcome just to know what to skip.
-    let mut completed: HashSet<ScenarioKey> = HashSet::new();
-    let mut on_disk: Vec<(String, usize)> = Vec::new();
-    scan_shards(dir, |file, outcome| {
-        completed.insert(outcome.key);
-        match on_disk.last_mut() {
-            Some((last, count)) if last == file => *count += 1,
-            _ => on_disk.push((file.to_string(), 1)),
-        }
-    })?;
-    let pending: Vec<GridPoint> = points
-        .iter()
-        .copied()
-        .filter(|&point| !completed.contains(&scenario_key(&grid, point)))
-        .collect();
-    let skipped = points.len() - pending.len();
-    // Reconcile the manifest with what is actually on disk: a kill may have
-    // landed between a shard write and its manifest update, in which case
-    // the shard's outcomes exist but its record (and cache statistics, lost
-    // with the process) does not.
-    manifest.completed_scenarios = skipped;
-    manifest.shard_size = options.shard_size.max(1);
-    for (file, scenarios) in &on_disk {
-        if !manifest.shards.iter().any(|record| &record.file == file) {
-            manifest.shards.push(ShardRecord {
-                file: file.clone(),
-                scenarios: *scenarios,
-                curve_hits: 0,
-                curve_misses: 0,
-            });
-        }
-    }
-    // The inverse divergence: a crash in the rename-without-dirsync window
-    // (shard log written non-durably, manifest updated, then the log's
-    // directory entry lost) leaves a manifest record with no file behind
-    // it. Drop such ghost records — their scenarios are simply pending
-    // again — so the manifest never claims shards that do not exist.
-    manifest
-        .shards
-        .retain(|record| dir.join(&record.file).is_file());
-    manifest.shards.sort_by(|a, b| a.file.cmp(&b.file));
-
-    if pending.is_empty() {
-        manifest.save(dir)?;
-        return Ok(StreamReport {
-            total: points.len(),
-            completed: skipped,
-            skipped,
-            shards_run: 0,
-            finished: true,
-        });
-    }
-
     let engine = SweepEngine::new(&grid, ctx, options.sweep);
-    let first_shard = next_shard_index(dir)?;
     let mut shards_run = 0usize;
-    for (next_shard, chunk) in (first_shard..).zip(pending.chunks(options.shard_size.max(1))) {
-        if options.max_shards > 0 && shards_run >= options.max_shards {
+    while options.max_shards == 0 || shards_run < options.max_shards {
+        let Some(lease) = scheduler.lease(LOCAL_WORKER, 0)? else {
             break;
-        }
-        // Per-shard simulators and baselines: built here, dropped at the end
-        // of the shard, so resident state is bounded by the shard size.
-        let units = engine.build_units(&mix_pairs(chunk));
+        };
+        // Per-shard simulators and baselines: built here, dropped at the
+        // end of the shard, so resident state is bounded by the shard size.
+        let chunk: Vec<GridPoint> = lease
+            .points
+            .iter()
+            .map(|&idx| points[idx as usize])
+            .collect();
+        let units = engine.build_units(&mix_pairs(&chunk));
         let cache = ctx.curve_cache();
         let (hits_before, misses_before) = (cache.hits(), cache.misses());
-        let outcomes = engine.evaluate_all(&units, chunk);
+        let outcomes = engine.evaluate_all(&units, &chunk);
         drop(units);
 
-        let file = format!("shard-{next_shard:04}.jsonl");
         let mut log = String::new();
         for outcome in &outcomes {
             log.push_str(
@@ -314,29 +774,19 @@ fn run_pending(
             );
             log.push('\n');
         }
-        // Durable (fsync file + run directory): once the shard is recorded
-        // in the manifest, a crash — even a power cut — must not be able to
-        // roll the log's rename back out of the directory.
-        simdb::persist::write_atomic_durable(&dir.join(&file), log.as_bytes())?;
-
-        manifest.completed_scenarios += outcomes.len();
-        manifest.shards.push(ShardRecord {
-            file,
-            scenarios: outcomes.len(),
-            curve_hits: cache.hits() - hits_before,
-            curve_misses: cache.misses() - misses_before,
-        });
-        manifest.save(dir)?;
+        let sealed = scheduler.complete(
+            LOCAL_WORKER,
+            lease.shard,
+            lease.epoch,
+            &log,
+            cache.hits() - hits_before,
+            cache.misses() - misses_before,
+            0,
+        )?;
+        debug_assert!(sealed.accepted, "the local worker's lease cannot expire");
         shards_run += 1;
     }
-
-    Ok(StreamReport {
-        total: points.len(),
-        completed: manifest.completed_scenarios,
-        skipped,
-        shards_run,
-        finished: manifest.completed_scenarios == points.len(),
-    })
+    Ok(scheduler.report(shards_run))
 }
 
 /// The shard log files of a run directory, sorted by shard index.
@@ -354,7 +804,7 @@ fn shard_files(dir: &Path) -> Result<Vec<PathBuf>, QosrmError> {
 }
 
 /// Index to use for the next shard log (max existing index + 1).
-fn next_shard_index(dir: &Path) -> Result<usize, QosrmError> {
+fn next_shard_index(dir: &Path) -> Result<u64, QosrmError> {
     Ok(shard_files(dir)?
         .iter()
         .filter_map(|path| {
@@ -362,7 +812,7 @@ fn next_shard_index(dir: &Path) -> Result<usize, QosrmError> {
                 .to_string_lossy()
                 .strip_prefix("shard-")?
                 .strip_suffix(".jsonl")?
-                .parse::<usize>()
+                .parse::<u64>()
                 .ok()
         })
         .map(|idx| idx + 1)
@@ -479,6 +929,11 @@ mod tests {
         let manifest = SweepManifest::load(&dir).unwrap();
         assert_eq!(manifest.shards.len(), 2);
         assert_eq!(manifest.completed_scenarios, 2);
+        // Every completed shard's lease record is closed; the rest are open.
+        assert!(manifest
+            .leases
+            .iter()
+            .all(|record| record.done == dir.join(shard_file_name(record.shard)).is_file()));
 
         let rest = StreamOptions {
             shard_size: 1,
@@ -538,10 +993,12 @@ mod tests {
         assert_eq!(report.skipped, 2);
         let healed = serde_json::to_string(&merge(&dir).unwrap()).unwrap();
         assert_eq!(healed, reference, "healed merge must be byte-identical");
-        // The ghost record is gone and every recorded shard exists on disk.
+        // The shard re-ran under its recorded id (the lease record pins the
+        // assignment), so the log exists again and every recorded shard is
+        // backed by a file on disk.
         let manifest = SweepManifest::load(&dir).unwrap();
         assert!(manifest.shards.iter().all(|s| dir.join(&s.file).is_file()));
-        assert!(!manifest.shards.iter().any(|s| s.file == "shard-0001.jsonl"));
+        assert!(dir.join("shard-0001.jsonl").is_file());
         assert_eq!(manifest.completed_scenarios, 3);
         fs::remove_dir_all(&dir).ok();
     }
@@ -571,6 +1028,48 @@ mod tests {
         assert_eq!(report.skipped, 2);
         let healed = merge(&dir).unwrap();
         assert_eq!(healed, reference);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scheduler_resolves_a_lease_epoch_race_to_one_winner() {
+        // Pure scheduler-level check of the stale-completion contract (the
+        // full evaluate-and-complete races live in tests/streaming_resume).
+        let dir = temp_dir("epoch_race");
+        let manifest = init_manifest(&tiny_spec(), true, &dir, 3).unwrap();
+        let counters = Arc::new(LeaseCounters::default());
+        let mut scheduler =
+            ShardScheduler::open(manifest, &dir, 3, 1_000, counters, false, 0).unwrap();
+        // One shard of three scenarios; alice leases it at t=0.
+        let alice = scheduler.lease("alice", 0).unwrap().unwrap();
+        assert_eq!(alice.epoch, 1);
+        assert_eq!(alice.points.len(), 3);
+        assert!(scheduler.lease("bob", 100).unwrap().is_none());
+        // Alice heartbeats at t=500 (renewed), then goes silent; at
+        // t=2000 the lease is expired, so bob gets the shard re-granted
+        // under the next epoch.
+        assert!(scheduler
+            .heartbeat("alice", alice.shard, alice.epoch, 500)
+            .unwrap()
+            .is_some());
+        let bob = scheduler.lease("bob", 2_000).unwrap().unwrap();
+        assert_eq!(bob.shard, alice.shard);
+        assert_eq!(bob.epoch, 2);
+        // Alice can neither renew nor complete under her dead epoch.
+        assert!(scheduler
+            .heartbeat("alice", alice.shard, alice.epoch, 2_100)
+            .unwrap()
+            .is_none());
+        let late = scheduler
+            .complete("alice", alice.shard, alice.epoch, "", 0, 0, 2_200)
+            .unwrap();
+        assert!(late.stale && !late.accepted);
+        let telemetry = scheduler.telemetry();
+        assert_eq!(telemetry.granted, 2);
+        assert_eq!(telemetry.renewed, 1);
+        assert_eq!(telemetry.expired, 1);
+        assert_eq!(telemetry.reinjected, 1);
+        assert_eq!(telemetry.stale_rejected, 1);
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,5 +1,5 @@
-//! A deliberately minimal HTTP/1.0 subset shared by the daemon and its
-//! blocking client.
+//! A deliberately minimal HTTP/1.0 subset shared by the daemon, the sweep
+//! coordinator, and their blocking clients.
 //!
 //! The vendor/ constraint rules out async runtimes and HTTP crates, and the
 //! protocol needs very little: one request per connection, `Content-Length`
@@ -19,6 +19,16 @@
 //! configured payload limit — yields a typed [`RequestError`], which the
 //! server maps to a JSON error response (see [`WireError`]) rather than a
 //! hangup, so clients always learn *why* they were refused.
+//!
+//! ## Protocol versioning
+//!
+//! Coordination requests (`/lease`, `/heartbeat`, `/shards/{id}/complete`)
+//! carry the explicit [`PROTO_VERSION_HEADER`] header naming the protocol
+//! revision the sender speaks ([`PROTO_VERSION`]). A coordinator checks it
+//! with [`check_proto_version`] before parsing the body, so a mixed-version
+//! coordinator/worker pair fails fast with a typed
+//! [`PROTOCOL_MISMATCH_KIND`] error instead of a confusing
+//! malformed-message path deeper in.
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -28,6 +38,40 @@ use std::net::TcpStream;
 /// Upper bound on the request head (request line + headers). Large requests
 /// put their payload in the body, never the head.
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Name of the protocol-version header every coordination request carries.
+pub const PROTO_VERSION_HEADER: &str = "x-qosrm-proto";
+
+/// The protocol revision this build speaks. Bump it whenever a wire message
+/// changes incompatibly; a coordinator and worker disagreeing on it refuse
+/// each other with a typed error instead of mis-parsing bodies.
+pub const PROTO_VERSION: &str = "qosrm/1";
+
+/// `kind` of the typed error a version mismatch produces.
+pub const PROTOCOL_MISMATCH_KIND: &str = "ProtocolMismatch";
+
+/// Verifies a coordination request's [`PROTO_VERSION_HEADER`]. A missing or
+/// mismatched header yields the [`PROTOCOL_MISMATCH_KIND`] error the caller
+/// should answer with (HTTP 400) before touching the body.
+pub fn check_proto_version(request: &Request) -> Result<(), WireError> {
+    match request.header(PROTO_VERSION_HEADER) {
+        Some(version) if version == PROTO_VERSION => Ok(()),
+        Some(version) => Err(WireError::new(
+            PROTOCOL_MISMATCH_KIND,
+            format!(
+                "peer speaks protocol {version:?} but this build speaks {PROTO_VERSION:?}; \
+                 run matching coordinator and worker builds"
+            ),
+        )),
+        None => Err(WireError::new(
+            PROTOCOL_MISMATCH_KIND,
+            format!(
+                "request carries no {PROTO_VERSION_HEADER} header (an older build?); \
+                 this build speaks {PROTO_VERSION:?}"
+            ),
+        )),
+    }
+}
 
 /// A parsed request.
 #[derive(Debug, Clone)]
@@ -234,8 +278,9 @@ fn percent_decode(text: &str) -> String {
 ///
 /// `kind` is a stable machine-readable discriminator (`PayloadTooLarge`,
 /// `MalformedRequest`, `InvalidSpec`, `QueueFull`, `RunNotFound`,
-/// `RunNotComplete`, `NotFound`, `MethodNotAllowed`); `message` is
-/// human-readable detail. Clients dispatch on `kind`, never on `message`.
+/// `RunNotComplete`, `NotFound`, `MethodNotAllowed`, `ProtocolMismatch`);
+/// `message` is human-readable detail. Clients dispatch on `kind`, never on
+/// `message`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WireError {
     /// The error payload.
@@ -340,5 +385,29 @@ mod tests {
         assert!(json.contains("\"QueueFull\""));
         let back: WireError = serde_json::from_str(&json).unwrap();
         assert_eq!(back, err);
+    }
+
+    fn request_with_version(version: Option<&str>) -> Request {
+        let mut headers = HashMap::new();
+        if let Some(v) = version {
+            headers.insert(PROTO_VERSION_HEADER.to_string(), v.to_string());
+        }
+        Request {
+            method: "POST".to_string(),
+            path: "/lease".to_string(),
+            query: HashMap::new(),
+            headers,
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn proto_version_check_accepts_only_the_current_revision() {
+        assert!(check_proto_version(&request_with_version(Some(PROTO_VERSION))).is_ok());
+        let missing = check_proto_version(&request_with_version(None)).unwrap_err();
+        assert_eq!(missing.error.kind, PROTOCOL_MISMATCH_KIND);
+        let wrong = check_proto_version(&request_with_version(Some("qosrm/0"))).unwrap_err();
+        assert_eq!(wrong.error.kind, PROTOCOL_MISMATCH_KIND);
+        assert!(wrong.error.message.contains("qosrm/0"));
     }
 }

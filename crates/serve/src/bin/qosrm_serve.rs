@@ -3,7 +3,7 @@
 //! ```text
 //! qosrm_serve --addr 127.0.0.1:7171 --data-dir serve-data [--workers N]
 //!             [--max-queue N] [--max-payload BYTES] [--shard-size N]
-//!             [--serial] [--shard-delay-ms MS] [--quiet]
+//!             [--serial] [--shard-delay-ms MS] [--lease-ms MS] [--quiet]
 //! ```
 //!
 //! Prints `listening on ADDR` once the socket is bound (scripts parse this
@@ -42,13 +42,14 @@ fn main() {
             "--shard-delay-ms" => {
                 config.shard_delay_ms = parse(&value("--shard-delay-ms"), "--shard-delay-ms")
             }
+            "--lease-ms" => config.lease_ms = parse(&value("--lease-ms"), "--lease-ms"),
             "--serial" => config.serial = true,
             "--quiet" => config.verbose = false,
             "--help" | "-h" => {
                 println!(
                     "usage: qosrm_serve [--addr HOST:PORT] [--data-dir DIR] [--workers N] \
                      [--max-queue N] [--max-payload BYTES] [--shard-size N] [--serial] \
-                     [--shard-delay-ms MS] [--quiet]"
+                     [--shard-delay-ms MS] [--lease-ms MS] [--quiet]"
                 );
                 return;
             }

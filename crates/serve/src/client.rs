@@ -1,7 +1,7 @@
 //! A blocking client for the daemon protocol, used by `qosrm_load`, the
 //! protocol tests, and the serving benchmark.
 
-use crate::http::WireError;
+use crate::http::{WireError, PROTO_VERSION, PROTO_VERSION_HEADER};
 use crate::server::{RunStatus, StatsReport};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -177,6 +177,10 @@ impl Client {
         body: &[u8],
     ) -> Result<(), ClientError> {
         let mut head = format!("{method} {path} HTTP/1.0\r\n");
+        // Every request declares the protocol revision it speaks, so a
+        // mixed-version client/daemon pair fails fast with a typed
+        // `ProtocolMismatch` instead of misparsing each other.
+        head.push_str(&format!("{PROTO_VERSION_HEADER}: {PROTO_VERSION}\r\n"));
         for (name, value) in headers {
             head.push_str(&format!("{name}: {value}\r\n"));
         }

@@ -27,8 +27,21 @@
 //! | `GET /runs/{id}/stream?from=N` | JSONL tail of completed outcomes |
 //! | `GET /runs/{id}/result` | merged result (409 until complete) |
 //! | `POST /runs/{id}/cancel` | cancel (honoured between shards) |
-//! | `GET /stats` | queue, counters, curve-cache telemetry |
+//! | `GET /stats` | queue, counters, curve-cache and lease telemetry |
 //! | `GET /healthz` | liveness |
+//! | `POST /lease` | lease the next pending shard to an external worker |
+//! | `POST /heartbeat` | renew a held shard lease |
+//! | `POST /shards/{id}/complete` | deliver a finished shard's outcome log |
+//! | `GET /status` | coordination snapshot of the active run |
+//!
+//! The last four are the coordination endpoints of
+//! [`experiments::dist`] — the daemon *is* a sweep coordinator, so
+//! external `qosrm_worker` processes drain the same per-run shard queue
+//! as the in-process worker pool. Coordination `POST`s must carry the
+//! explicit protocol-version header
+//! ([`http::PROTO_VERSION_HEADER`]`: `[`http::PROTO_VERSION`]); a missing
+//! or mismatched revision is rejected with a typed `ProtocolMismatch`
+//! error, so mixed-version worker/daemon pairs fail fast.
 //!
 //! Errors are always typed JSON bodies ([`http::WireError`]); the run id
 //! is the fingerprint of `(spec, quick)`, so identical submissions — from
@@ -38,10 +51,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod client;
-pub mod http;
 pub mod load;
 pub mod server;
 pub mod state;
+
+/// The shared wire protocol (re-exported from [`qosrm_proto`], where it now
+/// lives so the offline coordinator in [`experiments::dist`] speaks the
+/// same bytes without depending on this crate).
+pub use qosrm_proto::http;
 
 pub use client::{Client, ClientError};
 pub use load::{execute, plan, LoadConfig, LoadPlan, LoadReport};

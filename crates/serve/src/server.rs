@@ -4,11 +4,17 @@
 //!
 //! One accept thread hands each connection to a short-lived handler thread
 //! (one request per connection — the protocol is deliberately stateless),
-//! and a bounded pool of worker threads drains the admission queue. Workers
-//! execute a run **one shard at a time** (`max_shards: 1` per
-//! [`experiments::stream`] call), so every shard boundary is a checkpoint:
-//! cancellation is honoured between shards, a SIGKILL loses at most the
-//! shard in flight, and a restarted daemon resumes from the manifest.
+//! and a bounded pool of worker threads drains the admission queue. The
+//! worker that claims a run opens an [`experiments::dist::Coordinator`]
+//! over its directory and executes it **one leased shard at a time**, so
+//! every shard boundary is a checkpoint: cancellation is honoured between
+//! shards, a SIGKILL loses at most the leases in flight, and a restarted
+//! daemon resumes from the manifest (reclaiming its own dead workers'
+//! leases immediately, while external workers' leases survive). Because
+//! the daemon *is* the coordinator, external `qosrm_worker` processes can
+//! attach to `POST /lease` / `POST /heartbeat` /
+//! `POST /shards/{id}/complete` and drain the same per-run shard queue the
+//! in-process workers draw from.
 //!
 //! ## Backpressure
 //!
@@ -25,8 +31,9 @@ use crate::http::{
     RequestError, WireError,
 };
 use crate::state::{RegistryInner, RunMeta, RunState, RunTallies, ServeCounters, RUN_META_FILE};
-use experiments::stream::MANIFEST_FILE;
-use experiments::{ExperimentContext, ScenarioSpec, StreamOptions, SweepManifest, SweepOptions};
+use experiments::dist::{self, Coordinator, CoordinatorConfig};
+use experiments::{ExperimentContext, LeaseCounters, ScenarioSpec, SweepManifest, SweepOptions};
+use qosrm_proto::{CompleteRequest, LeaseTelemetry};
 use qosrm_types::QosrmError;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -52,7 +59,8 @@ pub struct ServeConfig {
     /// Bound on *queued* (not running) runs; submissions beyond it are
     /// rejected with `QueueFull`.
     pub max_queue: usize,
-    /// Bound on request bodies in bytes.
+    /// Bound on request bodies in bytes (submissions and external-worker
+    /// shard completions alike — size shards so their outcome logs fit).
     pub max_payload_bytes: usize,
     /// Shard size used when a submission does not specify one.
     pub default_shard_size: usize,
@@ -65,6 +73,10 @@ pub struct ServeConfig {
     /// use it to exercise mid-run cancellation and kill windows
     /// deterministically).
     pub shard_delay_ms: u64,
+    /// Shard-lease duration handed to workers (in-process and external
+    /// `qosrm_worker` processes alike); a worker that goes silent for this
+    /// long forfeits its shard, which is reinjected for someone else.
+    pub lease_ms: u64,
     /// Log requests and run transitions to stdout.
     pub verbose: bool,
 }
@@ -81,6 +93,7 @@ impl Default for ServeConfig {
             serial: false,
             poll_interval_ms: 25,
             shard_delay_ms: 0,
+            lease_ms: 30_000,
             verbose: false,
         }
     }
@@ -173,10 +186,19 @@ pub struct StatsReport {
     pub counters: CounterSnapshot,
     /// Curve-cache telemetry per active database mode.
     pub curve_cache: Vec<CacheStats>,
+    /// Lease-protocol telemetry across all coordinated runs (grants,
+    /// renewals, expiries, reinjections, stale rejections, per-worker
+    /// completions) — process-lifetime, like the other counters.
+    pub leases: LeaseTelemetry,
 }
 
 /// Schema identifier of the `/stats` payload.
 pub const STATS_SCHEMA: &str = "qosrm-serve/v1";
+
+/// Name prefix of the daemon's in-process worker threads. Leases held
+/// under this prefix cannot outlive the process, so a restarted daemon
+/// reclaims them immediately (see [`CoordinatorConfig::reclaim_prefix`]).
+const WORKER_PREFIX: &str = "qosrm-serve-worker-";
 
 struct Shared {
     config: ServeConfig,
@@ -184,6 +206,13 @@ struct Shared {
     work: Condvar,
     counters: ServeCounters,
     contexts: Mutex<HashMap<bool, Arc<ExperimentContext>>>,
+    /// One coordinator per *live* (Running) run, shared between the worker
+    /// thread executing the run and connection threads serving the
+    /// coordination endpoints to external workers.
+    coordinators: Mutex<HashMap<String, Arc<Coordinator>>>,
+    /// Lease-protocol telemetry, shared by every coordinator the daemon
+    /// opens (process-lifetime, reported on `/stats`).
+    lease_counters: Arc<LeaseCounters>,
     shutdown: AtomicBool,
 }
 
@@ -231,14 +260,19 @@ impl Shared {
             .clone()
     }
 
-    fn sweep_options(&self) -> SweepOptions {
-        if self.config.serial {
-            SweepOptions {
-                parallel: false,
-                memoize: true,
-            }
+    /// The coordinator a coordination request resolves to: a named run's
+    /// coordinator, or — for the empty "any run" id — the first live
+    /// coordinator (by run id) with work left.
+    fn coordinator_of(&self, run: &str) -> Option<Arc<Coordinator>> {
+        let coordinators = self.coordinators.lock().unwrap();
+        if run.is_empty() {
+            let mut ids: Vec<&String> = coordinators.keys().collect();
+            ids.sort();
+            ids.into_iter()
+                .map(|id| coordinators[id].clone())
+                .find(|coordinator| !coordinator.finished())
         } else {
-            SweepOptions::default()
+            coordinators.get(run).cloned()
         }
     }
 
@@ -335,6 +369,8 @@ impl Server {
             work: Condvar::new(),
             counters: ServeCounters::default(),
             contexts: Mutex::new(HashMap::new()),
+            coordinators: Mutex::new(HashMap::new()),
+            lease_counters: Arc::new(LeaseCounters::default()),
             shutdown: AtomicBool::new(false),
         });
         fs::create_dir_all(shared.runs_root())?;
@@ -505,14 +541,47 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             "Method Not Allowed",
             &WireError::new("MethodNotAllowed", format!("method {method} not supported")),
         ),
-        _ => write_error(
-            &mut stream,
+        // Everything else falls through to the shared coordination router:
+        // `POST /lease`, `POST /heartbeat`, `POST /shards/{id}/complete`,
+        // and `GET /status` — the same endpoints `sweep coordinate` mounts,
+        // resolved against this daemon's per-run coordinator map.
+        _ => handle_coordination(&mut stream, shared, &request),
+    };
+    let _ = result;
+}
+
+fn handle_coordination(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    request: &Request,
+) -> std::io::Result<()> {
+    let resolve = |run: &str| {
+        if let Some(coordinator) = shared.coordinator_of(run) {
+            return dist::Resolution::Coordinated(coordinator);
+        }
+        if run.is_empty() {
+            // No live coordinator right now, but a submission may arrive
+            // any moment: any-run workers stay attached and retry.
+            return dist::Resolution::Pending;
+        }
+        match shared.state_of(run) {
+            Some(state) if state.is_terminal() => dist::Resolution::Finished,
+            // Admitted but not yet claimed by a worker thread (or mid
+            // requeue after a shutdown): the coordinator will appear.
+            Some(_) => dist::Resolution::Pending,
+            None => dist::Resolution::Unknown,
+        }
+    };
+    if dist::respond_coordination(stream, request, &resolve)? {
+        Ok(())
+    } else {
+        write_error(
+            stream,
             404,
             "Not Found",
             &WireError::new("NotFound", format!("no such endpoint: {}", request.path)),
-        ),
-    };
-    let _ = result;
+        )
+    }
 }
 
 /// Discards whatever the peer is still sending (bounded) before the socket
@@ -869,6 +938,7 @@ fn handle_stats(stream: &mut TcpStream, shared: &Arc<Shared>) -> std::io::Result
         runs: tallies,
         counters,
         curve_cache,
+        leases: shared.lease_counters.snapshot(),
     };
     let body = serde_json::to_string(&report).unwrap_or_else(|_| "{}".to_string());
     write_json(stream, 200, "OK", &body)
@@ -900,6 +970,12 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// Executes a run as its coordinator: the worker thread leases shards to
+/// itself through the same [`Coordinator`] the daemon's coordination
+/// endpoints expose, so external `qosrm_worker` processes drain the very
+/// same queue. Every shard boundary remains a checkpoint — cancellation is
+/// honoured between shards, and durable lease records make a SIGKILL lose
+/// at most the leases in flight (reclaimed on the next start).
 fn execute_run(shared: &Arc<Shared>, id: &str) {
     let meta = {
         let registry = shared.registry.lock().unwrap();
@@ -910,49 +986,98 @@ fn execute_run(shared: &Arc<Shared>, id: &str) {
     };
     let ctx = shared.context_for(meta.quick);
     let dir = shared.run_dir(id);
-    let options = StreamOptions {
+    let config = CoordinatorConfig {
         shard_size: meta.shard_size,
-        max_shards: 1,
-        sweep: shared.sweep_options(),
+        lease_ms: shared.config.lease_ms.max(100),
+        retry_ms: shared.config.poll_interval_ms.max(10),
+        serial: shared.config.serial,
+        verbose: false,
+        reclaim_prefix: WORKER_PREFIX.to_string(),
     };
-    loop {
-        match shared.state_of(id) {
-            // The cancel handler already persisted the terminal state.
-            Some(RunState::Running) => {}
-            _ => return,
+    let coordinator = match Coordinator::open(
+        id,
+        &meta.spec,
+        meta.quick,
+        &dir,
+        &config,
+        shared.lease_counters.clone(),
+    ) {
+        Ok(coordinator) => Arc::new(coordinator),
+        Err(e) => {
+            fail_run(shared, id, &e);
+            return;
         }
+    };
+    shared
+        .coordinators
+        .lock()
+        .unwrap()
+        .insert(id.to_string(), coordinator.clone());
+    let worker = thread::current()
+        .name()
+        .unwrap_or("qosrm-serve-worker-?")
+        .to_string();
+    // A state other than Running means a racing cancel handler already
+    // persisted the terminal state; stop leasing immediately.
+    while shared.state_of(id) == Some(RunState::Running) {
         if shared.shutdown.load(Ordering::SeqCst) {
             // Leave the run re-queueable: the next start recovers it.
             shared.set_state(id, RunState::Queued, None);
-            return;
+            break;
         }
-        let report = if dir.join(MANIFEST_FILE).exists() {
-            experiments::stream::resume(&ctx, &dir, &options)
-        } else {
-            experiments::stream::run(&meta.spec, &ctx, &dir, &options)
-        };
-        match report {
-            Ok(report) => {
-                if report.finished {
-                    // Only transition if nothing else (a racing cancel)
-                    // already did.
-                    if shared.state_of(id) == Some(RunState::Running) {
-                        shared.set_state(id, RunState::Complete, None);
-                        ServeCounters::bump(&shared.counters.runs_completed);
-                    }
-                    return;
-                }
-            }
+        let reply = match coordinator.lease_shard(&worker) {
+            Ok(reply) => reply,
             Err(e) => {
-                if shared.state_of(id) == Some(RunState::Running) {
-                    shared.set_state(id, RunState::Failed, Some(e.to_string()));
-                    ServeCounters::bump(&shared.counters.runs_failed);
-                }
-                return;
+                fail_run(shared, id, &e);
+                break;
             }
+        };
+        let Some(grant) = reply.grant else {
+            if reply.finished {
+                // Only transition if nothing else (a racing cancel)
+                // already did.
+                if shared.state_of(id) == Some(RunState::Running) {
+                    shared.set_state(id, RunState::Complete, None);
+                    ServeCounters::bump(&shared.counters.runs_completed);
+                }
+                break;
+            }
+            // Nothing pending right now, but external workers hold live
+            // leases: wait for them to land (or expire and reinject).
+            thread::sleep(Duration::from_millis(
+                shared.config.poll_interval_ms.max(10),
+            ));
+            continue;
+        };
+        let delivered = dist::evaluate_grant(&*coordinator, &worker, &grant, &ctx).and_then(
+            |(outcomes_jsonl, curve_hits, curve_misses)| {
+                coordinator.deliver(&CompleteRequest {
+                    worker: worker.clone(),
+                    run: grant.run.clone(),
+                    shard: grant.shard,
+                    epoch: grant.epoch,
+                    outcomes_jsonl,
+                    curve_hits,
+                    curve_misses,
+                })
+            },
+        );
+        if let Err(e) = delivered {
+            fail_run(shared, id, &e);
+            break;
         }
         if shared.config.shard_delay_ms > 0 {
             thread::sleep(Duration::from_millis(shared.config.shard_delay_ms));
         }
+    }
+    // The run left Running (terminal, re-queued, or failed): stop serving
+    // leases for it. Late external completions resolve as stale.
+    shared.coordinators.lock().unwrap().remove(id);
+}
+
+fn fail_run(shared: &Arc<Shared>, id: &str, e: &QosrmError) {
+    if shared.state_of(id) == Some(RunState::Running) {
+        shared.set_state(id, RunState::Failed, Some(e.to_string()));
+        ServeCounters::bump(&shared.counters.runs_failed);
     }
 }

@@ -386,6 +386,70 @@ fn restart_recovers_runs_and_dedups_resubmissions() {
 }
 
 #[test]
+fn external_workers_drain_the_daemon_lease_queue_alongside_the_pool() {
+    // One slow in-process worker (400 ms pause after each one-scenario
+    // shard) plus an external wire worker pinned to the run: the external
+    // worker must get shards of its own, and the merged result must stay
+    // byte-identical to the offline sweep regardless of who ran what.
+    let (mut server, client, dir) = start(
+        "extworker",
+        ServeConfig {
+            workers: 1,
+            shard_delay_ms: 400,
+            default_shard_size: 1,
+            ..Default::default()
+        },
+    );
+    let spec = tiny_spec("extworker", 51, 6);
+    let payload = serde_json::to_string(&spec).unwrap();
+    let (_, status) = client.submit(&payload, "t", true, 1).unwrap();
+    let id = status.id.clone();
+
+    let addr = server.addr().to_string();
+    let pinned = id.clone();
+    let handle = std::thread::spawn(move || {
+        experiments::dist::run_worker(
+            &addr,
+            &experiments::dist::WorkerConfig {
+                worker: "ext-1".to_string(),
+                run: pinned,
+                poll_ms: 25,
+                ..Default::default()
+            },
+        )
+    });
+    assert_eq!(wait_terminal(&client, &id), "complete");
+    let report = handle.join().unwrap().expect("external worker run");
+    assert!(
+        report.shards_completed >= 1,
+        "the external worker must win at least one shard against a worker \
+         that sleeps 400 ms per shard: {report:?}"
+    );
+
+    let served = client.result(&id).unwrap();
+    let ctx = ExperimentContext::new(true);
+    let offline =
+        experiments::sweep::run_with(&spec.lower().unwrap(), &ctx, &SweepOptions::default());
+    assert_eq!(
+        String::from_utf8_lossy(&served),
+        serde_json::to_string(&offline).unwrap(),
+        "mixed in-process/external execution must byte-match the offline sweep"
+    );
+
+    // /stats surfaces the lease telemetry: all six shards completed, the
+    // external worker credited by name.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.leases.completed, 6);
+    assert!(stats.leases.granted >= 6);
+    assert_eq!(
+        stats.leases.per_worker.get("ext-1"),
+        Some(&report.shards_completed)
+    );
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn load_generator_sustains_concurrent_clients_with_byte_identical_results() {
     let (mut server, client, dir) = start(
         "load",
