@@ -59,6 +59,7 @@ fn bench_sweep_modes(c: &mut Criterion) {
             SweepOptions {
                 parallel: true,
                 memoize: false,
+                incremental: false,
             },
         ),
         (
@@ -66,6 +67,7 @@ fn bench_sweep_modes(c: &mut Criterion) {
             SweepOptions {
                 parallel: true,
                 memoize: true,
+                incremental: false,
             },
         ),
     ] {

@@ -1,13 +1,15 @@
 //! The CI performance-regression gate.
 //!
 //! [`bench_gate`](../../bench_gate/index.html) (the `bench_gate` binary) runs
-//! six fixed, deterministic workloads — the co-phase simulator loop on a
+//! seven fixed, deterministic workloads — the co-phase simulator loop on a
 //! quick-grid workload, the global way-partition optimizer on a synthetic
 //! curve set, cold-cache energy-curve construction on real observations,
 //! the game-theoretic best-response/equilibrium solvers on the synthetic
 //! curves, an in-process `qosrm_serve` daemon under a fixed submission
-//! mix, and a distributed sweep (in-process coordinator + wire workers)
-//! over a fixed spec — and emits machine-readable reports:
+//! mix, the SIMD-shaped kernels (chunked min-plus convolution vs the
+//! pruned scalar path, and the incremental delta-path manager vs a cold
+//! rebuild), and a distributed sweep (in-process coordinator + wire
+//! workers) over a fixed spec — and emits machine-readable reports:
 //!
 //! * `BENCH_simulator.json` — wall time, event count and events/second of the
 //!   simulator loop;
@@ -26,6 +28,13 @@
 //!   exact admission / streaming / curve-cache counters its `/stats`
 //!   endpoint reports (specs admitted per second, outcomes streamed per
 //!   second, cache hit rate);
+//! * `BENCH_kernels.json` — wall time of the 4-wide-chunked min-plus
+//!   convolution against the preserved pruned scalar kernel on identical
+//!   synthetic curve sets (their same-process speedup ratio gated at
+//!   [`MIN_CHUNKED_CONV_SPEEDUP`]), and of the incremental delta-path
+//!   `CoordinatedRma` against a cold-rebuild manager on the identical
+//!   interval schedule, with the exact convolution / curve-build / reuse
+//!   counters of both paths;
 //! * `BENCH_dist.json` — wall time of a fixed spec drained by an in-process
 //!   lease coordinator plus four wire workers on an ephemeral port, the
 //!   wall time of the same spec through the single-process streaming
@@ -60,7 +69,10 @@ use qosrm_core::{
 use qosrm_serve::{
     execute as serve_execute, plan as serve_plan, Client, LoadConfig, ServeConfig, Server,
 };
-use qosrm_types::{CoreObservation, CoreSizeIdx, FreqLevel, PlatformConfig, QosSpec};
+use qosrm_types::{
+    CoreId, CoreObservation, CoreSizeIdx, FreqLevel, PlatformConfig, QosSpec, ResourceManager,
+    SystemSetting,
+};
 use rma_sim::{CophaseSimulator, SimulationOptions};
 use serde::{Deserialize, Serialize};
 use simdb::builder::{build_database_for_mixes, BuildOptions};
@@ -1151,6 +1163,327 @@ fn run_dist_bench_with(
     }
 }
 
+/// Report of the SIMD-shaped kernel benchmark (`BENCH_kernels.json`).
+///
+/// Two sub-benchmarks cover the tentpole kernels: `chunked_*`/`scalar_*`
+/// time the 4-wide-chunked min-plus convolution against the preserved
+/// pruned scalar path on identical synthetic curve sets (both in one
+/// process, so the gated `conv_speedup` ratio needs no calibration
+/// normalization), and `cold_*`/`delta_*` time a cold-rebuild
+/// [`CoordinatedRma`] against an incremental one over the identical
+/// interval schedule, exact-comparing how many curves each actually built.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelsReport {
+    /// Report schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Benchmark identifier (`"kernels"`).
+    pub bench: String,
+    /// Human-readable description of the fixed workloads.
+    pub workload: String,
+    /// Measured repetitions of each workload (best time is reported).
+    pub repetitions: usize,
+    /// Best wall time of one chunked-kernel convolution repetition.
+    pub chunked_wall_seconds: f64,
+    /// Best wall time of the pruned scalar kernel on identical inputs.
+    pub scalar_wall_seconds: f64,
+    /// `scalar_wall_seconds / chunked_wall_seconds` (same process, same
+    /// machine); must stay at or above [`MIN_CHUNKED_CONV_SPEEDUP`].
+    pub conv_speedup: f64,
+    /// Candidate evaluations per convolution repetition (deterministic;
+    /// identical for both kernels by construction).
+    pub convolution_ops: u64,
+    /// Candidates skipped by pruning per repetition (deterministic).
+    pub pruned_ops: u64,
+    /// Full 4-wide chunk passes per chunked repetition (deterministic;
+    /// the scalar kernel reports zero).
+    pub chunked_lanes: u64,
+    /// Best wall time of the cold-rebuild manager schedule.
+    pub cold_wall_seconds: f64,
+    /// Best wall time of the incremental manager on the same schedule.
+    pub delta_wall_seconds: f64,
+    /// Curves the cold manager built over the schedule (deterministic).
+    pub cold_curve_builds: u64,
+    /// Curves the incremental manager built (deterministic; the in-bench
+    /// assertion holds it strictly below `cold_curve_builds`).
+    pub delta_curve_builds: u64,
+    /// Invocations the incremental manager settled via digest reuse
+    /// (deterministic).
+    pub delta_invocations: u64,
+    /// Warm arena rows the incremental optimizer reused (deterministic).
+    pub warm_rows_reused: u64,
+    /// Throughput of the fixed calibration loop on the measuring machine
+    /// (used to normalize wall times across machines).
+    pub calibration_ops_per_sec: f64,
+}
+
+/// Minimum speedup of the chunked min-plus convolution kernel over the
+/// preserved pruned scalar path on the fixed synthetic curve sets. Both
+/// sides run in the same process, so the ratio needs no calibration
+/// normalization.
+pub const MIN_CHUNKED_CONV_SPEEDUP: f64 = 1.3;
+
+/// Convolution calls per synthetic case and kernel repetition.
+const KERNEL_CALLS_PER_CASE: usize = 100;
+/// Interval rounds of the cold-vs-incremental manager schedule.
+const KERNEL_DELTA_ROUNDS: usize = 24;
+
+/// Runs the SIMD-shaped kernel benchmark. `calibration_ops_per_sec` is the
+/// machine's [`calibrate`] measurement, recorded in the report so later
+/// checks can normalize across machines.
+pub fn run_kernels_bench(repetitions: usize, calibration_ops_per_sec: f64) -> KernelsReport {
+    run_kernels_bench_with(
+        repetitions,
+        calibration_ops_per_sec,
+        KERNEL_CALLS_PER_CASE,
+        KERNEL_DELTA_ROUNDS,
+    )
+}
+
+/// [`run_kernels_bench`] with explicit workload sizes (tests use small ones
+/// so the determinism check stays fast in debug builds).
+fn run_kernels_bench_with(
+    repetitions: usize,
+    calibration_ops_per_sec: f64,
+    calls_per_case: usize,
+    delta_rounds: usize,
+) -> KernelsReport {
+    // --- Chunked vs pruned-scalar min-plus convolution -------------------
+    // Wide rows (up to 64 ways) and deep reductions (up to 32 cores) so
+    // the 4-wide chunk arithmetic amortizes the way a production-size
+    // partition call does.
+    let cases: Vec<(Vec<EnergyCurve>, usize)> = [(16, 32), (16, 64), (32, 64)]
+        .into_iter()
+        .map(|(cores, ways)| (synthetic_curves(cores, ways), ways))
+        .collect();
+
+    let run_chunked = || -> PruneStats {
+        let mut stats = PruneStats::default();
+        for (curves, ways) in &cases {
+            for _ in 0..calls_per_case {
+                let (result, s) = optimize_partition_with_stats(curves, *ways);
+                assert!(result.is_some(), "synthetic curve set must be feasible");
+                stats.ops += s.ops;
+                stats.pruned += s.pruned;
+                stats.lanes += s.lanes;
+                std::hint::black_box(&result);
+            }
+        }
+        stats
+    };
+    let run_scalar = || -> PruneStats {
+        let mut stats = PruneStats::default();
+        for (curves, ways) in &cases {
+            for _ in 0..calls_per_case {
+                let (result, s) = qosrm_core::optimize_partition_scalar(curves, *ways);
+                assert!(result.is_some(), "synthetic curve set must be feasible");
+                stats.ops += s.ops;
+                stats.pruned += s.pruned;
+                stats.lanes += s.lanes;
+                std::hint::black_box(&result);
+            }
+        }
+        stats
+    };
+
+    // The kernels must agree bit for bit — results and prune bookkeeping.
+    for (curves, ways) in &cases {
+        let (chunked, cs) = optimize_partition_with_stats(curves, *ways);
+        let (scalar, ss) = qosrm_core::optimize_partition_scalar(curves, *ways);
+        assert_eq!(chunked, scalar, "kernels must be bit-identical");
+        assert_eq!((cs.ops, cs.pruned), (ss.ops, ss.pruned));
+    }
+
+    // Warm-up doubles as the two-repetition determinism assertion the gate
+    // relies on: the counters it exact-compares must be byte-identical
+    // across runs in the same process.
+    let conv_stats = run_chunked();
+    let second = run_chunked();
+    assert_eq!(
+        serde_json::to_string(&(conv_stats.ops, conv_stats.pruned, conv_stats.lanes)).unwrap(),
+        serde_json::to_string(&(second.ops, second.pruned, second.lanes)).unwrap(),
+        "chunked convolution counters must be byte-identical across repetitions"
+    );
+    let scalar_stats = run_scalar();
+    assert_eq!(scalar_stats.ops, conv_stats.ops);
+    assert_eq!(scalar_stats.pruned, conv_stats.pruned);
+    assert_eq!(scalar_stats.lanes, 0, "scalar kernel runs no chunk passes");
+    // The speedup ratio is the quantity under the gate's floor, so the two
+    // kernels are timed in *interleaved* pairs (rather than back-to-back
+    // blocks) with extra repetitions: slow drift from a noisy neighbour
+    // then inflates both sides of a pair alike, and best-of picks the
+    // cleanest window for each kernel independently.
+    let conv_reps = repetitions.max(1) * 6;
+    let mut chunked_best = f64::INFINITY;
+    let mut scalar_best = f64::INFINITY;
+    for _ in 0..conv_reps {
+        let start = Instant::now();
+        let s = run_chunked();
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(
+            (s.ops, s.pruned, s.lanes),
+            (conv_stats.ops, conv_stats.pruned, conv_stats.lanes)
+        );
+        chunked_best = chunked_best.min(wall);
+        let start = Instant::now();
+        let s = run_scalar();
+        scalar_best = scalar_best.min(start.elapsed().as_secs_f64());
+        assert_eq!(s.ops, conv_stats.ops);
+    }
+
+    // --- Cold vs incremental manager schedule ----------------------------
+    // Two observations per core from a real quick database; every round
+    // one core's observation toggles while the other three recur, which is
+    // the phase-stable pattern the digest diff is built for.
+    let platform = PlatformConfig::paper1(4);
+    let mix_a = crate::default_mix();
+    let mix_b = workload::WorkloadMix::new(
+        "bench-mix-b",
+        vec!["povray_like", "mcf_like", "gamess_like", "soplex_like"],
+    );
+    let db = build_database_for_mixes(
+        &platform,
+        &[mix_a.clone(), mix_b.clone()],
+        &BuildOptions::quick_for_tests(&platform),
+    );
+    let obs_a: Vec<CoreObservation> = mix_a
+        .benchmarks
+        .iter()
+        .enumerate()
+        .map(|(core, name)| crate::observation_for(&db, &platform, name, core))
+        .collect();
+    let obs_b: Vec<CoreObservation> = mix_b
+        .benchmarks
+        .iter()
+        .enumerate()
+        .map(|(core, name)| crate::observation_for(&db, &platform, name, core))
+        .collect();
+    let num_cores = obs_a.len();
+
+    let run_manager = |incremental: bool| -> (qosrm_core::RmaWorkCounters, f64) {
+        let mut manager = CoordinatedRma::paper1(&platform, vec![QosSpec::STRICT; num_cores]);
+        if incremental {
+            manager = manager.with_incremental();
+        }
+        let mut setting = SystemSetting::baseline(&platform);
+        let start = Instant::now();
+        let mut use_b = vec![false; num_cores];
+        for round in 0..delta_rounds {
+            if round > 0 {
+                let toggled = round % num_cores;
+                use_b[toggled] = !use_b[toggled];
+            }
+            for core in 0..num_cores {
+                let obs = if use_b[core] {
+                    &obs_b[core]
+                } else {
+                    &obs_a[core]
+                };
+                setting = manager.on_interval(CoreId(core), obs, &setting);
+            }
+        }
+        let wall = start.elapsed().as_secs_f64();
+        std::hint::black_box(&setting);
+        (manager.work_counters(), wall)
+    };
+
+    // Bit-identity of the two paths over the schedule, checked in lockstep.
+    {
+        let mut cold = CoordinatedRma::paper1(&platform, vec![QosSpec::STRICT; num_cores]);
+        let mut delta =
+            CoordinatedRma::paper1(&platform, vec![QosSpec::STRICT; num_cores]).with_incremental();
+        let mut cold_setting = SystemSetting::baseline(&platform);
+        let mut delta_setting = SystemSetting::baseline(&platform);
+        let mut use_b = vec![false; num_cores];
+        for round in 0..delta_rounds {
+            if round > 0 {
+                let toggled = round % num_cores;
+                use_b[toggled] = !use_b[toggled];
+            }
+            for core in 0..num_cores {
+                let obs = if use_b[core] {
+                    &obs_b[core]
+                } else {
+                    &obs_a[core]
+                };
+                cold_setting = cold.on_interval(CoreId(core), obs, &cold_setting);
+                delta_setting = delta.on_interval(CoreId(core), obs, &delta_setting);
+                assert_eq!(
+                    delta_setting, cold_setting,
+                    "delta path diverged at round {round}, core {core}"
+                );
+            }
+        }
+    }
+
+    // Warm-up plus the two-repetition byte-identical-counter assertion.
+    let (cold_counters, _) = run_manager(false);
+    let (delta_counters, _) = run_manager(true);
+    let (cold_again, _) = run_manager(false);
+    let (delta_again, _) = run_manager(true);
+    assert_eq!(
+        serde_json::to_string(&cold_counters).unwrap(),
+        serde_json::to_string(&cold_again).unwrap(),
+        "cold manager counters must be byte-identical across repetitions"
+    );
+    assert_eq!(
+        serde_json::to_string(&delta_counters).unwrap(),
+        serde_json::to_string(&delta_again).unwrap(),
+        "incremental manager counters must be byte-identical across repetitions"
+    );
+    assert!(
+        delta_counters.curve_builds < cold_counters.curve_builds,
+        "digest diffing must cut curve builds ({} vs {})",
+        delta_counters.curve_builds,
+        cold_counters.curve_builds
+    );
+    assert!(delta_counters.delta_invocations > 0);
+    assert!(delta_counters.warm_rows_reused > 0);
+    // A single schedule pass is a few hundred microseconds — far too close
+    // to scheduler jitter for a tolerance gate — so each timing sample is a
+    // batch of passes, interleaved cold/delta like the convolution pairs.
+    const MANAGER_TIMING_PASSES: usize = 25;
+    let mut cold_best = f64::INFINITY;
+    let mut delta_best = f64::INFINITY;
+    for _ in 0..repetitions.max(1) * 2 {
+        let mut cold_wall = 0.0;
+        let mut delta_wall = 0.0;
+        for _ in 0..MANAGER_TIMING_PASSES {
+            let (c, w) = run_manager(false);
+            assert_eq!(c, cold_counters);
+            cold_wall += w;
+            let (d, w) = run_manager(true);
+            assert_eq!(d, delta_counters);
+            delta_wall += w;
+        }
+        cold_best = cold_best.min(cold_wall);
+        delta_best = delta_best.min(delta_wall);
+    }
+
+    KernelsReport {
+        schema: SCHEMA.to_string(),
+        bench: "kernels".to_string(),
+        workload: format!(
+            "chunked vs pruned-scalar convolution: synthetic curves (cores, ways) in \
+             {{(16,32),(16,64),(32,64)}} x {calls_per_case} calls; cold vs incremental \
+             CoordinatedRma: paper1-4c, {delta_rounds} rounds, one toggled core per round"
+        ),
+        repetitions: repetitions.max(1),
+        chunked_wall_seconds: chunked_best,
+        scalar_wall_seconds: scalar_best,
+        conv_speedup: scalar_best / chunked_best.max(f64::MIN_POSITIVE),
+        convolution_ops: conv_stats.ops,
+        pruned_ops: conv_stats.pruned,
+        chunked_lanes: conv_stats.lanes,
+        cold_wall_seconds: cold_best,
+        delta_wall_seconds: delta_best,
+        cold_curve_builds: cold_counters.curve_builds,
+        delta_curve_builds: delta_counters.curve_builds,
+        delta_invocations: delta_counters.delta_invocations,
+        warm_rows_reused: delta_counters.warm_rows_reused,
+        calibration_ops_per_sec,
+    }
+}
+
 /// Outcome of comparing one fresh report against its committed baseline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GateOutcome {
@@ -1469,6 +1802,93 @@ pub fn compare_dist(new: &DistReport, baseline: &DistReport, tolerance: f64) -> 
     ]
 }
 
+/// Compares a fresh kernel report against the committed baseline. The
+/// convolution and manager counters are exact-compared (a drift means a
+/// kernel's decision sequence or the fixed workload changed), and the
+/// chunked/scalar speedup is additionally held to
+/// [`MIN_CHUNKED_CONV_SPEEDUP`] — a same-machine ratio, so it is checked
+/// on the fresh report alone.
+pub fn compare_kernels(
+    new: &KernelsReport,
+    baseline: &KernelsReport,
+    tolerance: f64,
+) -> Vec<GateOutcome> {
+    let mut outcomes = vec![
+        check_wall(
+            "kernels chunked conv",
+            new.chunked_wall_seconds,
+            baseline.chunked_wall_seconds,
+            new.calibration_ops_per_sec,
+            baseline.calibration_ops_per_sec,
+            tolerance,
+        ),
+        // The batched schedule wall is a few milliseconds — an order of
+        // magnitude below the other gated walls, where scheduler jitter is
+        // a visible fraction — so it gets twice the band; the delta path's
+        // real regression signal is the exact counter set below.
+        check_wall(
+            "kernels delta manager",
+            new.delta_wall_seconds,
+            baseline.delta_wall_seconds,
+            new.calibration_ops_per_sec,
+            baseline.calibration_ops_per_sec,
+            tolerance * 2.0,
+        ),
+        check_counter(
+            "kernels",
+            "convolution_ops",
+            new.convolution_ops,
+            baseline.convolution_ops,
+        ),
+        check_counter("kernels", "pruned_ops", new.pruned_ops, baseline.pruned_ops),
+        check_counter(
+            "kernels",
+            "chunked_lanes",
+            new.chunked_lanes,
+            baseline.chunked_lanes,
+        ),
+        check_counter(
+            "kernels",
+            "cold_curve_builds",
+            new.cold_curve_builds,
+            baseline.cold_curve_builds,
+        ),
+        check_counter(
+            "kernels",
+            "delta_curve_builds",
+            new.delta_curve_builds,
+            baseline.delta_curve_builds,
+        ),
+        check_counter(
+            "kernels",
+            "delta_invocations",
+            new.delta_invocations,
+            baseline.delta_invocations,
+        ),
+        check_counter(
+            "kernels",
+            "warm_rows_reused",
+            new.warm_rows_reused,
+            baseline.warm_rows_reused,
+        ),
+    ];
+    if new.conv_speedup < MIN_CHUNKED_CONV_SPEEDUP {
+        outcomes.push(GateOutcome::WallRegression(format!(
+            "kernels: chunked convolution speedup over the pruned scalar path dropped to \
+             {:.2}x (required ≥ {MIN_CHUNKED_CONV_SPEEDUP:.1}x; chunked {:.4}s vs scalar {:.4}s)",
+            new.conv_speedup, new.chunked_wall_seconds, new.scalar_wall_seconds
+        )));
+    }
+    if new.delta_curve_builds >= new.cold_curve_builds {
+        outcomes.push(GateOutcome::CounterDrift(format!(
+            "kernels: the delta path no longer reduces curve builds \
+             ({} delta vs {} cold)",
+            new.delta_curve_builds, new.cold_curve_builds
+        )));
+    }
+    outcomes
+}
+
 /// The repository root (the bench crate lives at `crates/bench`).
 pub fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -1602,6 +2022,25 @@ pub fn gate_main(args: &[String]) -> i32 {
         serve.specs_per_sec,
         serve.outcomes_per_sec
     );
+    let kernels = run_kernels_bench(repetitions, calibration);
+    println!(
+        "kernels: chunked {:.4}s vs scalar {:.4}s best of {} ({:.2}x), {} conv ops \
+         ({} pruned, {} lanes); manager cold {:.4}s vs delta {:.4}s, curves {} -> {}, \
+         {} delta invocations, {} warm rows",
+        kernels.chunked_wall_seconds,
+        kernels.scalar_wall_seconds,
+        kernels.repetitions,
+        kernels.conv_speedup,
+        kernels.convolution_ops,
+        kernels.pruned_ops,
+        kernels.chunked_lanes,
+        kernels.cold_wall_seconds,
+        kernels.delta_wall_seconds,
+        kernels.cold_curve_builds,
+        kernels.delta_curve_builds,
+        kernels.delta_invocations,
+        kernels.warm_rows_reused
+    );
     let dist = run_dist_bench(repetitions, calibration);
     println!(
         "dist: coordinated {:.4}s vs single-process {:.4}s best of {}, {} workers, {} shards, \
@@ -1621,13 +2060,15 @@ pub fn gate_main(args: &[String]) -> i32 {
         dist.scenarios_per_sec
     );
 
-    let (sim_path, opt_path, local_path, game_path, serve_path, dist_path) = if update {
+    let (sim_path, opt_path, local_path, game_path, serve_path, kernels_path, dist_path) = if update
+    {
         (
             root.join("BENCH_simulator.json"),
             root.join("BENCH_global_opt.json"),
             root.join("BENCH_local_opt.json"),
             root.join("BENCH_best_response.json"),
             root.join("BENCH_serve.json"),
+            root.join("BENCH_kernels.json"),
             root.join("BENCH_dist.json"),
         )
     } else {
@@ -1638,6 +2079,7 @@ pub fn gate_main(args: &[String]) -> i32 {
             out.join("BENCH_local_opt.json"),
             out.join("BENCH_best_response.json"),
             out.join("BENCH_serve.json"),
+            out.join("BENCH_kernels.json"),
             out.join("BENCH_dist.json"),
         )
     };
@@ -1647,6 +2089,7 @@ pub fn gate_main(args: &[String]) -> i32 {
         (&local_path, write_json(&local_path, &local)),
         (&game_path, write_json(&game_path, &game)),
         (&serve_path, write_json(&serve_path, &serve)),
+        (&kernels_path, write_json(&kernels_path, &kernels)),
         (&dist_path, write_json(&dist_path, &dist)),
     ] {
         if let Err(e) = result {
@@ -1701,6 +2144,14 @@ pub fn gate_main(args: &[String]) -> i32 {
             return 2;
         }
     };
+    let kernels_baseline: KernelsReport = match read_json(&root.join("BENCH_kernels.json")) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("no committed baseline; run with --update to create one");
+            return 2;
+        }
+    };
     let dist_baseline: DistReport = match read_json(&root.join("BENCH_dist.json")) {
         Ok(b) => b,
         Err(e) => {
@@ -1717,6 +2168,7 @@ pub fn gate_main(args: &[String]) -> i32 {
         .chain(compare_local_opt(&local, &local_baseline, tolerance))
         .chain(compare_best_response(&game, &game_baseline, tolerance))
         .chain(compare_serve(&serve, &serve_baseline, tolerance))
+        .chain(compare_kernels(&kernels, &kernels_baseline, tolerance))
         .chain(compare_dist(&dist, &dist_baseline, tolerance))
     {
         match outcome {
@@ -1849,6 +2301,90 @@ mod tests {
         assert_eq!(a.curves_built, b.curves_built);
         assert_eq!(a.evaluations, b.evaluations);
         assert!(a.curves_built > 0 && a.evaluations > 0);
+    }
+
+    fn kernels_report(
+        chunked_wall: f64,
+        conv_speedup: f64,
+        convolution_ops: u64,
+        delta_curve_builds: u64,
+    ) -> KernelsReport {
+        KernelsReport {
+            schema: SCHEMA.to_string(),
+            bench: "kernels".to_string(),
+            workload: "test".to_string(),
+            repetitions: 1,
+            chunked_wall_seconds: chunked_wall,
+            scalar_wall_seconds: chunked_wall * conv_speedup,
+            conv_speedup,
+            convolution_ops,
+            pruned_ops: 400,
+            chunked_lanes: 900,
+            cold_wall_seconds: 1.0,
+            delta_wall_seconds: 0.6,
+            cold_curve_builds: 96,
+            delta_curve_builds,
+            delta_invocations: 60,
+            warm_rows_reused: 40,
+            calibration_ops_per_sec: 1_000_000.0,
+        }
+    }
+
+    #[test]
+    fn kernels_gate_checks_wall_counters_speedup_and_delta_reduction() {
+        let base = kernels_report(1.0, 2.0, 7000, 36);
+        assert!(
+            compare_kernels(&kernels_report(1.1, 2.0, 7000, 36), &base, 0.20)
+                .iter()
+                .all(|o| *o == GateOutcome::Pass)
+        );
+        // Wall regression beyond the band.
+        assert!(
+            compare_kernels(&kernels_report(1.3, 2.0, 7000, 36), &base, 0.20)
+                .iter()
+                .any(|o| matches!(o, GateOutcome::WallRegression(_)))
+        );
+        // Convolution-op drift is a hard failure even when faster.
+        assert!(
+            compare_kernels(&kernels_report(0.5, 2.0, 7001, 36), &base, 0.20)
+                .iter()
+                .any(|o| matches!(o, GateOutcome::CounterDrift(_)))
+        );
+        // Losing the required chunked speedup fails regardless of baseline.
+        assert!(
+            compare_kernels(&kernels_report(1.0, 1.1, 7000, 36), &base, 0.20)
+                .iter()
+                .any(|o| matches!(o, GateOutcome::WallRegression(_))),
+            "speedup below {MIN_CHUNKED_CONV_SPEEDUP} must fail the gate"
+        );
+        // The delta path must keep building fewer curves than the cold path
+        // (and the change from the baseline's count is itself a drift).
+        assert!(
+            compare_kernels(&kernels_report(1.0, 2.0, 7000, 96), &base, 0.20)
+                .iter()
+                .any(|o| matches!(o, GateOutcome::CounterDrift(_)))
+        );
+    }
+
+    #[test]
+    fn kernels_bench_counters_are_deterministic() {
+        // One repetition with tiny workload sizes through the real fixture:
+        // the exact-compared counters must be identical across runs, both
+        // kernels must report measured work, and the delta manager must
+        // build strictly fewer curves (the run itself asserts lockstep
+        // bit-identity of the two managers' settings).
+        let a = run_kernels_bench_with(1, 1_000_000.0, 2, 6);
+        let b = run_kernels_bench_with(1, 1_000_000.0, 2, 6);
+        assert_eq!(a.convolution_ops, b.convolution_ops);
+        assert_eq!(a.pruned_ops, b.pruned_ops);
+        assert_eq!(a.chunked_lanes, b.chunked_lanes);
+        assert_eq!(a.cold_curve_builds, b.cold_curve_builds);
+        assert_eq!(a.delta_curve_builds, b.delta_curve_builds);
+        assert_eq!(a.delta_invocations, b.delta_invocations);
+        assert_eq!(a.warm_rows_reused, b.warm_rows_reused);
+        assert!(a.convolution_ops > 0 && a.chunked_lanes > 0);
+        assert!(a.delta_curve_builds < a.cold_curve_builds);
+        assert!(a.delta_invocations > 0 && a.warm_rows_reused > 0);
     }
 
     #[test]

@@ -114,16 +114,20 @@ impl<'a> CurveBuilder<'a> {
 
         // All staged rows live in one scratch allocation (a cold curve is
         // built per cache-miss invocation, so per-build allocations are on
-        // the measured path), carved into disjoint slices.
+        // the measured path), carved into disjoint slices. The two lane
+        // rows at the end receive the chunked pass's per-level times and
+        // energies before the argmin scan.
         let sf = num_sizes * num_freqs;
-        let mut scratch = vec![0.0f64; 2 * num_freqs + 3 * sf + (2 + num_sizes) * max_ways];
+        let mut scratch = vec![0.0f64; 4 * num_freqs + 3 * sf + (2 + num_sizes) * max_ways];
         let (freq_hz, rest) = scratch.split_at_mut(num_freqs);
         let (v_ratio2, rest) = rest.split_at_mut(num_freqs);
         let (exec_seconds, rest) = rest.split_at_mut(sf);
         let (core_dynamic, rest) = rest.split_at_mut(sf);
         let (static_power, rest) = rest.split_at_mut(sf);
         let (dram_dynamic, rest) = rest.split_at_mut(max_ways);
-        let (llc_static_power, stall) = rest.split_at_mut(max_ways);
+        let (llc_static_power, rest) = rest.split_at_mut(max_ways);
+        let (stall, rest) = rest.split_at_mut(num_sizes * max_ways);
+        let (time_lane, energy_lane) = rest.split_at_mut(num_freqs);
 
         // Stage 1 — per VF level: frequency and squared voltage ratio,
         // exactly as the scalar path derives them per candidate.
@@ -171,13 +175,22 @@ impl<'a> CurveBuilder<'a> {
         }
 
         // Resolve each (size, ways) column: binary-search the first feasible
-        // level, then evaluate only the feasible suffix. Candidate order
-        // (sizes ascending, levels slowest to fastest) and the strict `<`
-        // incumbent test match the scalar loop, so the argmin is identical.
+        // level, then evaluate the feasible suffix as a flat 4-wide-chunked
+        // pass. The chunk loop computes every level's time and energy
+        // branch-free into the lane rows — per element it performs exactly
+        // the scalar expressions, term for term and in the same operand
+        // order (no FMA reassociation), so each lane value is bit-identical
+        // to what the scalar loop would compute. The argmin scan then walks
+        // the lanes in candidate order (sizes ascending, levels slowest to
+        // fastest) with the scalar strict-`<` incumbent test, so the
+        // selected points are identical to `energy_curve_scalar_reference`.
         let mut evaluations = 0usize;
         let mut points: Vec<Option<CurvePoint>> = Vec::with_capacity(max_ways);
+        const LANES: usize = 4;
         for ways in 1..=max_ways {
             let mut best: Option<CurvePoint> = None;
+            let llc_static_w = llc_static_power[ways - 1];
+            let dram_dynamic_w = dram_dynamic[ways - 1];
             for (i, &size) in self.sizes.iter().enumerate() {
                 let stall_seconds = stall[i * max_ways + ways - 1];
                 let row = i * num_freqs;
@@ -186,24 +199,53 @@ impl<'a> CurveBuilder<'a> {
                 // the infeasible levels form a prefix.
                 let first_feasible =
                     exec_row.partition_point(|&exec| exec + stall_seconds > target);
-                for j in first_feasible..num_freqs {
-                    evaluations += 1;
-                    let time = exec_row[j] + stall_seconds;
-                    let core_static = static_power[row + j] * time;
-                    let llc_static = llc_static_power[ways - 1] * time;
+                let n = num_freqs - first_feasible;
+                let ex = &exec_row[first_feasible..];
+                let cd = &core_dynamic[row + first_feasible..row + num_freqs];
+                let sp = &static_power[row + first_feasible..row + num_freqs];
+                let times = &mut time_lane[..n];
+                let energies = &mut energy_lane[..n];
+                let chunked = n - n % LANES;
+                let mut k = 0;
+                while k < chunked {
+                    // One branch-free 4-wide chunk.
+                    for l in k..k + LANES {
+                        let time = ex[l] + stall_seconds;
+                        let core_static = sp[l] * time;
+                        let llc_static = llc_static_w * time;
+                        let dram_background = dram_bg_power * time;
+                        times[l] = time;
+                        energies[l] = cd[l]
+                            + core_static
+                            + llc_dynamic
+                            + llc_static
+                            + dram_dynamic_w
+                            + dram_background;
+                    }
+                    k += LANES;
+                }
+                for l in chunked..n {
+                    let time = ex[l] + stall_seconds;
+                    let core_static = sp[l] * time;
+                    let llc_static = llc_static_w * time;
                     let dram_background = dram_bg_power * time;
-                    let energy = core_dynamic[row + j]
+                    times[l] = time;
+                    energies[l] = cd[l]
                         + core_static
                         + llc_dynamic
                         + llc_static
-                        + dram_dynamic[ways - 1]
+                        + dram_dynamic_w
                         + dram_background;
+                }
+                evaluations += n;
+                for l in 0..n {
+                    let energy = energies[l];
                     if best.map(|b| energy < b.energy_joules).unwrap_or(true) {
                         best = Some(CurvePoint {
                             energy_joules: energy,
-                            freq: self.freqs[j],
+                            freq: self.freqs[first_feasible + l],
                             core_size: size,
-                            time_seconds: time,
+                            time_seconds: times[l],
                             ways,
                         });
                     }

@@ -27,8 +27,49 @@
 //! *or* the recorded argmin splits — results are bit-identical to the naive
 //! scan, as [`optimize_partition_unpruned`] and the property tests in
 //! `tests/properties.rs` verify.
+//!
+//! # Chunked kernel
+//!
+//! The candidate scan is laid out as a **flat, 4-wide-chunked pass**: the
+//! right child's row is reversed once per combination so both operands of
+//! every candidate sum are read with ascending unit-stride indices
+//! (`left_row[k - 1] + right_rev[right_max - total + k]`), and each
+//! 4-candidate chunk is processed branch-free — unrolled loads, sums in
+//! the scalar path's exact `left + right` operand order (no FMA
+//! reassociation), and explicit *pairwise* min/max trees that the SLP
+//! vectorizer packs into two-lane ops (a serial fold would require float
+//! reassociation, which the compiler rightly refuses). Without an
+//! incumbent bound the scalar decision sequence is reproduced exactly
+//! without branching: the running best at candidate `l` equals the prefix
+//! minimum over **all** earlier sums (a pruned candidate can never update
+//! it), so each prune flag is an OR of independent compares against
+//! `best` and earlier sums, and the strict-`<` argmin is a first-tie scan
+//! entered only when the chunk minimum beats `best`. With a finite
+//! incumbent (the warm-start path) conservative chunk-level tests
+//! dispatch between an all-pruned shortcut, an all-evaluated fast path,
+//! and an exact scalar *replay* of the chunk. In every case the recorded
+//! energies, argmin splits *and* the [`PruneStats`] counters are
+//! bit-identical to the scalar loop, which is preserved as
+//! [`optimize_partition_scalar`] for the perf gate and the property
+//! tests.
+//!
+//! # Incremental re-optimization
+//!
+//! [`IncrementalOptimizer`] keeps the arena alive across invocations: when
+//! only some input curves changed since the previous call, it re-densifies
+//! the dirty leaf rows, recombines exactly the inner nodes on their paths
+//! to the root, and reuses every other row verbatim (deterministic kernels
+//! on bitwise-identical inputs reproduce rows bitwise, so reuse is exact).
+//! The root recombination may additionally prune with a caller-supplied
+//! upper bound (the previous allocation's energy); see
+//! [`IncrementalOptimizer::optimize`] for why that bound is applied at the
+//! root only.
 
 use crate::curve::{CurvePoint, EnergyCurve};
+
+/// Width of one convolution chunk: four `f64` lanes (one AVX2 register, two
+/// SSE2 registers).
+const LANES: usize = 4;
 
 /// Work counters of one global optimization call.
 ///
@@ -42,6 +83,18 @@ pub struct PruneStats {
     pub ops: u64,
     /// Split candidates skipped by the lower-bound test.
     pub pruned: u64,
+    /// Full 4-wide chunk passes executed by the chunked kernel (the scalar
+    /// reference path leaves this at zero).
+    pub lanes: u64,
+}
+
+/// Row-reuse counters of one [`IncrementalOptimizer::optimize`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Arena rows (leaf or inner) reused verbatim from the previous call.
+    pub rows_reused: u64,
+    /// Arena rows re-densified or recombined this call.
+    pub rows_recomputed: u64,
 }
 
 /// Index of a node in the reduction arena.
@@ -50,6 +103,7 @@ type NodeId = usize;
 /// Flat-arena node. Every node — leaf or inner — owns a dense row of the
 /// shared `energy` buffer (`f64::INFINITY` marks infeasible budgets), so the
 /// convolution scans contiguous memory with no per-candidate dispatch.
+#[derive(Debug, Clone)]
 struct NodeData {
     /// For leaves, the input curve index; for inner nodes, `usize::MAX`.
     core: usize,
@@ -69,6 +123,7 @@ struct NodeData {
 
 /// The reduction arena: all node metadata plus the shared combined-curve
 /// storage.
+#[derive(Debug, Clone)]
 struct Arena {
     nodes: Vec<NodeData>,
     /// `energy[node.offset + w - 1]` = minimum energy of `node` with `w`
@@ -77,6 +132,286 @@ struct Arena {
     /// `split[node.offset + w - 1]` = ways given to the left child at that
     /// optimum (inner nodes; leaf rows stay zero).
     split: Vec<usize>,
+}
+
+/// Which candidate-scan implementation a reduction runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kernel {
+    /// The flat 4-wide-chunked pass (production path).
+    Chunked,
+    /// The per-candidate scalar loop preserved as the perf-gate and
+    /// property-test reference.
+    Scalar,
+}
+
+/// One min-plus row combination with the chunked kernel: fills
+/// `out_energy`/`out_split` for every combined budget `2..=max_total` and
+/// returns the row minimum.
+///
+/// `right_rev` is caller-owned scratch holding nothing on entry; the right
+/// row is copied into it reversed so both operands of a candidate sum are
+/// read at ascending unit-stride indices (`right_row[total - k - 1]` becomes
+/// `right_rev[right_max - total + k]`). Each chunk's four sums are computed
+/// branch-free in the exact `left + right` operand order; the incumbent-free
+/// path then derives every prune decision and the strict-`<` argmin from
+/// independent compares (see the module notes), while the warm-start path
+/// dispatches between chunk-level shortcuts and an exact scalar replay —
+/// either way results *and* [`PruneStats`] match the scalar kernel bit for
+/// bit (f64 addition is deterministic).
+///
+/// `incumbent` is an optional exact upper bound on the energy the caller
+/// will read out of this row (pass `f64::INFINITY` for none): candidates
+/// whose lower bound strictly exceeds it are skipped. The test is strict
+/// (`>`), so a candidate tying the bound is still evaluated and the argmin
+/// at any cell whose true minimum is `<= incumbent` is unchanged; cells
+/// whose minimum exceeds the bound may record larger values, which is why
+/// only the root row — whose non-requested cells feed nothing — ever gets
+/// a finite incumbent (see [`IncrementalOptimizer::optimize`]).
+#[allow(clippy::too_many_arguments)]
+fn convolve_rows_chunked(
+    left_row: &[f64],
+    right_row: &[f64],
+    right_rev: &mut Vec<f64>,
+    left_leaves: usize,
+    right_leaves: usize,
+    right_min: f64,
+    max_total: usize,
+    out_energy: &mut [f64],
+    out_split: &mut [usize],
+    prune: bool,
+    incumbent: f64,
+    stats: &mut PruneStats,
+) -> f64 {
+    let left_max = left_row.len();
+    let right_max = right_row.len();
+    right_rev.clear();
+    right_rev.extend(right_row.iter().rev());
+
+    let mut node_min = f64::INFINITY;
+    for total in 2..=max_total {
+        // Every child must receive at least one way per leaf beneath it
+        // and no more than its row covers; the bounds encode what the
+        // naive scan would skip, preserving the ascending candidate
+        // order (and thus argmin tie-breaking).
+        let lo = left_leaves.max(total.saturating_sub(right_max));
+        let hi = total.saturating_sub(right_leaves).min(left_max);
+        let mut best = f64::INFINITY;
+        let mut best_split = 0usize;
+        if lo <= hi {
+            let n = hi - lo + 1;
+            // Candidate k = lo + i reads left_row[k - 1] and
+            // right_row[total - k - 1] == right_rev[right_max - total + k];
+            // both indices ascend with i.
+            let ls = &left_row[lo - 1..lo - 1 + n];
+            let rbase = right_max + lo - total;
+            let rs = &right_rev[rbase..rbase + n];
+            let mut i = 0;
+            while i + LANES <= n {
+                // Branch-free 4-wide chunk: unrolled unit-stride loads and
+                // candidate sums in the scalar path's exact operand order
+                // (`left + right`, no reassociation), then the chunk
+                // extrema as explicit pairwise trees — fixed-shape
+                // reductions the SLP vectorizer packs into two-lane
+                // min/max ops, unlike a serial fold whose float
+                // reassociation the compiler must refuse.
+                let l0 = ls[i];
+                let l1 = ls[i + 1];
+                let l2 = ls[i + 2];
+                let l3 = ls[i + 3];
+                let s0 = l0 + rs[i];
+                let s1 = l1 + rs[i + 1];
+                let s2 = l2 + rs[i + 2];
+                let s3 = l3 + rs[i + 3];
+                if incumbent == f64::INFINITY {
+                    // Without an incumbent bound the scalar decision
+                    // sequence is *exactly* reproducible without branches:
+                    // the running best at candidate `l` equals the prefix
+                    // minimum `p_l = min(best, sums[..l])` over **all**
+                    // earlier sums (a pruned candidate's sum is ≥ its
+                    // bound ≥ the running best, so skipping it never
+                    // changes the prefix minimum), candidate `l` is pruned
+                    // iff `bound_l ≥ p_l`, and the first lane at the chunk
+                    // minimum is never pruned — so flags, counters, and
+                    // the strict-`<` argmin all fall out of four compares
+                    // and a three-deep select chain.
+                    // `x ≥ min(set)` ⇔ some member is ≤ x, so each flag is
+                    // an OR of independent compares (reusing the min
+                    // tree's `m01`) rather than a serial select chain —
+                    // nothing in the chunk depends on anything but `best`.
+                    let m01 = if s0 < s1 { s0 } else { s1 };
+                    let m23 = if s2 < s3 { s2 } else { s3 };
+                    let chunk_min = if m01 < m23 { m01 } else { m23 };
+                    stats.lanes += 1;
+                    if prune {
+                        let b0 = l0 + right_min;
+                        let b1 = l1 + right_min;
+                        let b2 = l2 + right_min;
+                        let b3 = l3 + right_min;
+                        let pr = (b0 >= best) as u64
+                            + ((b1 >= best) | (b1 >= s0)) as u64
+                            + ((b2 >= best) | (b2 >= m01)) as u64
+                            + ((b3 >= best) | (b3 >= m01) | (b3 >= s2)) as u64;
+                        stats.pruned += pr;
+                        stats.ops += LANES as u64 - pr;
+                    } else {
+                        stats.ops += LANES as u64;
+                    }
+                    // Rarely taken: the chunk only matters when it beats
+                    // the incumbent best, so the cross-chunk dependency is
+                    // a predicted-untaken branch, not a float min.
+                    if chunk_min < best {
+                        let sums = [s0, s1, s2, s3];
+                        let mut mi = 0usize;
+                        while sums[mi] > chunk_min {
+                            mi += 1;
+                        }
+                        best = sums[mi];
+                        best_split = lo + i + mi;
+                    }
+                    i += LANES;
+                    continue;
+                }
+                let lmin01 = if l0 < l1 { l0 } else { l1 };
+                let lmin23 = if l2 < l3 { l2 } else { l3 };
+                let lmax01 = if l0 > l1 { l0 } else { l1 };
+                let lmax23 = if l2 > l3 { l2 } else { l3 };
+                let smin01 = if s0 < s1 { s0 } else { s1 };
+                let smin23 = if s2 < s3 { s2 } else { s3 };
+                let left_min = if lmin01 < lmin23 { lmin01 } else { lmin23 };
+                let left_max = if lmax01 > lmax23 { lmax01 } else { lmax23 };
+                let sum_min = if smin01 < smin23 { smin01 } else { smin23 };
+                stats.lanes += 1;
+                // All-pruned fast path: a pruned candidate never updates
+                // `best` (its sum is ≥ its bound), so if even the chunk's
+                // smallest bound fails against the running best, the
+                // sequential scan prunes all four candidates and leaves
+                // `best` untouched.
+                if prune && left_min + right_min >= best {
+                    stats.pruned += LANES as u64;
+                    i += LANES;
+                    continue;
+                }
+                let sums = [s0, s1, s2, s3];
+                let bound_max = left_max + right_min;
+                // Fast path: candidate `l` is pruned iff its bound fails
+                // against the running best *at that candidate*, which is
+                // `min(best, sums[..l])`. When the chunk's largest bound
+                // beats `best`, every in-chunk sum and the incumbent, no
+                // candidate can be pruned — so the scalar decision
+                // sequence collapses to `ops += LANES` plus a first-tie
+                // min scan (strict `<` keeps the earliest argmin, exactly
+                // like the sequential updates).
+                let no_prune =
+                    (!prune || (bound_max < best && bound_max < sum_min)) && bound_max <= incumbent;
+                if no_prune {
+                    stats.ops += LANES as u64;
+                    // The chunk only changes the outcome when its minimum
+                    // improves `best`; locate the winning lane lazily (the
+                    // earliest lane at the minimum — ties can't displace
+                    // it under the sequential strict-`<` updates, and the
+                    // recorded value is that lane's sum bit for bit).
+                    if sum_min < best {
+                        let mut mi = 0usize;
+                        while sums[mi] > sum_min {
+                            mi += 1;
+                        }
+                        best = sums[mi];
+                        best_split = lo + i + mi;
+                    }
+                } else {
+                    // Replay the scalar incumbent/prune decisions over the
+                    // precomputed sums (sequential by construction: `best`
+                    // carries between candidates).
+                    for l in 0..LANES {
+                        let left_energy = ls[i + l];
+                        let bound = left_energy + right_min;
+                        if prune && bound >= best {
+                            stats.pruned += 1;
+                            continue;
+                        }
+                        if bound > incumbent {
+                            stats.pruned += 1;
+                            continue;
+                        }
+                        stats.ops += 1;
+                        let e = sums[l];
+                        if e < best {
+                            best = e;
+                            best_split = lo + i + l;
+                        }
+                    }
+                }
+                i += LANES;
+            }
+            while i < n {
+                let left_energy = ls[i];
+                let bound = left_energy + right_min;
+                if (prune && bound >= best) || bound > incumbent {
+                    stats.pruned += 1;
+                } else {
+                    stats.ops += 1;
+                    let e = ls[i] + rs[i];
+                    if e < best {
+                        best = e;
+                        best_split = lo + i;
+                    }
+                }
+                i += 1;
+            }
+        }
+        out_energy[total - 1] = best;
+        out_split[total - 1] = best_split;
+        node_min = node_min.min(best);
+    }
+    node_min
+}
+
+/// The pre-chunking per-candidate scalar loop, preserved verbatim as the
+/// perf-gate baseline ([`optimize_partition_scalar`]) and the bit-identity
+/// reference for the chunked kernel's property tests.
+#[allow(clippy::too_many_arguments)]
+fn convolve_rows_scalar(
+    left_row: &[f64],
+    right_row: &[f64],
+    left_leaves: usize,
+    right_leaves: usize,
+    right_min: f64,
+    max_total: usize,
+    out_energy: &mut [f64],
+    out_split: &mut [usize],
+    prune: bool,
+    stats: &mut PruneStats,
+) -> f64 {
+    let left_max = left_row.len();
+    let right_max = right_row.len();
+    let mut node_min = f64::INFINITY;
+    for total in 2..=max_total {
+        let lo = left_leaves.max(total.saturating_sub(right_max));
+        let hi = total.saturating_sub(right_leaves).min(left_max);
+        let mut best = f64::INFINITY;
+        let mut best_split = 0usize;
+        for left_ways in lo..=hi {
+            let left_energy = left_row[left_ways - 1];
+            // Lower bound: even paired with the cheapest share the right
+            // child offers anywhere, this left share cannot beat the
+            // incumbent — the exact sum (≥ the bound) cannot satisfy the
+            // strict `<` below, so skipping preserves the argmin.
+            if prune && left_energy + right_min >= best {
+                stats.pruned += 1;
+                continue;
+            }
+            stats.ops += 1;
+            let e = left_energy + right_row[total - left_ways - 1];
+            if e < best {
+                best = e;
+                best_split = left_ways;
+            }
+        }
+        out_energy[total - 1] = best;
+        out_split[total - 1] = best_split;
+        node_min = node_min.min(best);
+    }
+    node_min
 }
 
 impl Arena {
@@ -129,14 +464,60 @@ impl Arena {
     /// the incumbent are skipped; the recorded energies and argmin splits are
     /// identical either way because the bound is conservative and the
     /// incumbent test is strict.
+    #[allow(clippy::too_many_arguments)]
     fn combine(
         &mut self,
         left: NodeId,
         right: NodeId,
         cap: usize,
         prune: bool,
+        kernel: Kernel,
+        incumbent: f64,
+        scratch: &mut Vec<f64>,
         stats: &mut PruneStats,
     ) -> NodeId {
+        let (left_leaves, left_max) = {
+            let n = &self.nodes[left];
+            (n.leaves, n.max_ways)
+        };
+        let (right_leaves, right_max) = {
+            let n = &self.nodes[right];
+            (n.leaves, n.max_ways)
+        };
+        let max_total = (left_max + right_max).min(cap);
+        let offset = self.energy.len();
+        self.energy.resize(offset + max_total, f64::INFINITY);
+        self.split.resize(offset + max_total, 0);
+        self.nodes.push(NodeData {
+            core: usize::MAX,
+            left,
+            right,
+            offset,
+            leaves: left_leaves + right_leaves,
+            max_ways: max_total,
+            min_energy: f64::INFINITY,
+        });
+        let id = self.nodes.len() - 1;
+        self.recombine(id, prune, kernel, incumbent, scratch, stats);
+        id
+    }
+
+    /// Recomputes an inner node's combined row in place from its children's
+    /// current rows (used both by [`Arena::combine`] on freshly allocated
+    /// rows and by [`IncrementalOptimizer`] when patching dirty subtrees).
+    fn recombine(
+        &mut self,
+        node: NodeId,
+        prune: bool,
+        kernel: Kernel,
+        incumbent: f64,
+        scratch: &mut Vec<f64>,
+        stats: &mut PruneStats,
+    ) {
+        let (left, right, offset, max_total) = {
+            let n = &self.nodes[node];
+            (n.left, n.right, n.offset, n.max_ways)
+        };
         let (left_leaves, left_max, left_offset) = {
             let n = &self.nodes[left];
             (n.leaves, n.max_ways, n.offset)
@@ -145,59 +526,61 @@ impl Arena {
             let n = &self.nodes[right];
             (n.leaves, n.max_ways, n.offset, n.min_energy)
         };
-        let max_total = (left_max + right_max).min(cap);
-        let offset = self.energy.len();
-        self.energy.resize(offset + max_total, f64::INFINITY);
-        self.split.resize(offset + max_total, 0);
-        // Children rows live strictly before `offset`, so the output row can
-        // be written while both input rows are read.
-        let (prev, out_energy) = self.energy.split_at_mut(offset);
+        // Children are created before their parent, so their rows live
+        // strictly before `offset` and the output row can be written while
+        // both input rows are read.
+        let (prev, out) = self.energy.split_at_mut(offset);
         let left_row = &prev[left_offset..left_offset + left_max];
         let right_row = &prev[right_offset..right_offset + right_max];
-        let out_split = &mut self.split[offset..];
+        let out_energy = &mut out[..max_total];
+        let out_split = &mut self.split[offset..offset + max_total];
 
-        let mut node_min = f64::INFINITY;
-        for total in 2..=max_total {
-            // Every child must receive at least one way per leaf beneath it
-            // and no more than its row covers; the bounds encode what the
-            // naive scan would skip, preserving the ascending candidate
-            // order (and thus argmin tie-breaking).
-            let lo = left_leaves.max(total.saturating_sub(right_max));
-            let hi = total.saturating_sub(right_leaves).min(left_max);
-            let mut best = f64::INFINITY;
-            let mut best_split = 0usize;
-            for left_ways in lo..=hi {
-                let left_energy = left_row[left_ways - 1];
-                // Lower bound: even paired with the cheapest share the right
-                // child offers anywhere, this left share cannot beat the
-                // incumbent — the exact sum (≥ the bound) cannot satisfy the
-                // strict `<` below, so skipping preserves the argmin.
-                if prune && left_energy + right_min >= best {
-                    stats.pruned += 1;
-                    continue;
-                }
-                stats.ops += 1;
-                let e = left_energy + right_row[total - left_ways - 1];
-                if e < best {
-                    best = e;
-                    best_split = left_ways;
-                }
-            }
-            out_energy[total - 1] = best;
-            out_split[total - 1] = best_split;
-            node_min = node_min.min(best);
+        let node_min = match kernel {
+            Kernel::Chunked => convolve_rows_chunked(
+                left_row,
+                right_row,
+                scratch,
+                left_leaves,
+                right_leaves,
+                right_min,
+                max_total,
+                out_energy,
+                out_split,
+                prune,
+                incumbent,
+                stats,
+            ),
+            Kernel::Scalar => convolve_rows_scalar(
+                left_row,
+                right_row,
+                left_leaves,
+                right_leaves,
+                right_min,
+                max_total,
+                out_energy,
+                out_split,
+                prune,
+                stats,
+            ),
+        };
+        self.nodes[node].min_energy = node_min;
+    }
+
+    /// Rewrites a leaf's row from `curve` (the curve's `max_ways` must equal
+    /// the row width) and refreshes its minimum.
+    fn redensify_leaf(&mut self, leaf: NodeId, curve: &EnergyCurve) {
+        let (offset, max_ways) = {
+            let n = &self.nodes[leaf];
+            debug_assert_eq!(n.max_ways, curve.max_ways());
+            (n.offset, n.max_ways)
+        };
+        let mut min_energy = f64::INFINITY;
+        for w in 1..=max_ways {
+            let e = curve.energy(w);
+            min_energy = min_energy.min(e);
+            self.energy[offset + w - 1] = e;
         }
-
-        self.nodes.push(NodeData {
-            core: usize::MAX,
-            left,
-            right,
-            offset,
-            leaves: left_leaves + right_leaves,
-            max_ways: max_total,
-            min_energy: node_min,
-        });
-        self.nodes.len() - 1
+        self.nodes[leaf].min_energy = min_energy;
     }
 
     /// Unwinds the recorded splits from `root`, writing each core's
@@ -218,17 +601,18 @@ impl Arena {
     }
 }
 
-fn optimize_in_arena(
+/// Builds the full reduction in a fresh arena: pairs adjacent frontier
+/// nodes until one remains (the same pairing order as the original boxed
+/// tree) and returns the arena plus the root node.
+fn build_reduction(
     curves: &[EnergyCurve],
     total_ways: usize,
     prune: bool,
-) -> (Option<Vec<(usize, CurvePoint)>>, PruneStats) {
-    let mut stats = PruneStats::default();
-    if curves.is_empty() || total_ways < curves.len() {
-        return (None, stats);
-    }
-    // Build the reduction in the arena: pair adjacent nodes until one
-    // remains (the same pairing order as the original boxed tree).
+    kernel: Kernel,
+    incumbent: f64,
+    scratch: &mut Vec<f64>,
+    stats: &mut PruneStats,
+) -> (Arena, NodeId) {
     let mut arena = Arena::new(curves, total_ways);
     let mut frontier: Vec<NodeId> = (0..curves.len()).collect();
     let mut next = Vec::with_capacity(frontier.len().div_ceil(2));
@@ -237,12 +621,21 @@ fn optimize_in_arena(
         let mut i = 0;
         while i < frontier.len() {
             if i + 1 < frontier.len() {
+                // The incumbent bound is only safe on the root row (its
+                // unrequested cells feed no further combination): the final
+                // combine is the one that merges the last two frontier
+                // nodes.
+                let is_root = next.is_empty() && i + 2 == frontier.len();
+                let bound = if is_root { incumbent } else { f64::INFINITY };
                 next.push(arena.combine(
                     frontier[i],
                     frontier[i + 1],
                     total_ways,
                     prune,
-                    &mut stats,
+                    kernel,
+                    bound,
+                    scratch,
+                    stats,
                 ));
                 i += 2;
             } else {
@@ -253,25 +646,53 @@ fn optimize_in_arena(
         std::mem::swap(&mut frontier, &mut next);
     }
     let root = frontier.pop().expect("at least one node");
-    if !arena.energy_at(root, total_ways).is_finite() {
-        return (None, stats);
-    }
+    (arena, root)
+}
 
+/// Unwinds the optimum from a built arena into the per-core result vector.
+fn extract_result(
+    arena: &Arena,
+    root: NodeId,
+    curves: &[EnergyCurve],
+    total_ways: usize,
+) -> Option<Vec<(usize, CurvePoint)>> {
+    if !arena.energy_at(root, total_ways).is_finite() {
+        return None;
+    }
     let mut allocation: Vec<Option<usize>> = vec![None; curves.len()];
     arena.assign(root, total_ways, &mut allocation);
 
     let mut result = Vec::with_capacity(curves.len());
     for (core, ways) in allocation.into_iter().enumerate() {
-        let Some(ways) = ways else {
-            return (None, stats);
-        };
-        let Some(point) = curves[core].point(ways) else {
-            return (None, stats);
-        };
+        let ways = ways?;
+        let point = curves[core].point(ways)?;
         result.push((ways, point));
     }
     debug_assert_eq!(result.iter().map(|(w, _)| w).sum::<usize>(), total_ways);
-    (Some(result), stats)
+    Some(result)
+}
+
+fn optimize_in_arena(
+    curves: &[EnergyCurve],
+    total_ways: usize,
+    prune: bool,
+    kernel: Kernel,
+) -> (Option<Vec<(usize, CurvePoint)>>, PruneStats) {
+    let mut stats = PruneStats::default();
+    if curves.is_empty() || total_ways < curves.len() {
+        return (None, stats);
+    }
+    let mut scratch = Vec::new();
+    let (arena, root) = build_reduction(
+        curves,
+        total_ways,
+        prune,
+        kernel,
+        f64::INFINITY,
+        &mut scratch,
+        &mut stats,
+    );
+    (extract_result(&arena, root, curves, total_ways), stats)
 }
 
 /// Finds the energy-minimal distribution of `total_ways` LLC ways among the
@@ -285,7 +706,7 @@ pub fn optimize_partition(
     curves: &[EnergyCurve],
     total_ways: usize,
 ) -> Option<Vec<(usize, CurvePoint)>> {
-    optimize_in_arena(curves, total_ways, true).0
+    optimize_in_arena(curves, total_ways, true, Kernel::Chunked).0
 }
 
 /// Like [`optimize_partition`], additionally returning the [`PruneStats`]
@@ -294,19 +715,214 @@ pub fn optimize_partition_with_stats(
     curves: &[EnergyCurve],
     total_ways: usize,
 ) -> (Option<Vec<(usize, CurvePoint)>>, PruneStats) {
-    optimize_in_arena(curves, total_ways, true)
+    optimize_in_arena(curves, total_ways, true, Kernel::Chunked)
 }
 
-/// Reference implementation running the full (unpruned) min-plus convolution.
+/// The pre-chunking pruned scalar path, preserved so the perf gate can
+/// measure the chunked kernel's speedup against it and so property tests
+/// can assert the two are bit-identical.
+pub fn optimize_partition_scalar(
+    curves: &[EnergyCurve],
+    total_ways: usize,
+) -> (Option<Vec<(usize, CurvePoint)>>, PruneStats) {
+    optimize_in_arena(curves, total_ways, true, Kernel::Scalar)
+}
+
+/// Reference implementation running the full (unpruned) min-plus convolution
+/// with the scalar kernel — the naive candidate scan.
 ///
-/// Exists so tests can assert that lower-bound pruning is behaviour
-/// preserving: [`optimize_partition`] must return bit-identical allocations
-/// and energies for any curve set, including non-concave ones.
+/// Exists so tests can assert that lower-bound pruning and the chunked
+/// kernel are behaviour preserving: [`optimize_partition`] must return
+/// bit-identical allocations and energies for any curve set, including
+/// non-concave ones.
 pub fn optimize_partition_unpruned(
     curves: &[EnergyCurve],
     total_ways: usize,
 ) -> Option<Vec<(usize, CurvePoint)>> {
-    optimize_in_arena(curves, total_ways, false).0
+    optimize_in_arena(curves, total_ways, false, Kernel::Scalar).0
+}
+
+/// Sums per-core energies in the exact pairwise-reduction association order
+/// (adjacent pairs per round, odd node carried), so the result is an f64
+/// value the convolution itself could compute for that allocation. Using
+/// this — rather than a flat left-to-right sum — as the incumbent bound
+/// guarantees `bound >= optimum` *in f64 arithmetic*, not just
+/// mathematically: the root-cell minimum is `<=` every candidate value it
+/// scanned, and those values are built with this same association.
+fn tree_order_energy(values: &mut Vec<f64>) -> f64 {
+    debug_assert!(!values.is_empty());
+    while values.len() > 1 {
+        let mut write = 0;
+        let mut read = 0;
+        while read < values.len() {
+            if read + 1 < values.len() {
+                values[write] = values[read] + values[read + 1];
+                read += 2;
+            } else {
+                values[write] = values[read];
+                read += 1;
+            }
+            write += 1;
+        }
+        values.truncate(write);
+    }
+    values[0]
+}
+
+/// A persistent-arena optimizer for the incremental (delta) invocation path
+/// of `CoordinatedRma`: between consecutive calls whose curve sets differ
+/// in only a few cores, it re-densifies the dirty leaf rows, recombines the
+/// inner nodes on their root paths, and reuses every other row verbatim.
+///
+/// Results are bit-identical to a cold [`optimize_partition`] call on the
+/// same curves (locked by unit and property tests): reused rows were
+/// produced by the same deterministic kernel from bitwise-identical curve
+/// inputs, and recomputed rows run the production chunked kernel.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalOptimizer {
+    /// The retained reduction (arena + root) of the previous call, if any.
+    state: Option<(Arena, NodeId)>,
+    /// Way budget the retained reduction was built for.
+    total_ways: usize,
+    /// Reversed-row scratch shared by all recombinations.
+    scratch: Vec<f64>,
+}
+
+impl IncrementalOptimizer {
+    /// Creates an optimizer with no retained state (the first call builds
+    /// cold).
+    pub fn new() -> Self {
+        IncrementalOptimizer::default()
+    }
+
+    /// Drops the retained arena; the next call rebuilds cold.
+    pub fn clear(&mut self) {
+        self.state = None;
+    }
+
+    /// Optimizes `curves` over `total_ways`, reusing every arena row whose
+    /// subtree inputs are unchanged. `dirty[i]` must be true whenever
+    /// `curves[i]` may differ (in any bit) from the curve passed at the
+    /// previous call; extra true entries cost work but never correctness.
+    ///
+    /// `incumbent` is an upper bound on the optimal total energy, or
+    /// `f64::INFINITY` for none. The caller derives it from the previous
+    /// allocation evaluated on the *current* curves (see
+    /// [`incumbent_energy`]); it must be exact in f64 terms, which
+    /// `incumbent_energy`'s tree-order summation guarantees. The bound is
+    /// applied only to the root combination: a cell of any other row may be
+    /// consumed by a later (or future warm) combination, so every non-root
+    /// row must record exact minima, while the root row is recomputed
+    /// whenever anything is dirty and only its requested cell — whose true
+    /// minimum never exceeds a valid incumbent — is ever read.
+    ///
+    /// Returns the allocation (as [`optimize_partition`]), the convolution
+    /// work counters for the rows actually recomputed, and the row-reuse
+    /// counters.
+    pub fn optimize(
+        &mut self,
+        curves: &[EnergyCurve],
+        dirty: &[bool],
+        total_ways: usize,
+        incumbent: f64,
+    ) -> (Option<Vec<(usize, CurvePoint)>>, PruneStats, WarmStats) {
+        let mut stats = PruneStats::default();
+        let mut warm = WarmStats::default();
+        if curves.is_empty() || total_ways < curves.len() {
+            self.state = None;
+            return (None, stats, warm);
+        }
+        debug_assert_eq!(dirty.len(), curves.len());
+
+        // The retained arena is reusable only when the reduction topology —
+        // leaf count, per-leaf row widths and the way budget — is unchanged;
+        // offsets and row lengths are then identical, so dirty rows can be
+        // patched in place.
+        let reusable = self.total_ways == total_ways
+            && self.state.as_ref().is_some_and(|(arena, _)| {
+                arena
+                    .nodes
+                    .iter()
+                    .take_while(|n| n.core != usize::MAX)
+                    .count()
+                    == curves.len()
+                    && curves
+                        .iter()
+                        .enumerate()
+                        .all(|(i, c)| arena.nodes[i].max_ways == c.max_ways())
+            });
+
+        if !reusable {
+            let (arena, root) = build_reduction(
+                curves,
+                total_ways,
+                true,
+                Kernel::Chunked,
+                incumbent,
+                &mut self.scratch,
+                &mut stats,
+            );
+            warm.rows_recomputed = arena.nodes.len() as u64;
+            let result = extract_result(&arena, root, curves, total_ways);
+            self.state = Some((arena, root));
+            self.total_ways = total_ways;
+            return (result, stats, warm);
+        }
+
+        let (arena, root) = self.state.as_mut().expect("checked reusable");
+        let root = *root;
+        let num_leaves = curves.len();
+        let mut node_dirty = vec![false; arena.nodes.len()];
+        for (i, curve) in curves.iter().enumerate() {
+            if dirty[i] {
+                arena.redensify_leaf(i, curve);
+                node_dirty[i] = true;
+                warm.rows_recomputed += 1;
+            } else {
+                warm.rows_reused += 1;
+            }
+        }
+        // Inner nodes follow their children in creation order, so a single
+        // ascending pass recombines exactly the dirty root paths. The root
+        // (the last node) is on every leaf's path, so it is recomputed —
+        // with the incumbent bound — whenever any leaf changed.
+        for id in num_leaves..arena.nodes.len() {
+            let n = &arena.nodes[id];
+            if node_dirty[n.left] || node_dirty[n.right] {
+                let bound = if id == root { incumbent } else { f64::INFINITY };
+                arena.recombine(
+                    id,
+                    true,
+                    Kernel::Chunked,
+                    bound,
+                    &mut self.scratch,
+                    &mut stats,
+                );
+                node_dirty[id] = true;
+                warm.rows_recomputed += 1;
+            } else {
+                warm.rows_reused += 1;
+            }
+        }
+        (extract_result(arena, root, curves, total_ways), stats, warm)
+    }
+}
+
+/// Evaluates an allocation's total energy on `curves` in the reduction's
+/// tree association order (the private `tree_order_energy`): the value is an
+/// exact f64 upper bound on [`optimize_partition`]'s optimum whenever the
+/// allocation is feasible, and `f64::INFINITY` — a no-op incumbent —
+/// otherwise.
+pub fn incumbent_energy(curves: &[EnergyCurve], allocation: &[usize]) -> f64 {
+    if allocation.len() != curves.len() || curves.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut values: Vec<f64> = allocation
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| curves[i].energy(w))
+        .collect();
+    tree_order_energy(&mut values)
 }
 
 /// Brute-force reference optimizer used to validate
@@ -498,13 +1114,114 @@ mod tests {
     #[test]
     fn stats_count_all_candidates_when_unpruned() {
         let curves = vec![flat_curve(1.0, 8), flat_curve(2.0, 8)];
-        let (_, pruned_stats) = optimize_in_arena(&curves, 8, true);
-        let (_, full_stats) = optimize_in_arena(&curves, 8, false);
+        let (_, pruned_stats) = optimize_in_arena(&curves, 8, true, Kernel::Chunked);
+        let (_, full_stats) = optimize_in_arena(&curves, 8, false, Kernel::Scalar);
         assert_eq!(full_stats.pruned, 0);
         assert_eq!(
             pruned_stats.ops + pruned_stats.pruned,
             full_stats.ops,
             "pruned + evaluated must cover the full candidate set"
         );
+    }
+
+    /// The shapes of the other tests, reused for kernel- and warm-path
+    /// equivalence checks.
+    fn mixed_curves() -> Vec<EnergyCurve> {
+        let mut bumpy = vec![None];
+        bumpy.extend((2..=16).map(|w| point(9.0 - 0.4 * w as f64 + ((w % 4) as f64) * 0.3)));
+        vec![
+            sloped_curve(12.0, 0.7, 16),
+            EnergyCurve::new(bumpy),
+            flat_curve(4.0, 16),
+            flat_curve(4.0, 16),
+            sloped_curve(6.0, 0.2, 16),
+        ]
+    }
+
+    #[test]
+    fn chunked_kernel_matches_scalar_results_and_stats() {
+        let curves = mixed_curves();
+        for total in [8usize, 11, 16] {
+            let (chunked, chunked_stats) = optimize_partition_with_stats(&curves, total);
+            let (scalar, scalar_stats) = optimize_partition_scalar(&curves, total);
+            assert_eq!(chunked, scalar, "kernels disagree at {total} ways");
+            assert_eq!(chunked_stats.ops, scalar_stats.ops);
+            assert_eq!(chunked_stats.pruned, scalar_stats.pruned);
+            assert_eq!(scalar_stats.lanes, 0, "scalar path must not count lanes");
+        }
+        let (_, stats) = optimize_partition_with_stats(&curves, 16);
+        assert!(stats.lanes > 0, "chunked path must execute chunk passes");
+    }
+
+    #[test]
+    fn incremental_matches_cold_rebuild_per_patch() {
+        let mut curves = mixed_curves();
+        let mut warm_opt = IncrementalOptimizer::new();
+        let all_dirty = vec![true; curves.len()];
+        let (cold, _) = optimize_partition_with_stats(&curves, 16);
+        let (first, _, warm_stats) = warm_opt.optimize(&curves, &all_dirty, 16, f64::INFINITY);
+        assert_eq!(first, cold);
+        assert_eq!(warm_stats.rows_reused, 0, "first call builds everything");
+
+        // Patch one core at a time; every warm result must equal a cold
+        // rebuild, with and without the previous allocation as incumbent.
+        let mut last_alloc: Vec<usize> = first.unwrap().iter().map(|(w, _)| *w).collect();
+        for step in 0..6usize {
+            let core = step % curves.len();
+            curves[core] = sloped_curve(10.0 + step as f64, 0.3 + 0.05 * step as f64, 16);
+            let mut dirty = vec![false; curves.len()];
+            dirty[core] = true;
+            let incumbent = incumbent_energy(&curves, &last_alloc);
+            let (warm, _, warm_stats) = warm_opt.optimize(&curves, &dirty, 16, incumbent);
+            let cold = optimize_partition(&curves, 16);
+            assert_eq!(warm, cold, "warm path diverged at step {step}");
+            assert!(
+                warm_stats.rows_reused > 0,
+                "a single dirty core must reuse rows"
+            );
+            last_alloc = warm.unwrap().iter().map(|(w, _)| *w).collect();
+        }
+
+        // No dirty cores: the retained arena answers without recomputation.
+        let no_dirty = vec![false; curves.len()];
+        let incumbent = incumbent_energy(&curves, &last_alloc);
+        let (warm, stats, warm_stats) = warm_opt.optimize(&curves, &no_dirty, 16, incumbent);
+        assert_eq!(warm, optimize_partition(&curves, 16));
+        assert_eq!(warm_stats.rows_recomputed, 0);
+        assert_eq!(stats.ops, 0, "nothing dirty, nothing scanned");
+    }
+
+    #[test]
+    fn incremental_rebuilds_on_topology_change() {
+        let curves = mixed_curves();
+        let mut warm_opt = IncrementalOptimizer::new();
+        warm_opt.optimize(&curves, &vec![true; curves.len()], 16, f64::INFINITY);
+        // Different core count: the mask says clean, but the retained arena
+        // must be discarded and rebuilt cold.
+        let fewer = curves[..3].to_vec();
+        let (warm, _, warm_stats) = warm_opt.optimize(&fewer, &[false; 3], 16, f64::INFINITY);
+        assert_eq!(warm, optimize_partition(&fewer, 16));
+        assert_eq!(warm_stats.rows_reused, 0, "topology change must rebuild");
+    }
+
+    #[test]
+    fn incumbent_energy_is_an_exact_upper_bound() {
+        let curves = mixed_curves();
+        let (alloc, _) = optimize_partition_with_stats(&curves, 16);
+        let alloc = alloc.unwrap();
+        let ways: Vec<usize> = alloc.iter().map(|(w, _)| *w).collect();
+        let incumbent = incumbent_energy(&curves, &ways);
+        // Re-optimizing with the optimum itself as the incumbent must not
+        // perturb the result (the bound test is strict).
+        let mut warm_opt = IncrementalOptimizer::new();
+        let (warm, _, _) = warm_opt.optimize(&curves, &vec![true; curves.len()], 16, incumbent);
+        assert_eq!(warm.unwrap(), alloc);
+        // Infeasible allocations yield the no-op bound.
+        assert_eq!(
+            incumbent_energy(&curves, &vec![1; curves.len()]),
+            f64::INFINITY,
+            "curve 1 is infeasible at one way"
+        );
+        assert_eq!(incumbent_energy(&curves, &[]), f64::INFINITY);
     }
 }

@@ -66,11 +66,12 @@ pub use game::{
     GameConfig, GameOutcome, GameStats, PartitionAlgo,
 };
 pub use global::{
-    exhaustive_partition, optimize_partition, optimize_partition_unpruned,
-    optimize_partition_with_stats, PruneStats,
+    exhaustive_partition, incumbent_energy, optimize_partition, optimize_partition_scalar,
+    optimize_partition_unpruned, optimize_partition_with_stats, IncrementalOptimizer, PruneStats,
+    WarmStats,
 };
 pub use local::{LocalOptimizer, LocalOptimizerConfig};
-pub use memo::{CurveCache, CurveKey};
+pub use memo::{CurveCache, CurveKey, ObservationDigests};
 pub use model::{AnalyticalEnergyModel, ModelKind, PerformanceModel, Prediction};
 pub use overhead::OverheadModel;
 pub use rma::{CoordinatedRma, RmaConfig, RmaWorkCounters};

@@ -245,6 +245,58 @@ fn digest_observation(digest: &mut Digest, observation: &CoreObservation) {
     }
 }
 
+/// Per-core observation digests of the previous RMA interval.
+///
+/// The incremental invocation path (see
+/// [`crate::CoordinatedRma::with_incremental`]) needs to know *which* cores'
+/// inputs changed between consecutive intervals, not just whether the whole
+/// invocation recurred. This holds one full [`curve_key`] per core — the same
+/// 128-bit digest the [`CurveCache`] trusts for curve identity — so "digest
+/// unchanged" carries exactly the bit-identical-curve guarantee the cache
+/// already relies on.
+#[derive(Debug, Clone, Default)]
+pub struct ObservationDigests {
+    keys: Vec<Option<CurveKey>>,
+}
+
+impl ObservationDigests {
+    /// Creates an empty digest set (every core reads as changed).
+    pub fn new() -> Self {
+        ObservationDigests::default()
+    }
+
+    /// Number of cores with a recorded digest.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no digests are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Records `key` as core `core`'s digest for the current interval and
+    /// reports whether it matches the digest recorded for the previous
+    /// interval. A core never seen before (or cleared by [`reset`]) always
+    /// reads as changed.
+    ///
+    /// [`reset`]: ObservationDigests::reset
+    pub fn note(&mut self, core: usize, key: CurveKey) -> bool {
+        if core >= self.keys.len() {
+            self.keys.resize(core + 1, None);
+        }
+        let unchanged = self.keys[core] == Some(key);
+        self.keys[core] = Some(key);
+        unchanged
+    }
+
+    /// Forgets all recorded digests: the next interval diffs against
+    /// nothing, so every core reads as changed (a cold invocation).
+    pub fn reset(&mut self) {
+        self.keys.clear();
+    }
+}
+
 const NUM_SHARDS: usize = 16;
 
 /// Default cache capacity in entries (~100 MB of 16-way curves). A long
@@ -450,6 +502,25 @@ mod tests {
             time_seconds: 0.1,
             ways: 1,
         })])
+    }
+
+    #[test]
+    fn observation_digests_flag_only_changed_cores() {
+        let mut digests = ObservationDigests::new();
+        assert!(digests.is_empty());
+        // First interval: nothing recorded yet, every core reads changed.
+        assert!(!digests.note(0, (1, 1)));
+        assert!(!digests.note(1, (2, 2)));
+        assert_eq!(digests.len(), 2);
+        // Second interval: core 0 recurs, core 1 changed.
+        assert!(digests.note(0, (1, 1)));
+        assert!(!digests.note(1, (3, 3)));
+        // A core index never seen before reads changed and grows the set.
+        assert!(!digests.note(4, (9, 9)));
+        assert_eq!(digests.len(), 5);
+        // Reset forgets everything: next interval is cold again.
+        digests.reset();
+        assert!(!digests.note(0, (1, 1)));
     }
 
     #[test]

@@ -84,6 +84,30 @@ impl OverheadModel {
         self.invocation_instructions_measured(local_evaluations, reduction_cells) as f64
             / platform.interval_instructions as f64
     }
+
+    /// Estimated *average* instructions of one invocation on the
+    /// incremental delta path, from a manager's cumulative measured
+    /// counters (`qosrm_core::RmaWorkCounters`): the model evaluations and
+    /// convolution cells already reflect the work the digest diff and the
+    /// warm-row arena skipped, so the only addition is one digest
+    /// derivation per invocation — charged at one instruction per digested
+    /// byte-equivalent unit via `digest_units` (the observation's field
+    /// count, a few dozen). Returns 0 for a manager that was never invoked.
+    pub fn delta_invocation_instructions_measured(
+        &self,
+        invocations: u64,
+        local_evaluations: u64,
+        reduction_cells: u64,
+        digest_units: u64,
+    ) -> u64 {
+        if invocations == 0 {
+            return 0;
+        }
+        let total = invocations * (self.fixed_instructions + digest_units)
+            + self.instructions_per_evaluation * local_evaluations
+            + self.instructions_per_reduction_cell * reduction_cells;
+        total.div_ceil(invocations)
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +153,20 @@ mod tests {
             model.fraction_of_interval_measured(&p, 300, 500)
                 < model.fraction_of_interval(&p, worst_evals)
         );
+    }
+
+    #[test]
+    fn delta_path_average_reflects_skipped_work() {
+        let model = OverheadModel::default();
+        // Ten invocations, but the delta path only built two curves and
+        // recombined a fraction of the reduction cells: the per-invocation
+        // average must undercut the cold measured cost of a full build.
+        let cold = model.invocation_instructions_measured(300, 500);
+        let delta = model.delta_invocation_instructions_measured(10, 2 * 300, 2 * 500, 64);
+        assert!(delta < cold, "delta average {delta} vs cold {cold}");
+        // The digest derivation is charged on every invocation.
+        assert!(delta > model.delta_invocation_instructions_measured(10, 2 * 300, 2 * 500, 0));
+        assert_eq!(model.delta_invocation_instructions_measured(0, 0, 0, 64), 0);
     }
 
     #[test]

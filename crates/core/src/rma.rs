@@ -2,15 +2,16 @@
 
 use crate::curve::EnergyCurve;
 use crate::game::{self, GameConfig, PartitionAlgo};
-use crate::global::optimize_partition_with_stats;
+use crate::global::{incumbent_energy, optimize_partition_with_stats, IncrementalOptimizer};
 use crate::local::{LocalOptimizer, LocalOptimizerConfig};
-use crate::memo::{self, CurveCache, CurveKey};
+use crate::memo::{self, CurveCache, CurveKey, ObservationDigests};
 use crate::model::ModelKind;
 use crate::overhead::OverheadModel;
 use power_model::EnergyParams;
 use qosrm_types::{
     CoreId, CoreObservation, CoreSetting, PlatformConfig, QosSpec, ResourceManager, SystemSetting,
 };
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Configuration of a [`CoordinatedRma`].
@@ -42,6 +43,16 @@ pub struct RmaConfig {
     /// energy curves do not depend on how the global step distributes ways,
     /// so cooperative and game-theoretic managers share cache entries.
     pub partition_algo: PartitionAlgo,
+    /// Whether the manager takes the incremental delta path: per-core
+    /// observation digests are diffed against the previous interval, an
+    /// unchanged core reuses its retained curve without rebuilding, and the
+    /// cooperative global step re-runs a warm-row arena with the previous
+    /// allocation as its pruning incumbent. Results are bit-identical to
+    /// the cold path; only the *measured work* differs, which is why the
+    /// flag defaults to off — the overhead experiments (E5/E9) report the
+    /// cold per-invocation cost. Like `partition_algo`, deliberately absent
+    /// from the configuration fingerprint.
+    pub incremental: bool,
 }
 
 impl RmaConfig {
@@ -57,6 +68,7 @@ impl RmaConfig {
             energy_params: EnergyParams::default(),
             switch_threshold: 0.005,
             partition_algo: PartitionAlgo::Cooperative,
+            incremental: false,
         }
     }
 
@@ -72,6 +84,7 @@ impl RmaConfig {
             energy_params: EnergyParams::default(),
             switch_threshold: 0.005,
             partition_algo: PartitionAlgo::Cooperative,
+            incremental: false,
         }
     }
 }
@@ -82,7 +95,7 @@ impl RmaConfig {
 /// Unlike [`LocalOptimizer::evaluations_per_invocation`] — a worst-case
 /// bound — these count the work the manager *actually* performed, which is
 /// what the overhead experiments (E5/E9) report.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RmaWorkCounters {
     /// RMA invocations handled (`on_interval` calls).
     pub invocations: u64,
@@ -112,6 +125,21 @@ pub struct RmaWorkCounters {
     /// Candidate strategy vectors examined by the equilibrium-selection
     /// enumeration.
     pub equilibria_examined: u64,
+    /// Invocations whose per-core observation digest matched the previous
+    /// interval, so the retained curve was reused with no model evaluation
+    /// at all (only ticks in incremental mode; see
+    /// [`CoordinatedRma::with_incremental`]).
+    pub delta_invocations: u64,
+    /// Curves (re)built by the incremental path because the invoking core's
+    /// observation digest changed — or no curve was retained — since the
+    /// previous interval (only ticks in incremental mode).
+    pub curves_patched: u64,
+    /// Arena rows the warm-started global step reused verbatim instead of
+    /// recomputing (only ticks in incremental mode).
+    pub warm_rows_reused: u64,
+    /// Full 4-wide chunk passes executed by the chunked min-plus kernel
+    /// across all cooperative global steps.
+    pub chunked_conv_lanes: u64,
 }
 
 impl std::fmt::Display for RmaWorkCounters {
@@ -130,6 +158,10 @@ impl std::fmt::Display for RmaWorkCounters {
             game_rounds,
             best_response_evaluations,
             equilibria_examined,
+            delta_invocations,
+            curves_patched,
+            warm_rows_reused,
+            chunked_conv_lanes,
         } = *self;
         write!(
             f,
@@ -139,7 +171,11 @@ impl std::fmt::Display for RmaWorkCounters {
              qos_at_risk_intervals={qos_at_risk_intervals} \
              game_rounds={game_rounds} \
              best_response_evaluations={best_response_evaluations} \
-             equilibria_examined={equilibria_examined}"
+             equilibria_examined={equilibria_examined} \
+             delta_invocations={delta_invocations} \
+             curves_patched={curves_patched} \
+             warm_rows_reused={warm_rows_reused} \
+             chunked_conv_lanes={chunked_conv_lanes}"
         )
     }
 }
@@ -188,6 +224,17 @@ pub struct CoordinatedRma {
     config_key: CurveKey,
     /// Measured work counters (see [`RmaWorkCounters`]).
     counters: RmaWorkCounters,
+    /// Per-core observation digests of the previous interval (delta path).
+    digests: ObservationDigests,
+    /// Cores whose curve changed since the global step last consumed the
+    /// mask (delta path); sized like `curves`.
+    pending_dirty: Vec<bool>,
+    /// Warm-row arena retained between cooperative global steps (delta
+    /// path).
+    incremental_opt: IncrementalOptimizer,
+    /// Way allocation of the previous cooperative global step, evaluated on
+    /// the current curves as the pruning incumbent (delta path).
+    last_ways: Option<Vec<usize>>,
 }
 
 impl CoordinatedRma {
@@ -220,6 +267,10 @@ impl CoordinatedRma {
             curve_cache: None,
             config_key,
             counters: RmaWorkCounters::default(),
+            digests: ObservationDigests::new(),
+            pending_dirty: vec![false; platform.num_cores],
+            incremental_opt: IncrementalOptimizer::new(),
+            last_ways: None,
         }
     }
 
@@ -261,6 +312,7 @@ impl CoordinatedRma {
                 energy_params: EnergyParams::default(),
                 switch_threshold: 0.005,
                 partition_algo: PartitionAlgo::Cooperative,
+                incremental: false,
             },
         )
     }
@@ -280,6 +332,7 @@ impl CoordinatedRma {
                 energy_params: EnergyParams::default(),
                 switch_threshold: 0.005,
                 partition_algo: PartitionAlgo::Cooperative,
+                incremental: false,
             },
         )
     }
@@ -336,6 +389,7 @@ impl CoordinatedRma {
                 energy_params: EnergyParams::default(),
                 switch_threshold: 0.005,
                 partition_algo: PartitionAlgo::Cooperative,
+                incremental: false,
             },
         )
     }
@@ -357,6 +411,28 @@ impl CoordinatedRma {
     pub fn with_curve_cache(mut self, cache: Arc<CurveCache>) -> Self {
         self.curve_cache = Some(cache);
         self
+    }
+
+    /// Enables the incremental delta path (see [`RmaConfig::incremental`]):
+    /// per-core observation digests short-circuit curve rebuilds for
+    /// unchanged cores, and the cooperative global step warm-starts from the
+    /// retained reduction arena with the previous allocation as its pruning
+    /// incumbent. Every setting the manager emits is bit-identical to the
+    /// cold path — only the measured work counters differ
+    /// (`delta_invocations`, `curves_patched`, `warm_rows_reused` tick, and
+    /// `curve_builds` / `reduction_ops` shrink).
+    pub fn with_incremental(mut self) -> Self {
+        self.config.incremental = true;
+        self
+    }
+
+    /// Drops all delta-path state: the next invocation diffs against
+    /// nothing and the next global step rebuilds the arena cold.
+    fn clear_delta_state(&mut self, num_cores: usize) {
+        self.digests.reset();
+        self.pending_dirty = vec![false; num_cores];
+        self.incremental_opt.clear();
+        self.last_ways = None;
     }
 
     /// The QoS specification of `core`.
@@ -395,6 +471,7 @@ impl ResourceManager for CoordinatedRma {
     fn reset(&mut self, num_cores: usize) {
         self.curves = vec![None; num_cores];
         self.counters = RmaWorkCounters::default();
+        self.clear_delta_state(num_cores);
     }
 
     fn on_interval(
@@ -405,6 +482,7 @@ impl ResourceManager for CoordinatedRma {
     ) -> SystemSetting {
         if self.curves.len() != current.num_cores() {
             self.curves = vec![None; current.num_cores()];
+            self.clear_delta_state(current.num_cores());
         }
 
         // Step 1-3: models + local optimization produce this core's curve
@@ -413,20 +491,37 @@ impl ResourceManager for CoordinatedRma {
         // feeds the measured overhead accounting.
         self.counters.invocations += 1;
         let qos = self.qos_of(core);
-        let optimizer = &self.optimizer;
-        let counters = &mut self.counters;
-        let mut build_counted = || {
-            let build = optimizer.energy_curve_counted(observation, qos);
-            counters.curve_builds += 1;
-            counters.local_evaluations += build.evaluations as u64;
-            build.curve
-        };
-        let curve = match &self.curve_cache {
-            Some(cache) => cache.get_or_compute(
-                memo::curve_key(self.config_key, qos, observation),
-                build_counted,
-            ),
-            None => build_counted(),
+        // The delta path trusts the same 128-bit digest the curve cache
+        // keys on: an unchanged digest means a bit-identical curve, so the
+        // retained one is reused without any model evaluation and the core
+        // stays clean for the warm-row global step below.
+        let key = (self.config.incremental || self.curve_cache.is_some())
+            .then(|| memo::curve_key(self.config_key, qos, observation));
+        let reuse = self.config.incremental
+            && self
+                .digests
+                .note(core.index(), key.expect("keyed when incremental"))
+            && self.curves[core.index()].is_some();
+        let curve = if reuse {
+            self.counters.delta_invocations += 1;
+            self.curves[core.index()].clone().expect("checked above")
+        } else {
+            if self.config.incremental {
+                self.counters.curves_patched += 1;
+                self.pending_dirty[core.index()] = true;
+            }
+            let optimizer = &self.optimizer;
+            let counters = &mut self.counters;
+            let mut build_counted = || {
+                let build = optimizer.energy_curve_counted(observation, qos);
+                counters.curve_builds += 1;
+                counters.local_evaluations += build.evaluations as u64;
+                build.curve
+            };
+            match &self.curve_cache {
+                Some(cache) => cache.get_or_compute(key.expect("keyed when cached"), build_counted),
+                None => build_counted(),
+            }
         };
         if !curve.any_feasible() {
             // Defensive: even the baseline allocation appears infeasible
@@ -478,10 +573,38 @@ impl ResourceManager for CoordinatedRma {
             .collect();
         let total_ways = self.platform.llc.associativity;
         let allocation = match self.config.partition_algo {
+            PartitionAlgo::Cooperative if self.config.incremental => {
+                // Warm path: unchanged cores' arena rows are reused
+                // verbatim, only dirty root paths are recombined, and the
+                // previous allocation — re-evaluated on the current curves
+                // in the reduction's association order, so it is an exact
+                // f64 upper bound — prunes the root row. The allocation is
+                // bit-identical to the cold path.
+                let incumbent = match &self.last_ways {
+                    Some(ways) => incumbent_energy(&curves, ways),
+                    None => f64::INFINITY,
+                };
+                let (allocation, prune_stats, warm) = self.incremental_opt.optimize(
+                    &curves,
+                    &self.pending_dirty,
+                    total_ways,
+                    incumbent,
+                );
+                self.counters.reduction_ops += prune_stats.ops;
+                self.counters.reduction_pruned += prune_stats.pruned;
+                self.counters.chunked_conv_lanes += prune_stats.lanes;
+                self.counters.warm_rows_reused += warm.rows_reused;
+                self.pending_dirty.iter_mut().for_each(|d| *d = false);
+                if let Some(allocation) = &allocation {
+                    self.last_ways = Some(allocation.iter().map(|&(ways, _)| ways).collect());
+                }
+                allocation
+            }
             PartitionAlgo::Cooperative => {
                 let (allocation, prune_stats) = optimize_partition_with_stats(&curves, total_ways);
                 self.counters.reduction_ops += prune_stats.ops;
                 self.counters.reduction_pruned += prune_stats.pruned;
+                self.counters.chunked_conv_lanes += prune_stats.lanes;
                 allocation
             }
             PartitionAlgo::NashBestResponse => {
@@ -901,6 +1024,10 @@ mod tests {
             game_rounds: 7,
             best_response_evaluations: 8,
             equilibria_examined: 9,
+            delta_invocations: 10,
+            curves_patched: 11,
+            warm_rows_reused: 12,
+            chunked_conv_lanes: 13,
         };
         let line = counters.to_string();
         for field in [
@@ -913,9 +1040,88 @@ mod tests {
             "game_rounds=7",
             "best_response_evaluations=8",
             "equilibria_examined=9",
+            "delta_invocations=10",
+            "curves_patched=11",
+            "warm_rows_reused=12",
+            "chunked_conv_lanes=13",
         ] {
             assert!(line.contains(field), "{field} missing from {line:?}");
         }
+    }
+
+    #[test]
+    fn incremental_manager_is_bit_identical_and_cheaper() {
+        let p = platform();
+        let mut cold = CoordinatedRma::paper1(&p, vec![QosSpec::STRICT; 4]);
+        let mut delta = CoordinatedRma::paper1(&p, vec![QosSpec::STRICT; 4]).with_incremental();
+        cold.reset(4);
+        delta.reset(4);
+
+        // Three rounds over all cores: a cold round, a fully-recurring
+        // round (every digest matches), and a round where only core 2's
+        // observation changed.
+        let rounds = [
+            vec![
+                cache_sensitive_observation(0),
+                compute_observation(1),
+                streaming_observation(2),
+                compute_observation(3),
+            ],
+            vec![
+                cache_sensitive_observation(0),
+                compute_observation(1),
+                streaming_observation(2),
+                compute_observation(3),
+            ],
+            vec![
+                cache_sensitive_observation(0),
+                compute_observation(1),
+                cache_sensitive_observation(2),
+                compute_observation(3),
+            ],
+        ];
+        let mut cold_setting = SystemSetting::baseline(&p);
+        let mut delta_setting = SystemSetting::baseline(&p);
+        for (round, observations) in rounds.iter().enumerate() {
+            for (i, obs) in observations.iter().enumerate() {
+                cold_setting = cold.on_interval(CoreId(i), obs, &cold_setting);
+                delta_setting = delta.on_interval(CoreId(i), obs, &delta_setting);
+                assert_eq!(
+                    delta_setting, cold_setting,
+                    "delta path diverged at round {round}, core {i}"
+                );
+            }
+        }
+
+        let cold_counters = cold.work_counters();
+        let delta_counters = delta.work_counters();
+        assert_eq!(cold_counters.invocations, delta_counters.invocations);
+        // Round 2 recurs entirely and round 3 recurs on three cores: seven
+        // invocations reuse their curve, five rebuild.
+        assert_eq!(delta_counters.delta_invocations, 7);
+        assert_eq!(delta_counters.curves_patched, 5);
+        assert_eq!(delta_counters.curve_builds, 5);
+        assert_eq!(cold_counters.curve_builds, 12, "cold path always builds");
+        assert!(
+            delta_counters.reduction_ops < cold_counters.reduction_ops,
+            "warm rows + incumbent pruning must cut convolution work \
+             ({} vs {})",
+            delta_counters.reduction_ops,
+            cold_counters.reduction_ops
+        );
+        assert!(delta_counters.warm_rows_reused > 0);
+        assert_eq!(cold_counters.warm_rows_reused, 0);
+        assert_eq!(cold_counters.delta_invocations, 0);
+        assert!(delta_counters.chunked_conv_lanes > 0);
+        assert!(cold_counters.chunked_conv_lanes > 0);
+
+        // reset() drops the delta state: the next invocation is cold again.
+        delta.reset(4);
+        let baseline = SystemSetting::baseline(&p);
+        delta.on_interval(CoreId(0), &rounds[0][0], &baseline);
+        let counters = delta.work_counters();
+        assert_eq!(counters.delta_invocations, 0);
+        assert_eq!(counters.curves_patched, 1);
     }
 
     #[test]

@@ -2,13 +2,14 @@
 
 use proptest::prelude::*;
 use qosrm_core::{
-    best_response, exhaustive_partition, is_pure_nash, min_energy_equilibrium, optimize_partition,
-    optimize_partition_unpruned, optimize_partition_with_stats, total_energy, CurvePoint,
-    EnergyCurve, GameConfig, LocalOptimizer, LocalOptimizerConfig, ModelKind,
+    best_response, exhaustive_partition, incumbent_energy, is_pure_nash, min_energy_equilibrium,
+    optimize_partition, optimize_partition_scalar, optimize_partition_unpruned,
+    optimize_partition_with_stats, total_energy, CoordinatedRma, CurvePoint, EnergyCurve,
+    GameConfig, IncrementalOptimizer, LocalOptimizer, LocalOptimizerConfig, ModelKind,
 };
 use qosrm_types::{
-    AppId, CoreObservation, CoreScalingProfile, CoreSizeIdx, FreqLevel, IntervalStats, MissProfile,
-    MlpProfile, PlatformConfig, QosSpec,
+    AppId, CoreId, CoreObservation, CoreScalingProfile, CoreSizeIdx, FreqLevel, IntervalStats,
+    MissProfile, MlpProfile, PlatformConfig, QosSpec, ResourceManager, SystemSetting,
 };
 
 fn curve_strategy(max_ways: usize) -> impl Strategy<Value = EnergyCurve> {
@@ -120,6 +121,64 @@ proptest! {
         let pruned = optimize_partition(&curves, 16);
         let naive = optimize_partition_unpruned(&curves, 16);
         prop_assert_eq!(pruned, naive);
+    }
+
+    /// The 4-wide-chunked min-plus kernel is bit-identical to both the
+    /// scalar pruned kernel and the naive unpruned scan on arbitrary random
+    /// curves (non-concave energies, random leading infeasible prefixes),
+    /// and its prune decisions replay the scalar sequence exactly (same
+    /// cell-update and prune counts).
+    #[test]
+    fn chunked_convolution_is_bit_identical_across_kernels(
+        curves in prop::collection::vec(curve_strategy(16), 2..6),
+        total_ways in 8usize..17,
+    ) {
+        let (chunked, chunked_stats) = optimize_partition_with_stats(&curves, total_ways);
+        let (scalar, scalar_stats) = optimize_partition_scalar(&curves, total_ways);
+        prop_assert_eq!(&chunked, &scalar);
+        prop_assert_eq!(&chunked, &optimize_partition_unpruned(&curves, total_ways));
+        prop_assert_eq!(chunked_stats.ops, scalar_stats.ops);
+        prop_assert_eq!(chunked_stats.pruned, scalar_stats.pruned);
+        prop_assert_eq!(scalar_stats.lanes, 0);
+    }
+
+    /// The warm-row incremental optimizer is bit-identical to a cold full
+    /// rebuild over arbitrary sequences of single-core curve patches, with
+    /// the previous round's allocation seeding the pruning incumbent — the
+    /// exact flow of the manager's delta path.
+    #[test]
+    fn incremental_arena_matches_cold_rebuild(
+        curves in prop::collection::vec(curve_strategy(16), 2..6),
+        patches in prop::collection::vec((0usize..6, curve_strategy(16)), 1..6),
+        total_ways in 8usize..17,
+    ) {
+        let mut curves = curves;
+        let mut warm = IncrementalOptimizer::new();
+        let mut last_ways: Option<Vec<usize>> = None;
+        let dirty = vec![true; curves.len()];
+        let (first, _, _) = warm.optimize(&curves, &dirty, total_ways, f64::INFINITY);
+        prop_assert_eq!(&first, &optimize_partition(&curves, total_ways));
+        if let Some(alloc) = &first {
+            last_ways = Some(alloc.iter().map(|&(w, _)| w).collect());
+        }
+        for (slot, replacement) in patches {
+            let core = slot % curves.len();
+            curves[core] = replacement;
+            let mut dirty = vec![false; curves.len()];
+            dirty[core] = true;
+            let incumbent = match &last_ways {
+                Some(ways) => incumbent_energy(&curves, ways),
+                None => f64::INFINITY,
+            };
+            let (patched, _, warm_stats) = warm.optimize(&curves, &dirty, total_ways, incumbent);
+            let cold = optimize_partition(&curves, total_ways);
+            prop_assert_eq!(&patched, &cold);
+            prop_assert!(warm_stats.rows_reused > 0 || curves.len() == 2,
+                "a single-core patch must reuse sibling rows");
+            if let Some(alloc) = &patched {
+                last_ways = Some(alloc.iter().map(|&(w, _)| w).collect());
+            }
+        }
     }
 
     /// Smoothing a curve never increases any point's energy and produces a
@@ -236,6 +295,62 @@ proptest! {
             prop_assert!(relaxed.energy(w) <= strict.energy(w) + 1e-12,
                 "relaxing the target cannot make the optimum worse at {w} ways");
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The manager's incremental delta path emits bit-identical settings to
+    /// the cold manager across random sequences of per-core observation
+    /// deltas: every round re-invokes all cores, but only the cores whose
+    /// observation actually changed may rebuild their curve.
+    #[test]
+    fn delta_path_manager_matches_cold_rebuild(
+        bases in prop::collection::vec(10_000u64..2_000_000, 4),
+        decays in prop::collection::vec(0u64..20, 4),
+        deltas in prop::collection::vec((0usize..4, 10_000u64..2_000_000), 1..5),
+    ) {
+        let platform = PlatformConfig::paper2(4);
+        let mut cold = CoordinatedRma::paper1(&platform, vec![QosSpec::STRICT; 4]);
+        let mut delta = CoordinatedRma::paper1(&platform, vec![QosSpec::STRICT; 4])
+            .with_incremental();
+        cold.reset(4);
+        delta.reset(4);
+        let mut observations: Vec<CoreObservation> = (0..4)
+            .map(|i| observation_on(&platform, bases[i], decays[i], 5 + i as u64, true))
+            .collect();
+        let mut cold_setting = SystemSetting::baseline(&platform);
+        let mut delta_setting = SystemSetting::baseline(&platform);
+        let round_all = |cold: &mut CoordinatedRma,
+                             delta: &mut CoordinatedRma,
+                             observations: &[CoreObservation],
+                             cold_setting: &mut SystemSetting,
+                             delta_setting: &mut SystemSetting|
+         -> Result<(), String> {
+            for (i, obs) in observations.iter().enumerate() {
+                *cold_setting = cold.on_interval(CoreId(i), obs, cold_setting);
+                *delta_setting = delta.on_interval(CoreId(i), obs, delta_setting);
+                prop_assert!(delta_setting == cold_setting,
+                    "delta path diverged at core {}", i);
+            }
+            Ok(())
+        };
+        round_all(&mut cold, &mut delta, &observations,
+            &mut cold_setting, &mut delta_setting)?;
+        for (core, new_base) in deltas {
+            observations[core] =
+                observation_on(&platform, new_base, decays[core], 5 + core as u64, true);
+            round_all(&mut cold, &mut delta, &observations,
+                &mut cold_setting, &mut delta_setting)?;
+        }
+        // The delta path never builds more curves than the cold manager and
+        // reuses at least the unchanged cores of the patch rounds.
+        let cold_counters = cold.work_counters();
+        let delta_counters = delta.work_counters();
+        prop_assert_eq!(cold_counters.invocations, delta_counters.invocations);
+        prop_assert!(delta_counters.curve_builds <= cold_counters.curve_builds);
+        prop_assert!(delta_counters.delta_invocations > 0);
     }
 }
 

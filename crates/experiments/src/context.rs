@@ -2,7 +2,7 @@
 //! workload execution helpers.
 
 use crate::sweep::SweepOptions;
-use qosrm_core::CurveCache;
+use qosrm_core::{CurveCache, RmaWorkCounters};
 use qosrm_types::{PlatformConfig, QosSpec, ResourceManager};
 use rma_sim::{Comparison, CophaseSimulator, SimulationOptions, SimulationResult};
 use simdb::builder::{build_database_for_mixes, BuildOptions};
@@ -11,6 +11,60 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use workload::WorkloadMix;
+
+/// Session-wide aggregation of the measured RMA work counters
+/// ([`RmaWorkCounters`]) of every manager a sweep evaluated. The sweep
+/// engine folds each manager's cumulative counters in after its run, so a
+/// resident serving process can expose — via `qosrm_serve`'s `/stats` —
+/// how much optimization work it actually performed and how much the
+/// chunked kernels and the incremental delta path skipped.
+#[derive(Debug, Default)]
+pub struct RmaTelemetry {
+    counters: Mutex<RmaWorkCounters>,
+}
+
+impl RmaTelemetry {
+    /// Folds one manager's cumulative counters into the aggregate.
+    pub fn absorb(&self, counters: &RmaWorkCounters) {
+        // Exhaustive destructuring (no `..`), mirroring the counters'
+        // `Display`: adding a counter fails compilation here until the
+        // aggregate covers it.
+        let RmaWorkCounters {
+            invocations,
+            curve_builds,
+            local_evaluations,
+            reduction_ops,
+            reduction_pruned,
+            qos_at_risk_intervals,
+            game_rounds,
+            best_response_evaluations,
+            equilibria_examined,
+            delta_invocations,
+            curves_patched,
+            warm_rows_reused,
+            chunked_conv_lanes,
+        } = *counters;
+        let mut total = self.counters.lock().unwrap();
+        total.invocations += invocations;
+        total.curve_builds += curve_builds;
+        total.local_evaluations += local_evaluations;
+        total.reduction_ops += reduction_ops;
+        total.reduction_pruned += reduction_pruned;
+        total.qos_at_risk_intervals += qos_at_risk_intervals;
+        total.game_rounds += game_rounds;
+        total.best_response_evaluations += best_response_evaluations;
+        total.equilibria_examined += equilibria_examined;
+        total.delta_invocations += delta_invocations;
+        total.curves_patched += curves_patched;
+        total.warm_rows_reused += warm_rows_reused;
+        total.chunked_conv_lanes += chunked_conv_lanes;
+    }
+
+    /// The aggregated counters so far.
+    pub fn snapshot(&self) -> RmaWorkCounters {
+        *self.counters.lock().unwrap()
+    }
+}
 
 /// Shared state of an experiment session.
 pub struct ExperimentContext {
@@ -25,6 +79,9 @@ pub struct ExperimentContext {
     /// session (keys include platform/config digests, so scenarios from
     /// different grids never collide).
     curve_cache: Arc<CurveCache>,
+    /// Aggregated measured RMA work of every sweep-evaluated manager of the
+    /// session (see [`RmaTelemetry`]).
+    rma_telemetry: Arc<RmaTelemetry>,
     databases: Mutex<HashMap<String, SimDb>>,
 }
 
@@ -36,6 +93,7 @@ impl ExperimentContext {
             cache_dir: None,
             sweep: SweepOptions::default(),
             curve_cache: Arc::new(CurveCache::new()),
+            rma_telemetry: Arc::new(RmaTelemetry::default()),
             databases: Mutex::new(HashMap::new()),
         }
     }
@@ -56,6 +114,11 @@ impl ExperimentContext {
     /// The session-wide energy-curve cache.
     pub fn curve_cache(&self) -> &Arc<CurveCache> {
         &self.curve_cache
+    }
+
+    /// The session-wide aggregated RMA work telemetry.
+    pub fn rma_telemetry(&self) -> &Arc<RmaTelemetry> {
+        &self.rma_telemetry
     }
 
     /// Workload prefix kept by quick mode (the representative subset the

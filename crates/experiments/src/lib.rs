@@ -39,7 +39,7 @@ pub mod spec;
 pub mod stream;
 pub mod sweep;
 
-pub use context::ExperimentContext;
+pub use context::{ExperimentContext, RmaTelemetry};
 pub use dist::{Coordinator, CoordinatorConfig, CoordinatorServer, Resolution, WorkerConfig};
 pub use report::{ExperimentReport, ReportRow};
 pub use spec::{MixSelection, PlatformAxisSpec, PlatformSpec, ScenarioSpec, WorkloadSource};

@@ -420,14 +420,23 @@ impl SweepResult {
     }
 }
 
-/// Execution switches of a sweep. Neither switch affects results, only how
-/// fast they are produced.
+/// Execution switches of a sweep. No switch affects results, only how fast
+/// they are produced.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepOptions {
     /// Fan scenarios out over worker threads.
     pub parallel: bool,
     /// Share one energy-curve memoization cache across all managers.
     pub memoize: bool,
+    /// Run every manager on its incremental delta path
+    /// ([`CoordinatedRma::with_incremental`]): recurring per-core
+    /// observations skip curve construction entirely and the cooperative
+    /// global step warm-starts from the retained reduction arena. Settings
+    /// — and therefore sweep results — are bit-identical either way
+    /// (`tests/sweep_equivalence.rs` locks that in); the switch defaults to
+    /// off so the overhead experiments keep reporting cold per-invocation
+    /// work, and the resident serving daemon turns it on.
+    pub incremental: bool,
 }
 
 impl Default for SweepOptions {
@@ -435,6 +444,7 @@ impl Default for SweepOptions {
         SweepOptions {
             parallel: true,
             memoize: true,
+            incremental: false,
         }
     }
 }
@@ -446,6 +456,7 @@ impl SweepOptions {
         SweepOptions {
             parallel: false,
             memoize: false,
+            incremental: false,
         }
     }
 }
@@ -540,6 +551,7 @@ pub(crate) struct SweepEngine<'g> {
     grid: &'g ScenarioGrid,
     options: SweepOptions,
     curve_cache: std::sync::Arc<qosrm_core::CurveCache>,
+    rma_telemetry: std::sync::Arc<crate::context::RmaTelemetry>,
     databases: Vec<simdb::SimDb>,
 }
 
@@ -556,6 +568,7 @@ impl<'g> SweepEngine<'g> {
             grid,
             options,
             curve_cache: ctx.curve_cache().clone(),
+            rma_telemetry: ctx.rma_telemetry().clone(),
             databases,
         }
     }
@@ -610,10 +623,16 @@ impl<'g> SweepEngine<'g> {
         if self.options.memoize {
             manager = manager.with_curve_cache(self.curve_cache.clone());
         }
+        if self.options.incremental {
+            manager = manager.with_incremental();
+        }
         let (comparison, _managed) = unit
             .simulator
             .run_comparison(&mut manager, &unit.baseline, &qos)
             .unwrap_or_else(|e| panic!("scenario simulation failed: {e}"));
+        // Fold the manager's measured work into the session telemetry (the
+        // serving daemon exposes the aggregate via `/stats`).
+        self.rma_telemetry.absorb(&manager.work_counters());
         ScenarioOutcome {
             key: scenario_key(self.grid, (a, m, q, v)),
             comparison,

@@ -33,6 +33,7 @@ use crate::http::{
 use crate::state::{RegistryInner, RunMeta, RunState, RunTallies, ServeCounters, RUN_META_FILE};
 use experiments::dist::{self, Coordinator, CoordinatorConfig};
 use experiments::{ExperimentContext, LeaseCounters, ScenarioSpec, SweepManifest, SweepOptions};
+use qosrm_core::RmaWorkCounters;
 use qosrm_proto::{CompleteRequest, LeaseTelemetry};
 use qosrm_types::QosrmError;
 use serde::{Deserialize, Serialize};
@@ -142,6 +143,20 @@ pub struct CacheStats {
     pub hit_rate: f64,
 }
 
+/// Measured RMA optimization work of one database mode, as reported on
+/// `/stats`. The daemon's sweeps run with the incremental delta path on,
+/// so `delta_invocations` / `warm_rows_reused` / `chunked_conv_lanes`
+/// report how much convolution and curve-building work the resident
+/// process actually skipped.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RmaStats {
+    /// Database mode the context serves (`quick` or `full`).
+    pub mode: String,
+    /// Aggregated [`RmaWorkCounters`] of every manager the mode's sweeps
+    /// evaluated since daemon start.
+    pub counters: RmaWorkCounters,
+}
+
 /// Counter snapshot within the `/stats` payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CounterSnapshot {
@@ -186,6 +201,9 @@ pub struct StatsReport {
     pub counters: CounterSnapshot,
     /// Curve-cache telemetry per active database mode.
     pub curve_cache: Vec<CacheStats>,
+    /// Measured RMA work per active database mode (delta-path and
+    /// chunked-kernel counters included).
+    pub rma: Vec<RmaStats>,
     /// Lease-protocol telemetry across all coordinated runs (grants,
     /// renewals, expiries, reinjections, stale rejections, per-worker
     /// completions) — process-lifetime, like the other counters.
@@ -240,6 +258,11 @@ impl Shared {
         contexts
             .entry(quick)
             .or_insert_with(|| {
+                // The daemon always runs managers on the incremental delta
+                // path: recurring per-core observations skip curve builds
+                // and the global step warm-starts, which is exactly the
+                // per-invocation cost a resident serving process cares
+                // about. Results are bit-identical to the cold path.
                 let sweep = if self.config.serial {
                     // Serial but memoized: `SweepOptions::serial()` would
                     // also disable memoization, which the serving bench
@@ -247,9 +270,13 @@ impl Shared {
                     SweepOptions {
                         parallel: false,
                         memoize: true,
+                        incremental: true,
                     }
                 } else {
-                    SweepOptions::default()
+                    SweepOptions {
+                        incremental: true,
+                        ..SweepOptions::default()
+                    }
                 };
                 Arc::new(
                     ExperimentContext::new(quick)
@@ -910,7 +937,7 @@ fn handle_stats(stream: &mut TcpStream, shared: &Arc<Shared>) -> std::io::Result
         runs_failed: ServeCounters::read(&c.runs_failed),
         outcomes_streamed: ServeCounters::read(&c.outcomes_streamed),
     };
-    let curve_cache = {
+    let (curve_cache, rma) = {
         let contexts = shared.contexts.lock().unwrap();
         let mut stats: Vec<CacheStats> = contexts
             .iter()
@@ -928,7 +955,15 @@ fn handle_stats(stream: &mut TcpStream, shared: &Arc<Shared>) -> std::io::Result
             })
             .collect();
         stats.sort_by(|a, b| a.mode.cmp(&b.mode));
-        stats
+        let mut rma: Vec<RmaStats> = contexts
+            .iter()
+            .map(|(quick, ctx)| RmaStats {
+                mode: if *quick { "quick" } else { "full" }.to_string(),
+                counters: ctx.rma_telemetry().snapshot(),
+            })
+            .collect();
+        rma.sort_by(|a, b| a.mode.cmp(&b.mode));
+        (stats, rma)
     };
     let report = StatsReport {
         schema: STATS_SCHEMA.to_string(),
@@ -938,6 +973,7 @@ fn handle_stats(stream: &mut TcpStream, shared: &Arc<Shared>) -> std::io::Result
         runs: tallies,
         counters,
         curve_cache,
+        rma,
         leases: shared.lease_counters.snapshot(),
     };
     let body = serde_json::to_string(&report).unwrap_or_else(|_| "{}".to_string());

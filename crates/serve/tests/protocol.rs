@@ -481,6 +481,27 @@ fn load_generator_sustains_concurrent_clients_with_byte_identical_results() {
     assert_eq!(stats.counters.admitted, 3);
     assert_eq!(stats.counters.deduplicated, 45);
     assert_eq!(stats.runs.complete, 3);
+
+    // All evaluation ran in-process, so /stats surfaces the daemon's
+    // measured RMA work — and since daemon sweeps enable the incremental
+    // delta path, the delta counters tick whenever a core's observation
+    // digest recurs across intervals.
+    let rma = stats
+        .rma
+        .iter()
+        .find(|r| r.mode == "quick")
+        .expect("quick-mode RMA telemetry");
+    assert!(rma.counters.invocations > 0, "no RMA work recorded");
+    assert!(
+        rma.counters.delta_invocations > 0,
+        "daemon sweeps must take the incremental delta path: {:?}",
+        rma.counters
+    );
+    assert!(
+        rma.counters.chunked_conv_lanes > 0,
+        "chunked convolution kernel never ran: {:?}",
+        rma.counters
+    );
     server.stop();
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -45,18 +45,56 @@ fn serial_parallel_and_memoized_sweeps_are_bit_identical() {
     let parallel_ctx = ExperimentContext::new(true).with_sweep_options(SweepOptions {
         parallel: true,
         memoize: false,
+        incremental: false,
     });
     let memoized_ctx = ExperimentContext::new(true).with_sweep_options(SweepOptions {
         parallel: true,
         memoize: true,
+        incremental: false,
+    });
+    let incremental_ctx = ExperimentContext::new(true).with_sweep_options(SweepOptions {
+        parallel: true,
+        memoize: true,
+        incremental: true,
     });
 
     let serial = sweep::run(&grid(&serial_ctx), &serial_ctx);
     let parallel = sweep::run(&grid(&parallel_ctx), &parallel_ctx);
     let memoized = sweep::run(&grid(&memoized_ctx), &memoized_ctx);
+    let incremental = sweep::run(&grid(&incremental_ctx), &incremental_ctx);
 
     assert_eq!(serial, parallel, "parallel execution changed sweep results");
     assert_eq!(serial, memoized, "curve memoization changed sweep results");
+    assert_eq!(
+        serial, incremental,
+        "the incremental delta path changed sweep results"
+    );
+
+    // The incremental run actually took the delta path, and skipped work.
+    // Both contexts share a curve cache, so a key's *first* occurrence is
+    // built either way (a digest can only recur after its first sighting):
+    // builds stay equal, and the savings show up as skipped cache lookups
+    // and skipped convolution work instead.
+    let cold = memoized_ctx.rma_telemetry().snapshot();
+    let delta = incremental_ctx.rma_telemetry().snapshot();
+    assert_eq!(cold.invocations, delta.invocations);
+    assert_eq!(cold.delta_invocations, 0);
+    assert!(delta.delta_invocations > 0, "delta path never taken");
+    assert!(delta.warm_rows_reused > 0, "warm arena never reused a row");
+    assert_eq!(delta.curve_builds, cold.curve_builds);
+    let cold_lookups = memoized_ctx.curve_cache().hits() + memoized_ctx.curve_cache().misses();
+    let delta_lookups =
+        incremental_ctx.curve_cache().hits() + incremental_ctx.curve_cache().misses();
+    assert!(
+        delta_lookups < cold_lookups,
+        "digest diffing must short-circuit cache lookups ({delta_lookups} vs {cold_lookups})"
+    );
+    assert!(
+        delta.reduction_ops < cold.reduction_ops,
+        "warm rows + incumbent pruning must cut convolution work ({} vs {})",
+        delta.reduction_ops,
+        cold.reduction_ops
+    );
 
     // The memoized run actually exercised the cache.
     assert_eq!(
