@@ -1,15 +1,16 @@
 //! The CI performance-regression gate.
 //!
 //! [`bench_gate`](../../bench_gate/index.html) (the `bench_gate` binary) runs
-//! seven fixed, deterministic workloads — the co-phase simulator loop on a
+//! eight fixed, deterministic workloads — the co-phase simulator loop on a
 //! quick-grid workload, the global way-partition optimizer on a synthetic
 //! curve set, cold-cache energy-curve construction on real observations,
 //! the game-theoretic best-response/equilibrium solvers on the synthetic
 //! curves, an in-process `qosrm_serve` daemon under a fixed submission
 //! mix, the SIMD-shaped kernels (chunked min-plus convolution vs the
 //! pruned scalar path, and the incremental delta-path manager vs a cold
-//! rebuild), and a distributed sweep (in-process coordinator + wire
-//! workers) over a fixed spec — and emits machine-readable reports:
+//! rebuild), a distributed sweep (in-process coordinator + wire
+//! workers) over a fixed spec, and a fixed-seed Pareto scenario search —
+//! and emits machine-readable reports:
 //!
 //! * `BENCH_simulator.json` — wall time, event count and events/second of the
 //!   simulator loop;
@@ -39,7 +40,13 @@
 //!   lease coordinator plus four wire workers on an ephemeral port, the
 //!   wall time of the same spec through the single-process streaming
 //!   executor, and the exact lease-protocol counters (granted / renewed /
-//!   expired / reinjected / stale / completed) of the distributed run.
+//!   expired / reinjected / stale / completed) of the distributed run;
+//! * `BENCH_search.json` — wall time of a fixed-seed `experiments::search`
+//!   evolutionary run (3 generations over the quick grid), with the exact
+//!   generation / candidate / evaluation / scenario-run / archive-size
+//!   counters; the bench also asserts the persisted archive manifest is
+//!   byte-identical across repetitions, so seed determinism is enforced on
+//!   every CI run.
 //!
 //! In check mode (the default, what CI runs) the fresh reports are written to
 //! `target/bench-gate/` and compared against the baselines committed at the
@@ -1163,6 +1170,140 @@ fn run_dist_bench_with(
     }
 }
 
+/// Report of the Pareto-front scenario-search benchmark
+/// (`BENCH_search.json`): a fixed-seed [`experiments::search`] run — the
+/// full evolutionary loop of genome proposal, sweep evaluation, Pareto
+/// Strength selection and archive persistence — against a warm quick-mode
+/// context.
+///
+/// The search is deterministic per seed, so generations, candidates,
+/// evaluations, scenario runs and the final archive size are exact-compared
+/// like every gated counter, and the archive manifest bytes are asserted
+/// identical across repetitions in-bench.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchBenchReport {
+    /// Report schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Benchmark identifier (`"search"`).
+    pub bench: String,
+    /// Human-readable description of the fixed search configuration.
+    pub workload: String,
+    /// Measured repetitions (the best wall is reported; each repetition
+    /// writes a fresh archive directory).
+    pub repetitions: usize,
+    /// Best wall time of one full search run (generation loop through
+    /// archive persistence), in seconds — the gated number.
+    pub wall_seconds: f64,
+    /// Generations per run (deterministic).
+    pub generations: u64,
+    /// Candidate genomes proposed per run (deterministic).
+    pub candidates: u64,
+    /// Distinct sweep evaluations per run (deterministic: duplicates of an
+    /// already evaluated genome are cache hits, not re-runs).
+    pub evaluations: u64,
+    /// Scenarios simulated across all evaluations per run (deterministic).
+    pub scenarios_evaluated: u64,
+    /// Final archive size per run (deterministic).
+    pub archive_size: u64,
+    /// Scenario evaluations per second at the best wall.
+    pub scenarios_per_sec: f64,
+    /// Throughput of the fixed calibration loop on the measuring machine
+    /// (used to normalize wall times across machines).
+    pub calibration_ops_per_sec: f64,
+}
+
+/// The fixed configuration of the search benchmark.
+fn search_bench_config() -> experiments::SearchConfig {
+    experiments::SearchConfig {
+        seed: 4242,
+        generations: 3,
+        population: 5,
+        capacity: 5,
+        max_mixes: 2,
+        name: "bench".to_string(),
+    }
+}
+
+/// Runs the scenario-search benchmark. `calibration_ops_per_sec` is the
+/// machine's [`calibrate`] measurement, recorded in the report so later
+/// checks can normalize across machines.
+pub fn run_search_bench(repetitions: usize, calibration_ops_per_sec: f64) -> SearchBenchReport {
+    run_search_bench_with(repetitions, calibration_ops_per_sec, &search_bench_config())
+}
+
+/// [`run_search_bench`] with an explicit configuration (tests use a
+/// smaller one so the determinism check stays fast in debug builds).
+fn run_search_bench_with(
+    repetitions: usize,
+    calibration_ops_per_sec: f64,
+    config: &experiments::SearchConfig,
+) -> SearchBenchReport {
+    let ctx = ExperimentContext::new(true);
+    let base = std::env::temp_dir().join(format!(
+        "qosrm-bench-search-{}-{}",
+        std::process::id(),
+        config.seed
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Untimed warm-up: the search is deterministic, so one run touches
+    // exactly the databases the timed repetitions need — the walls then
+    // measure the search loop and sweep evaluation, not database
+    // construction.
+    experiments::search::run(config, &ctx, &base.join("warm")).expect("warm-up search runs");
+
+    let mut best_wall = f64::INFINITY;
+    let mut report_ref: Option<experiments::SearchReport> = None;
+    let mut manifest_ref: Option<Vec<u8>> = None;
+    for repetition in 0..repetitions.max(1) {
+        let dir = base.join(format!("rep-{repetition}"));
+        let start = Instant::now();
+        let report = experiments::search::run(config, &ctx, &dir).expect("search runs");
+        best_wall = best_wall.min(start.elapsed().as_secs_f64());
+        let manifest = std::fs::read(dir.join(experiments::search::MANIFEST_FILE))
+            .expect("archive manifest exists");
+        match (&report_ref, &manifest_ref) {
+            (None, _) => {
+                report_ref = Some(report);
+                manifest_ref = Some(manifest);
+            }
+            (Some(reference), Some(manifest_reference)) => {
+                assert_eq!(
+                    &report, reference,
+                    "search counters must be deterministic across repetitions"
+                );
+                assert_eq!(
+                    &manifest, manifest_reference,
+                    "the archive manifest must be byte-identical across repetitions"
+                );
+            }
+            _ => unreachable!("references are set together"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&base);
+
+    let report = report_ref.expect("at least one repetition ran");
+    SearchBenchReport {
+        schema: SCHEMA.to_string(),
+        bench: "search".to_string(),
+        workload: format!(
+            "seeded Pareto-front scenario search (seed {}, {} generations x {} candidates, \
+             capacity {}, warm quick context): genome proposal, sweep evaluation, Pareto \
+             Strength selection, archive persistence",
+            config.seed, config.generations, config.population, config.capacity
+        ),
+        repetitions: repetitions.max(1),
+        wall_seconds: best_wall,
+        generations: report.generations as u64,
+        candidates: report.candidates,
+        evaluations: report.evaluations,
+        scenarios_evaluated: report.scenarios,
+        archive_size: report.archive_size as u64,
+        scenarios_per_sec: report.scenarios as f64 / best_wall.max(f64::MIN_POSITIVE),
+        calibration_ops_per_sec,
+    }
+}
+
 /// Report of the SIMD-shaped kernel benchmark (`BENCH_kernels.json`).
 ///
 /// Two sub-benchmarks cover the tentpole kernels: `chunked_*`/`scalar_*`
@@ -1802,6 +1943,53 @@ pub fn compare_dist(new: &DistReport, baseline: &DistReport, tolerance: f64) -> 
     ]
 }
 
+/// Compares a fresh scenario-search report against the committed baseline:
+/// the search wall is calibration-banded and every loop counter is
+/// exact-compared (a drift means the seeded search explored a different
+/// trajectory — a genome, fitness or selection change that must be a
+/// deliberate baseline refresh).
+pub fn compare_search(
+    new: &SearchBenchReport,
+    baseline: &SearchBenchReport,
+    tolerance: f64,
+) -> Vec<GateOutcome> {
+    vec![
+        check_wall(
+            "search",
+            new.wall_seconds,
+            baseline.wall_seconds,
+            new.calibration_ops_per_sec,
+            baseline.calibration_ops_per_sec,
+            tolerance,
+        ),
+        check_counter(
+            "search",
+            "generations",
+            new.generations,
+            baseline.generations,
+        ),
+        check_counter("search", "candidates", new.candidates, baseline.candidates),
+        check_counter(
+            "search",
+            "evaluations",
+            new.evaluations,
+            baseline.evaluations,
+        ),
+        check_counter(
+            "search",
+            "scenarios_evaluated",
+            new.scenarios_evaluated,
+            baseline.scenarios_evaluated,
+        ),
+        check_counter(
+            "search",
+            "archive_size",
+            new.archive_size,
+            baseline.archive_size,
+        ),
+    ]
+}
+
 /// Compares a fresh kernel report against the committed baseline. The
 /// convolution and manager counters are exact-compared (a drift means a
 /// kernel's decision sequence or the fixed workload changed), and the
@@ -2059,9 +2247,30 @@ pub fn gate_main(args: &[String]) -> i32 {
         dist.stale_completions,
         dist.scenarios_per_sec
     );
+    let search = run_search_bench(repetitions, calibration);
+    println!(
+        "search: {:.4}s best of {}, {} generations, {} candidates -> {} evaluations \
+         ({} scenario runs), archive of {}, {:.1} scenarios/s",
+        search.wall_seconds,
+        search.repetitions,
+        search.generations,
+        search.candidates,
+        search.evaluations,
+        search.scenarios_evaluated,
+        search.archive_size,
+        search.scenarios_per_sec
+    );
 
-    let (sim_path, opt_path, local_path, game_path, serve_path, kernels_path, dist_path) = if update
-    {
+    let (
+        sim_path,
+        opt_path,
+        local_path,
+        game_path,
+        serve_path,
+        kernels_path,
+        dist_path,
+        search_path,
+    ) = if update {
         (
             root.join("BENCH_simulator.json"),
             root.join("BENCH_global_opt.json"),
@@ -2070,6 +2279,7 @@ pub fn gate_main(args: &[String]) -> i32 {
             root.join("BENCH_serve.json"),
             root.join("BENCH_kernels.json"),
             root.join("BENCH_dist.json"),
+            root.join("BENCH_search.json"),
         )
     } else {
         let out = root.join("target/bench-gate");
@@ -2081,6 +2291,7 @@ pub fn gate_main(args: &[String]) -> i32 {
             out.join("BENCH_serve.json"),
             out.join("BENCH_kernels.json"),
             out.join("BENCH_dist.json"),
+            out.join("BENCH_search.json"),
         )
     };
     for (path, result) in [
@@ -2091,6 +2302,7 @@ pub fn gate_main(args: &[String]) -> i32 {
         (&serve_path, write_json(&serve_path, &serve)),
         (&kernels_path, write_json(&kernels_path, &kernels)),
         (&dist_path, write_json(&dist_path, &dist)),
+        (&search_path, write_json(&search_path, &search)),
     ] {
         if let Err(e) = result {
             eprintln!("{e}");
@@ -2160,6 +2372,14 @@ pub fn gate_main(args: &[String]) -> i32 {
             return 2;
         }
     };
+    let search_baseline: SearchBenchReport = match read_json(&root.join("BENCH_search.json")) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("no committed baseline; run with --update to create one");
+            return 2;
+        }
+    };
 
     let mut failed = false;
     for outcome in compare_simulator(&simulator, &sim_baseline, tolerance)
@@ -2170,6 +2390,7 @@ pub fn gate_main(args: &[String]) -> i32 {
         .chain(compare_serve(&serve, &serve_baseline, tolerance))
         .chain(compare_kernels(&kernels, &kernels_baseline, tolerance))
         .chain(compare_dist(&dist, &dist_baseline, tolerance))
+        .chain(compare_search(&search, &search_baseline, tolerance))
     {
         match outcome {
             GateOutcome::Pass => {}
@@ -2581,5 +2802,67 @@ mod tests {
         assert_eq!(a.evaluations, b.evaluations);
         assert_eq!(a.equilibria_examined, b.equilibria_examined);
         assert!(a.rounds > 0 && a.evaluations > 0 && a.equilibria_examined > 0);
+    }
+
+    fn search_report(wall: f64, evaluations: u64, archive: u64) -> SearchBenchReport {
+        SearchBenchReport {
+            schema: SCHEMA.to_string(),
+            bench: "search".to_string(),
+            workload: "test".to_string(),
+            repetitions: 1,
+            wall_seconds: wall,
+            generations: 3,
+            candidates: 15,
+            evaluations,
+            scenarios_evaluated: evaluations * 4,
+            archive_size: archive,
+            scenarios_per_sec: evaluations as f64 * 4.0 / wall,
+            calibration_ops_per_sec: 1_000_000.0,
+        }
+    }
+
+    #[test]
+    fn search_gate_checks_the_wall_and_exact_search_counters() {
+        let base = search_report(1.0, 13, 5);
+        assert!(compare_search(&search_report(1.1, 13, 5), &base, 0.20)
+            .iter()
+            .all(|o| *o == GateOutcome::Pass));
+        assert!(compare_search(&search_report(1.3, 13, 5), &base, 0.20)
+            .iter()
+            .any(|o| matches!(o, GateOutcome::WallRegression(_))));
+        // Counter drift is a hard failure even when faster: a changed
+        // evaluation count or archive size means the seeded search walked a
+        // different trajectory — the determinism contract broke.
+        assert!(compare_search(&search_report(0.5, 14, 5), &base, 0.20)
+            .iter()
+            .any(|o| matches!(o, GateOutcome::CounterDrift(_))));
+        assert!(compare_search(&search_report(0.5, 13, 4), &base, 0.20)
+            .iter()
+            .any(|o| matches!(o, GateOutcome::CounterDrift(_))));
+    }
+
+    #[test]
+    fn search_bench_counters_are_deterministic() {
+        // A tiny seeded search through the real runner, twice: the runner
+        // itself asserts manifest byte-identity across repetitions, and the
+        // gate exact-compares the counters, so two invocations must agree.
+        let config = experiments::SearchConfig {
+            seed: 99,
+            generations: 2,
+            population: 3,
+            capacity: 2,
+            max_mixes: 1,
+            name: "gate-test".to_string(),
+        };
+        let a = run_search_bench_with(2, 1_000_000.0, &config);
+        let b = run_search_bench_with(1, 1_000_000.0, &config);
+        assert_eq!(a.generations, b.generations);
+        assert_eq!(a.candidates, b.candidates);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.scenarios_evaluated, b.scenarios_evaluated);
+        assert_eq!(a.archive_size, b.archive_size);
+        assert_eq!(a.generations, 2);
+        assert!(a.evaluations > 0 && a.scenarios_evaluated > 0);
+        assert!(a.archive_size >= 1 && a.archive_size <= 2);
     }
 }

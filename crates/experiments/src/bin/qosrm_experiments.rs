@@ -11,6 +11,8 @@
 //!                                [--lease-ms MS] [--linger-ms MS]
 //! qosrm-experiments sweep work   --addr HOST:PORT [--worker NAME]
 //!                                [--poll-ms MS] [--shard-delay-ms MS]
+//! qosrm-experiments sweep search --out DIR [--seed N] [--generations N]
+//!                                [--population N] [--capacity N] [--quick] [--serial]
 //! qosrm-experiments diagnose [--mix b1,b2,b3,b4]
 //! ```
 //!
@@ -28,11 +30,14 @@
 //! a lease-granting coordinator and `work` drains one from any number of
 //! processes — the distributed pair shares the manifest/shard-log format
 //! with `run`/`resume`, so `merge` of a distributed run is byte-identical
-//! to a single-process one. `diagnose` dumps RM3's decisions for one
-//! workload (formerly the separate `debug_s3` binary).
+//! to a single-process one. `search` grows a Pareto archive of adversarial
+//! scenarios via the seeded evolutionary loop in [`experiments::search`];
+//! every archived spec replays through `run`/`merge`. `diagnose` dumps
+//! RM3's decisions for one workload (formerly the separate `debug_s3`
+//! binary).
 
 use experiments::{
-    diagnose, dist, run_experiment, stream, ExperimentContext, ScenarioSpec, StreamOptions,
+    diagnose, dist, run_experiment, search, stream, ExperimentContext, ScenarioSpec, StreamOptions,
     SweepOptions, ALL_EXPERIMENTS,
 };
 use std::path::PathBuf;
@@ -45,6 +50,7 @@ const USAGE: &str = "usage:
   qosrm-experiments sweep merge --out DIR --result FILE
   qosrm-experiments sweep coordinate --spec FILE --out DIR --addr HOST:PORT [--quick] [--shard-size N] [--serial] [--lease-ms MS] [--linger-ms MS]
   qosrm-experiments sweep work --addr HOST:PORT [--worker NAME] [--poll-ms MS] [--shard-delay-ms MS]
+  qosrm-experiments sweep search --out DIR [--seed N] [--generations N] [--population N] [--capacity N] [--quick] [--serial]
   qosrm-experiments diagnose [--mix b1,b2,...]";
 
 fn main() -> ExitCode {
@@ -179,6 +185,10 @@ struct SweepArgs {
     linger_ms: Option<u64>,
     poll_ms: Option<u64>,
     shard_delay_ms: Option<u64>,
+    seed: Option<u64>,
+    generations: Option<usize>,
+    population: Option<usize>,
+    capacity: Option<usize>,
 }
 
 fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, String> {
@@ -222,6 +232,18 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, String> {
             }
             "--shard-delay-ms" => {
                 parsed.shard_delay_ms = Some(parse_count(iter.next(), "--shard-delay-ms")? as u64);
+            }
+            "--seed" => {
+                parsed.seed = Some(parse_count(iter.next(), "--seed")? as u64);
+            }
+            "--generations" => {
+                parsed.generations = Some(parse_count(iter.next(), "--generations")?);
+            }
+            "--population" => {
+                parsed.population = Some(parse_count(iter.next(), "--population")?);
+            }
+            "--capacity" => {
+                parsed.capacity = Some(parse_count(iter.next(), "--capacity")?);
             }
             other => return Err(format!("unknown sweep flag {other}\n{USAGE}")),
         }
@@ -330,8 +352,50 @@ fn sweep_main(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "coordinate" => coordinate_main(&parsed, &out),
+        "search" => search_main(&parsed, &out),
         other => Err(format!("unknown sweep action {other}\n{USAGE}")),
     }
+}
+
+// ---------------------------------------------------------------------------
+// sweep search (Pareto-front scenario search)
+// ---------------------------------------------------------------------------
+
+fn search_main(parsed: &SweepArgs, out: &std::path::Path) -> Result<(), String> {
+    let mut config = search::SearchConfig::default();
+    if let Some(seed) = parsed.seed {
+        config.seed = seed;
+    }
+    if let Some(generations) = parsed.generations {
+        config.generations = generations.max(1);
+    }
+    if let Some(population) = parsed.population {
+        config.population = population.max(2);
+    }
+    if let Some(capacity) = parsed.capacity {
+        config.capacity = capacity.max(1);
+    }
+    let mut ctx = ExperimentContext::new(parsed.quick);
+    if parsed.serial {
+        ctx = ctx.with_sweep_options(SweepOptions::serial());
+    }
+    let report = search::run(&config, &ctx, out).map_err(|e| e.to_string())?;
+    println!(
+        "search: {} generation(s), {} candidate(s) proposed, {} evaluated ({} scenario runs), \
+         archive of {} in {}",
+        report.generations,
+        report.candidates,
+        report.evaluations,
+        report.scenarios,
+        report.archive_size,
+        out.display()
+    );
+    println!(
+        "replay any archived spec with `sweep run --spec {}/spec-<id>.json --out DIR` \
+         followed by `sweep merge --out DIR --result FILE`",
+        out.display()
+    );
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@
 //! workload execution helpers.
 
 use crate::sweep::SweepOptions;
+use crate::sync::LockUnpoisoned;
 use qosrm_core::{CurveCache, RmaWorkCounters};
 use qosrm_types::{PlatformConfig, QosSpec, ResourceManager};
 use rma_sim::{Comparison, CophaseSimulator, SimulationOptions, SimulationResult};
@@ -44,7 +45,7 @@ impl RmaTelemetry {
             warm_rows_reused,
             chunked_conv_lanes,
         } = *counters;
-        let mut total = self.counters.lock().unwrap();
+        let mut total = self.counters.lock_unpoisoned();
         total.invocations += invocations;
         total.curve_builds += curve_builds;
         total.local_evaluations += local_evaluations;
@@ -62,7 +63,7 @@ impl RmaTelemetry {
 
     /// The aggregated counters so far.
     pub fn snapshot(&self) -> RmaWorkCounters {
-        *self.counters.lock().unwrap()
+        *self.counters.lock_unpoisoned()
     }
 }
 
@@ -182,7 +183,7 @@ impl ExperimentContext {
             names.join(",")
         );
         {
-            let cache = self.databases.lock().unwrap();
+            let cache = self.databases.lock_unpoisoned();
             if let Some(db) = cache.get(&key) {
                 return db.clone();
             }
@@ -198,7 +199,7 @@ impl ExperimentContext {
         } else {
             build_database_for_mixes(platform, mixes, &options)
         };
-        self.databases.lock().unwrap().insert(key, db.clone());
+        self.databases.lock_unpoisoned().insert(key, db.clone());
         db
     }
 

@@ -28,6 +28,7 @@ use crate::context::ExperimentContext;
 use crate::spec::ScenarioSpec;
 use crate::stream::{self, LeaseCounters, ShardScheduler, SweepManifest, MANIFEST_FILE};
 use crate::sweep::{grid_points, mix_pairs, GridPoint, SweepEngine, SweepOptions};
+use crate::sync::LockUnpoisoned;
 use qosrm_proto::http::{
     check_proto_version, read_request, write_error, write_json, Request, RequestError, WireError,
     PROTO_VERSION, PROTO_VERSION_HEADER,
@@ -185,12 +186,12 @@ impl Coordinator {
 
     /// Whether every scenario has a durable outcome.
     pub fn finished(&self) -> bool {
-        self.scheduler.lock().unwrap().finished()
+        self.scheduler.lock_unpoisoned().finished()
     }
 
     /// `(completed, total)` scenarios.
     pub fn progress(&self) -> (usize, usize) {
-        let scheduler = self.scheduler.lock().unwrap();
+        let scheduler = self.scheduler.lock_unpoisoned();
         (scheduler.manifest().completed_scenarios, scheduler.total())
     }
 
@@ -221,7 +222,7 @@ impl Coordinator {
     /// Leases the next pending shard to `worker` (reinjecting any leases
     /// that expired first).
     pub fn lease_shard(&self, worker: &str) -> Result<LeaseReply, QosrmError> {
-        let mut scheduler = self.scheduler.lock().unwrap();
+        let mut scheduler = self.scheduler.lock_unpoisoned();
         let reinjected_before = self.counters.snapshot().reinjected;
         let lease = scheduler.lease(worker, unix_ms())?;
         let reinjected = self.counters.snapshot().reinjected - reinjected_before;
@@ -264,7 +265,7 @@ impl Coordinator {
 
     /// Renews a held lease.
     pub fn renew(&self, request: &HeartbeatRequest) -> Result<HeartbeatReply, QosrmError> {
-        let mut scheduler = self.scheduler.lock().unwrap();
+        let mut scheduler = self.scheduler.lock_unpoisoned();
         let renewed =
             scheduler.heartbeat(&request.worker, request.shard, request.epoch, unix_ms())?;
         Ok(HeartbeatReply {
@@ -276,7 +277,7 @@ impl Coordinator {
     /// Delivers a finished shard's log; stale epochs are rejected and
     /// their log dropped.
     pub fn deliver(&self, request: &CompleteRequest) -> Result<CompleteReply, QosrmError> {
-        let mut scheduler = self.scheduler.lock().unwrap();
+        let mut scheduler = self.scheduler.lock_unpoisoned();
         let outcome = scheduler.complete(
             &request.worker,
             request.shard,
@@ -429,9 +430,24 @@ pub fn evaluate_grant<C: Coordination + Sync>(
                 }
             }
         });
-        let result = evaluate_points(ctx, &spec, &grant.points, options);
+        // Contain evaluation panics (e.g. an exceeded event budget deep in
+        // the engine): an escaping unwind would skip the stop-flag store
+        // and leave the heartbeat thread spinning forever in the scope's
+        // implicit join, hanging the worker instead of failing the run.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            evaluate_points(ctx, &spec, &grant.points, options)
+        }));
         stop.store(true, Ordering::Relaxed);
-        result
+        result.unwrap_or_else(|panic| {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(QosrmError::Io(format!(
+                "shard evaluation panicked: {message}"
+            )))
+        })
     })
 }
 

@@ -35,13 +35,18 @@ pub mod e7_scenario_savings;
 pub mod e8_model_comparison;
 pub mod e9_overhead_scaling;
 pub mod report;
+pub mod search;
 pub mod spec;
 pub mod stream;
 pub mod sweep;
+pub mod sync;
 
 pub use context::{ExperimentContext, RmaTelemetry};
 pub use dist::{Coordinator, CoordinatorConfig, CoordinatorServer, Resolution, WorkerConfig};
 pub use report::{ExperimentReport, ReportRow};
+pub use search::{
+    FitnessVector, Genome, NashSide, SearchConfig, SearchManifest, SearchReport, StrengthScore,
+};
 pub use spec::{MixSelection, PlatformAxisSpec, PlatformSpec, ScenarioSpec, WorkloadSource};
 pub use stream::{
     LeaseCounters, LeaseRecord, ShardScheduler, StreamOptions, StreamReport, SweepManifest,
@@ -50,6 +55,7 @@ pub use sweep::{
     PlatformAxis, QosAxis, QosPolicy, RmaVariant, ScenarioGrid, ScenarioKey, ScenarioOutcome,
     SweepOptions, SweepResult,
 };
+pub use sync::{LockUnpoisoned, WaitUnpoisoned};
 
 /// Identifiers of all experiments, in execution order.
 pub const ALL_EXPERIMENTS: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];

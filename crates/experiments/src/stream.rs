@@ -56,6 +56,7 @@ use crate::sweep::{
     grid_points, mix_pairs, scenario_key, GridPoint, ScenarioKey, ScenarioOutcome, SweepEngine,
     SweepOptions, SweepResult,
 };
+use crate::sync::LockUnpoisoned;
 use qosrm_proto::LeaseTelemetry;
 use qosrm_types::QosrmError;
 use serde::{Deserialize, Serialize};
@@ -144,6 +145,12 @@ pub struct LeaseRecord {
     /// accepted.
     pub epoch: u64,
     /// Coordinator-clock lease expiry, milliseconds since the Unix epoch.
+    ///
+    /// The boundary is **inclusive of expiry**: the lease is live only
+    /// while `now_ms < expires_ms`. At `now_ms == expires_ms` exactly the
+    /// lease is already expired — eligible for reinjection, unrenewable,
+    /// and its completions are stale (see
+    /// [`ShardScheduler::heartbeat`]).
     pub expires_ms: u64,
     /// Whether the shard's log has been accepted and durably written.
     pub done: bool,
@@ -348,7 +355,7 @@ impl LeaseCounters {
 
     fn bump_completed(&self, worker: &str) {
         self.completed.fetch_add(1, Ordering::Relaxed);
-        let mut per_worker = self.per_worker.lock().unwrap();
+        let mut per_worker = self.per_worker.lock_unpoisoned();
         *per_worker.entry(worker.to_string()).or_insert(0) += 1;
     }
 
@@ -361,7 +368,7 @@ impl LeaseCounters {
             reinjected: self.reinjected.load(Ordering::Relaxed),
             stale_rejected: self.stale_rejected.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
-            per_worker: self.per_worker.lock().unwrap().clone(),
+            per_worker: self.per_worker.lock_unpoisoned().clone(),
         }
     }
 }
@@ -379,7 +386,9 @@ pub struct ShardLease {
     /// Grid-point indices (into the spec's canonical point order) to
     /// evaluate.
     pub points: Vec<u64>,
-    /// Coordinator-clock expiry of the lease, milliseconds.
+    /// Coordinator-clock expiry of the lease, milliseconds. Inclusive of
+    /// expiry: the lease is live only while `now < expires_ms` on the
+    /// coordinator's clock (see [`LeaseRecord::expires_ms`]).
     pub expires_ms: u64,
 }
 
@@ -575,6 +584,16 @@ impl ShardScheduler {
     /// expiry, or `None` if the lease is no longer active — the worker
     /// should abandon the shard, since its completion would be rejected as
     /// stale anyway.
+    ///
+    /// The expiry boundary is inclusive: a heartbeat arriving at
+    /// `now_ms == expires_ms` exactly finds the lease already expired and
+    /// returns `None`. Expiry is processed *before* the renewal is
+    /// considered (every entry point runs `expire_stale` first,
+    /// under the scheduler's single lock), so a boundary-instant heartbeat
+    /// can never race the reinjection into two live grants of the same
+    /// shard: either the heartbeat renews a still-live lease, or the shard
+    /// is pending and only the next `lease` call — under a fresh epoch —
+    /// grants it.
     pub fn heartbeat(
         &mut self,
         worker: &str,
@@ -683,8 +702,10 @@ impl ShardScheduler {
         }
     }
 
-    /// Reinjects every live lease whose expiry has passed. Returns whether
-    /// anything changed (the caller owes a manifest save).
+    /// Reinjects every live lease whose expiry has passed — inclusively: a
+    /// lease with `expires_ms <= now_ms` is expired, so the boundary
+    /// instant itself already counts as expired. Returns whether anything
+    /// changed (the caller owes a manifest save).
     fn expire_stale(&mut self, now_ms: u64) -> bool {
         let mut changed = false;
         let pending = &mut self.pending;
@@ -1028,6 +1049,56 @@ mod tests {
         assert_eq!(report.skipped, 2);
         let healed = merge(&dir).unwrap();
         assert_eq!(healed, reference);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lease_expiry_boundary_is_inclusive_and_cannot_double_grant() {
+        // Pins the boundary semantics of `expires_ms`: live strictly
+        // before the instant, expired at the instant itself — and a
+        // heartbeat landing exactly on the boundary cannot race the
+        // reinjection into a second live grant of the same shard.
+        let dir = temp_dir("boundary");
+        let manifest = init_manifest(&tiny_spec(), true, &dir, 3).unwrap();
+        let counters = Arc::new(LeaseCounters::default());
+        let mut scheduler =
+            ShardScheduler::open(manifest, &dir, 3, 1_000, counters, false, 0).unwrap();
+        let alice = scheduler.lease("alice", 0).unwrap().unwrap();
+        assert_eq!(alice.expires_ms, 1_000);
+        // One millisecond before the boundary the lease is live: the
+        // heartbeat renews it (to 999 + lease_ms).
+        let renewed = scheduler
+            .heartbeat("alice", alice.shard, alice.epoch, 999)
+            .unwrap();
+        assert_eq!(renewed, Some(1_999));
+        // At the renewed boundary instant exactly, the lease is already
+        // expired: the same call expires-and-reinjects first, so the
+        // heartbeat finds the shard pending and cannot revive it.
+        assert!(scheduler
+            .heartbeat("alice", alice.shard, alice.epoch, 1_999)
+            .unwrap()
+            .is_none());
+        // The reinjected shard is granted exactly once, under a fresh
+        // epoch — a second caller at the same instant gets nothing.
+        let bob = scheduler.lease("bob", 1_999).unwrap().unwrap();
+        assert_eq!(bob.shard, alice.shard);
+        assert_eq!(bob.epoch, alice.epoch + 1);
+        assert!(scheduler.lease("carol", 1_999).unwrap().is_none());
+        // Alice's boundary-instant completion is stale; bob's lands.
+        let late = scheduler
+            .complete("alice", alice.shard, alice.epoch, "", 0, 0, 1_999)
+            .unwrap();
+        assert!(late.stale && !late.accepted);
+        let won = scheduler
+            .complete("bob", bob.shard, bob.epoch, "{}\n{}\n{}\n", 0, 0, 2_000)
+            .unwrap();
+        assert!(won.accepted && !won.stale);
+        let telemetry = scheduler.telemetry();
+        assert_eq!(telemetry.granted, 2);
+        assert_eq!(telemetry.renewed, 1);
+        assert_eq!(telemetry.expired, 1);
+        assert_eq!(telemetry.reinjected, 1);
+        assert_eq!(telemetry.stale_rejected, 1);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,67 @@
+//! Poison-tolerant locking for shared pipeline state.
+//!
+//! Every long-lived service in the workspace — the serve daemon, the sweep
+//! coordinator, the experiment context's telemetry and database cache —
+//! shares state between worker threads through [`std::sync::Mutex`]. A
+//! panicking worker poisons any mutex it holds, and a bare
+//! `.lock().unwrap()` then re-panics in *every* subsequent accessor,
+//! cascading one bad run into a dead daemon.
+//!
+//! That cascade is never the right trade here: all durable state is written
+//! **save-before-grant** (snapshots and shard logs reach disk via atomic
+//! renames *before* in-memory bookkeeping advances), so the value behind a
+//! poisoned lock is at worst a step behind the disk — consistent, and
+//! exactly what crash recovery already tolerates. These helpers inherit the
+//! inner value and keep serving.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Poison-tolerant [`Mutex`] locking.
+pub trait LockUnpoisoned<T> {
+    /// Locks the mutex, inheriting the inner value if a previous holder
+    /// panicked (see the module docs for why that is sound here).
+    fn lock_unpoisoned(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> LockUnpoisoned<T> for Mutex<T> {
+    fn lock_unpoisoned(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Poison-tolerant [`Condvar`] waiting.
+pub trait WaitUnpoisoned {
+    /// Waits on the condition variable, inheriting the guard if the mutex
+    /// was poisoned while parked.
+    fn wait_unpoisoned<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T>;
+}
+
+impl WaitUnpoisoned for Condvar {
+    fn wait_unpoisoned<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.wait(guard)
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn a_poisoned_mutex_is_recovered_with_its_last_state() {
+        let state = Arc::new(Mutex::new(0u64));
+        let poisoner = Arc::clone(&state);
+        let _ = std::thread::spawn(move || {
+            let mut guard = poisoner.lock().unwrap();
+            *guard = 7;
+            panic!("poison the lock mid-update");
+        })
+        .join();
+        assert!(state.lock().is_err(), "the lock must actually be poisoned");
+        assert_eq!(*state.lock_unpoisoned(), 7, "inner state is inherited");
+        // And the recovery is repeatable: the lock stays usable.
+        *state.lock_unpoisoned() += 1;
+        assert_eq!(*state.lock_unpoisoned(), 8);
+    }
+}

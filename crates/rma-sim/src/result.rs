@@ -133,6 +133,13 @@ pub struct Comparison {
     pub violations: Vec<QosViolation>,
     /// Per-interval violation statistics.
     pub interval_stats: IntervalViolationStats,
+    /// Intervals the managed run's resource manager flagged as QoS-at-risk
+    /// (current allocation infeasible for some core, or no feasible curve
+    /// point at all). Mirrors
+    /// [`SimulationResult::qos_at_risk_intervals`] so per-scenario sweep
+    /// outcomes carry the manager-side risk tally, which downstream search
+    /// uses as a fitness objective.
+    pub qos_at_risk_intervals: u64,
 }
 
 impl Comparison {
@@ -207,6 +214,7 @@ pub fn compare(
         per_app_slowdown,
         violations,
         interval_stats,
+        qos_at_risk_intervals: managed.qos_at_risk_intervals,
     }
 }
 

@@ -11,7 +11,7 @@
 
 use crate::client::{Client, ClientError};
 use experiments::spec::WorkloadSource;
-use experiments::ScenarioSpec;
+use experiments::{LockUnpoisoned, ScenarioSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -182,8 +182,8 @@ pub fn execute(
         let _ = handle.join();
     }
 
-    let mut report = shared.report.lock().unwrap().clone();
-    let results = shared.results.lock().unwrap();
+    let mut report = shared.report.lock_unpoisoned().clone();
+    let results = shared.results.lock_unpoisoned();
     report.runs_completed = results.len();
     // Variant-ordered (run id per variant in plan order) result bytes.
     let mut ordered = Vec::new();
@@ -322,7 +322,7 @@ fn client_thread(
         }
         match client.result(&id) {
             Ok(bytes) => {
-                let mut results = shared.results.lock().unwrap();
+                let mut results = shared.results.lock_unpoisoned();
                 match results.get(&id) {
                     Some(existing) if existing != &bytes => {
                         drop(results);
@@ -344,11 +344,11 @@ fn client_thread(
 }
 
 fn bump(shared: &LoadShared, update: impl FnOnce(&mut LoadReport)) {
-    update(&mut shared.report.lock().unwrap());
+    update(&mut shared.report.lock_unpoisoned());
 }
 
 fn fail(shared: &LoadShared, message: String) {
-    shared.report.lock().unwrap().errors.push(message);
+    shared.report.lock_unpoisoned().errors.push(message);
 }
 
 #[cfg(test)]

@@ -32,7 +32,10 @@ use crate::http::{
 };
 use crate::state::{RegistryInner, RunMeta, RunState, RunTallies, ServeCounters, RUN_META_FILE};
 use experiments::dist::{self, Coordinator, CoordinatorConfig};
-use experiments::{ExperimentContext, LeaseCounters, ScenarioSpec, SweepManifest, SweepOptions};
+use experiments::{
+    ExperimentContext, LeaseCounters, LockUnpoisoned, ScenarioSpec, SweepManifest, SweepOptions,
+    WaitUnpoisoned,
+};
 use qosrm_core::RmaWorkCounters;
 use qosrm_proto::{CompleteRequest, LeaseTelemetry};
 use qosrm_types::QosrmError;
@@ -254,7 +257,7 @@ impl Shared {
     /// one mode share it — and with it the process-wide curve cache and
     /// database memo, which is the whole point of a resident daemon.
     fn context_for(&self, quick: bool) -> Arc<ExperimentContext> {
-        let mut contexts = self.contexts.lock().unwrap();
+        let mut contexts = self.contexts.lock_unpoisoned();
         contexts
             .entry(quick)
             .or_insert_with(|| {
@@ -291,7 +294,7 @@ impl Shared {
     /// coordinator, or — for the empty "any run" id — the first live
     /// coordinator (by run id) with work left.
     fn coordinator_of(&self, run: &str) -> Option<Arc<Coordinator>> {
-        let coordinators = self.coordinators.lock().unwrap();
+        let coordinators = self.coordinators.lock_unpoisoned();
         if run.is_empty() {
             let mut ids: Vec<&String> = coordinators.keys().collect();
             ids.sort();
@@ -334,7 +337,7 @@ impl Shared {
 
     /// Transitions a run's registry state and durably persists the record.
     fn set_state(&self, id: &str, state: RunState, error: Option<String>) {
-        let mut registry = self.registry.lock().unwrap();
+        let mut registry = self.registry.lock_unpoisoned();
         if let Some(meta) = registry.runs.get_mut(id) {
             meta.state = state;
             meta.error = error;
@@ -438,7 +441,7 @@ impl Server {
     pub fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         {
-            let mut registry = self.shared.registry.lock().unwrap();
+            let mut registry = self.shared.registry.lock_unpoisoned();
             registry.shutdown = true;
         }
         self.shared.work.notify_all();
@@ -492,7 +495,7 @@ fn recover_runs(shared: &Arc<Shared>) -> Result<(), QosrmError> {
         }
     }
     recovered.sort_by(|a, b| a.id.cmp(&b.id));
-    let mut registry = shared.registry.lock().unwrap();
+    let mut registry = shared.registry.lock_unpoisoned();
     for mut meta in recovered {
         if !meta.state.is_terminal() {
             meta.state = RunState::Queued;
@@ -670,7 +673,7 @@ fn handle_submit(
 
     let id = run_id(&spec, quick);
     let response = {
-        let mut registry = shared.registry.lock().unwrap();
+        let mut registry = shared.registry.lock_unpoisoned();
         if let Some(meta) = registry.runs.get(&id) {
             ServeCounters::bump(&shared.counters.deduplicated);
             (200, "OK", shared.status_of(meta))
@@ -729,7 +732,7 @@ fn handle_submit(
 
 fn handle_list(stream: &mut TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
     let statuses: Vec<RunStatus> = {
-        let registry = shared.registry.lock().unwrap();
+        let registry = shared.registry.lock_unpoisoned();
         let mut metas: Vec<RunMeta> = registry.runs.values().cloned().collect();
         metas.sort_by(|a, b| a.id.cmp(&b.id));
         metas.iter().map(|meta| shared.status_of(meta)).collect()
@@ -740,7 +743,7 @@ fn handle_list(stream: &mut TcpStream, shared: &Arc<Shared>) -> std::io::Result<
 
 fn handle_status(stream: &mut TcpStream, shared: &Arc<Shared>, id: &str) -> std::io::Result<()> {
     let status = {
-        let registry = shared.registry.lock().unwrap();
+        let registry = shared.registry.lock_unpoisoned();
         registry.runs.get(id).map(|meta| shared.status_of(meta))
     };
     match status {
@@ -880,7 +883,7 @@ fn handle_result(stream: &mut TcpStream, shared: &Arc<Shared>, id: &str) -> std:
 
 fn handle_cancel(stream: &mut TcpStream, shared: &Arc<Shared>, id: &str) -> std::io::Result<()> {
     let status = {
-        let mut registry = shared.registry.lock().unwrap();
+        let mut registry = shared.registry.lock_unpoisoned();
         match registry.runs.get(id).map(|meta| meta.state) {
             None => None,
             Some(state) => {
@@ -920,7 +923,7 @@ fn handle_cancel(stream: &mut TcpStream, shared: &Arc<Shared>, id: &str) -> std:
 
 fn handle_stats(stream: &mut TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
     let (queue_depth, tallies) = {
-        let registry = shared.registry.lock().unwrap();
+        let registry = shared.registry.lock_unpoisoned();
         (registry.queue.len(), registry.tallies())
     };
     let c = &shared.counters;
@@ -938,7 +941,7 @@ fn handle_stats(stream: &mut TcpStream, shared: &Arc<Shared>) -> std::io::Result
         outcomes_streamed: ServeCounters::read(&c.outcomes_streamed),
     };
     let (curve_cache, rma) = {
-        let contexts = shared.contexts.lock().unwrap();
+        let contexts = shared.contexts.lock_unpoisoned();
         let mut stats: Vec<CacheStats> = contexts
             .iter()
             .map(|(quick, ctx)| {
@@ -985,7 +988,7 @@ fn handle_stats(stream: &mut TcpStream, shared: &Arc<Shared>) -> std::io::Result
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let claimed = {
-            let mut registry = shared.registry.lock().unwrap();
+            let mut registry = shared.registry.lock_unpoisoned();
             loop {
                 if registry.shutdown {
                     break None;
@@ -997,7 +1000,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                         _ => continue,
                     }
                 }
-                registry = shared.work.wait(registry).unwrap();
+                registry = shared.work.wait_unpoisoned(registry);
             }
         };
         let Some(id) = claimed else { return };
@@ -1014,7 +1017,7 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// at most the leases in flight (reclaimed on the next start).
 fn execute_run(shared: &Arc<Shared>, id: &str) {
     let meta = {
-        let registry = shared.registry.lock().unwrap();
+        let registry = shared.registry.lock_unpoisoned();
         match registry.runs.get(id) {
             Some(meta) => meta.clone(),
             None => return,
@@ -1046,8 +1049,7 @@ fn execute_run(shared: &Arc<Shared>, id: &str) {
     };
     shared
         .coordinators
-        .lock()
-        .unwrap()
+        .lock_unpoisoned()
         .insert(id.to_string(), coordinator.clone());
     let worker = thread::current()
         .name()
@@ -1108,7 +1110,7 @@ fn execute_run(shared: &Arc<Shared>, id: &str) {
     }
     // The run left Running (terminal, re-queued, or failed): stop serving
     // leases for it. Late external completions resolve as stale.
-    shared.coordinators.lock().unwrap().remove(id);
+    shared.coordinators.lock_unpoisoned().remove(id);
 }
 
 fn fail_run(shared: &Arc<Shared>, id: &str, e: &QosrmError) {

@@ -328,6 +328,47 @@ fn daemon_result_is_byte_identical_to_the_offline_sweep() {
 }
 
 #[test]
+fn a_panicking_worker_fails_its_run_and_leaves_the_daemon_serving() {
+    let (mut server, client, dir) = start("panic", ServeConfig::default());
+
+    // An impossible event budget passes admission (the spec is perfectly
+    // valid) but makes the sweep engine panic deep inside the worker's
+    // shard evaluation — the exact shape of bug that used to poison the
+    // shared daemon state and cascade into every later request.
+    let mut poisoned = tiny_spec("panic-poison", 31, 2);
+    poisoned.options = Some(rma_sim::SimulationOptions {
+        max_events: 1,
+        provide_mlp_profiles: false,
+        ..Default::default()
+    });
+    let payload = serde_json::to_string(&poisoned).unwrap();
+    let (_, status) = client.submit(&payload, "t", true, 2).unwrap();
+    assert_eq!(
+        wait_terminal(&client, &status.id),
+        "failed",
+        "the panicked evaluation must settle as a failed run, not hang or crash"
+    );
+    let failed = client.status(&status.id).expect("status after the panic");
+    assert!(
+        failed.error.is_some(),
+        "the failed run must carry an error message"
+    );
+
+    // The daemon is still fully serving: stats respond and a healthy run
+    // submitted afterwards completes normally.
+    let stats = client.stats().expect("stats after a panicked worker");
+    assert_eq!(stats.schema, qosrm_serve::STATS_SCHEMA);
+    let healthy = tiny_spec("panic-healthy", 32, 2);
+    let payload = serde_json::to_string(&healthy).unwrap();
+    let (_, status) = client.submit(&payload, "t", true, 2).unwrap();
+    assert_eq!(wait_terminal(&client, &status.id), "complete");
+    assert!(!client.result(&status.id).unwrap().is_empty());
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn restart_recovers_runs_and_dedups_resubmissions() {
     let dir = temp_dir("restart");
     let config = ServeConfig {

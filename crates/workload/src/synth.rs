@@ -64,6 +64,18 @@ pub enum MixPopulation {
 type WeightedPool = (&'static [&'static str], u32);
 
 impl MixPopulation {
+    /// Every population, in a fixed declaration order. Evolutionary search
+    /// over [`SynthSpec`]s indexes this list with a seeded generator, so the
+    /// order is part of the deterministic-archive contract: reordering it
+    /// changes what a given seed explores.
+    pub const ALL: [MixPopulation; 5] = [
+        MixPopulation::StreamingHeavy,
+        MixPopulation::CacheSensitive,
+        MixPopulation::ComputeBound,
+        MixPopulation::Mixed,
+        MixPopulation::Uniform,
+    ];
+
     /// The weighted category pools of this population.
     fn weighted_pools(&self) -> &'static [WeightedPool] {
         const STREAMING: &[WeightedPool] =
@@ -154,6 +166,62 @@ impl SynthSpec {
     pub fn mixes(&self) -> Result<Vec<WorkloadMix>, QosrmError> {
         self.validate()?;
         Ok((0..self.count).map(|i| self.mix(i)).collect())
+    }
+
+    /// Returns a mutated copy: exactly one gene (seed, population or count)
+    /// changes, drawn from `rng`. `max_count` bounds the family size so a
+    /// search cannot mutate a spec into an unaffordably large axis;
+    /// `num_cores` and `name_prefix` are structural (tied to the platform
+    /// axis and the mix-name contract) and never mutate.
+    ///
+    /// All randomness comes from the caller's generator, so a seeded search
+    /// replays byte-identically.
+    pub fn mutated(&self, rng: &mut ChaCha8Rng, max_count: usize) -> SynthSpec {
+        let mut next = self.clone();
+        match rng.gen_range(0..3u64) {
+            0 => {
+                // Reseed the whole family.
+                next.seed = rng.gen();
+            }
+            1 => {
+                // Shift to another population (never a no-op: offset 1..len).
+                let current = MixPopulation::ALL
+                    .iter()
+                    .position(|p| *p == self.population)
+                    .unwrap_or(0);
+                let offset = 1 + rng.gen_range(0..(MixPopulation::ALL.len() as u64 - 1)) as usize;
+                next.population = MixPopulation::ALL[(current + offset) % MixPopulation::ALL.len()];
+            }
+            _ => {
+                // Nudge the family size within [1, max_count].
+                let bound = max_count.max(1);
+                let grow = rng.gen_range(0..2u64) == 0;
+                next.count = if grow {
+                    (self.count + 1).min(bound)
+                } else {
+                    self.count.saturating_sub(1).max(1)
+                };
+            }
+        }
+        next
+    }
+
+    /// Uniform per-gene crossover with `other`: seed, population and count
+    /// each come from one parent chosen by `rng`; the structural genes
+    /// (`num_cores`, `name_prefix`) always come from `self`, so the child
+    /// stays valid for `self`'s platform axis.
+    pub fn crossover(&self, other: &SynthSpec, rng: &mut ChaCha8Rng) -> SynthSpec {
+        let mut child = self.clone();
+        if rng.gen_range(0..2u64) == 1 {
+            child.seed = other.seed;
+        }
+        if rng.gen_range(0..2u64) == 1 {
+            child.population = other.population;
+        }
+        if rng.gen_range(0..2u64) == 1 {
+            child.count = other.count.max(1);
+        }
+        child
     }
 
     /// Samples one application slot from the population.
@@ -276,6 +344,50 @@ mod tests {
         let mut zero_cores = spec(MixPopulation::Mixed);
         zero_cores.num_cores = 0;
         assert!(zero_cores.mixes().is_err());
+    }
+
+    #[test]
+    fn mutation_changes_exactly_one_gene_and_stays_valid() {
+        let base = spec(MixPopulation::Mixed);
+        for round in 0..64u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(round);
+            let next = base.mutated(&mut rng, 32);
+            next.validate().unwrap();
+            assert!(next.count >= 1 && next.count <= 32);
+            assert_eq!(next.num_cores, base.num_cores, "structural gene mutated");
+            assert_eq!(
+                next.name_prefix, base.name_prefix,
+                "structural gene mutated"
+            );
+            let changed = [
+                next.seed != base.seed,
+                next.population != base.population,
+                next.count != base.count,
+            ]
+            .iter()
+            .filter(|c| **c)
+            .count();
+            assert_eq!(changed, 1, "exactly one gene must change per mutation");
+        }
+    }
+
+    #[test]
+    fn mutation_and_crossover_are_deterministic_per_seed() {
+        let a = spec(MixPopulation::Mixed);
+        let b = SynthSpec {
+            seed: 99,
+            count: 9,
+            ..spec(MixPopulation::ComputeBound)
+        };
+        let mut r1 = ChaCha8Rng::seed_from_u64(5);
+        let mut r2 = ChaCha8Rng::seed_from_u64(5);
+        assert_eq!(a.mutated(&mut r1, 32), a.mutated(&mut r2, 32));
+        assert_eq!(a.crossover(&b, &mut r1), a.crossover(&b, &mut r2));
+        // Crossover children keep the structural genes of the first parent.
+        let child = a.crossover(&b, &mut ChaCha8Rng::seed_from_u64(11));
+        assert_eq!(child.num_cores, a.num_cores);
+        assert_eq!(child.name_prefix, a.name_prefix);
+        child.validate().unwrap();
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Determinism and replay guarantees of the Pareto-front scenario search:
+//!
+//! * two same-seed runs produce byte-identical archive directories
+//!   (manifest, every spec file, every result file);
+//! * every archived spec loads, validates, lowers, and — replayed through
+//!   the streaming run/merge pipeline — reproduces the stored result file
+//!   byte-for-byte, so fitness evaluations are auditable after the fact;
+//! * the manifest is internally consistent: schema tag, Pareto Strength
+//!   member order, mutual nondominance of the archived front, and a
+//!   capacity bound the member list respects.
+
+use experiments::search::{self, SearchConfig, SearchManifest, MANIFEST_SCHEMA};
+use experiments::spec::ScenarioSpec;
+use experiments::{stream, ExperimentContext, StreamOptions};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qosrm_search_it_{tag}_{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn quick_config() -> SearchConfig {
+    SearchConfig {
+        seed: 2026,
+        generations: 2,
+        population: 4,
+        capacity: 3,
+        ..SearchConfig::default()
+    }
+}
+
+/// Every file of an archive directory, name -> bytes.
+fn archive_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    for entry in fs::read_dir(dir)
+        .expect("archive directory exists")
+        .flatten()
+    {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        files.insert(name, fs::read(entry.path()).expect("archive file reads"));
+    }
+    files
+}
+
+#[test]
+fn same_seed_archives_are_byte_identical() {
+    let ctx = ExperimentContext::new(true);
+    let config = quick_config();
+    let (a, b) = (temp_dir("seed_a"), temp_dir("seed_b"));
+
+    let first = search::run(&config, &ctx, &a).expect("first search runs");
+    let second = search::run(&config, &ctx, &b).expect("second search runs");
+    assert_eq!(first, second, "reports diverged between same-seed runs");
+
+    let (bytes_a, bytes_b) = (archive_bytes(&a), archive_bytes(&b));
+    assert!(!bytes_a.is_empty(), "archive is empty");
+    assert_eq!(
+        bytes_a.keys().collect::<Vec<_>>(),
+        bytes_b.keys().collect::<Vec<_>>(),
+        "archive file sets diverged"
+    );
+    for (name, bytes) in &bytes_a {
+        assert_eq!(bytes, &bytes_b[name], "{name} diverged between runs");
+    }
+    fs::remove_dir_all(&a).ok();
+    fs::remove_dir_all(&b).ok();
+}
+
+#[test]
+fn rerun_over_an_existing_archive_drops_stale_members() {
+    let ctx = ExperimentContext::new(true);
+    let dir = temp_dir("rewrite");
+
+    search::run(&quick_config(), &ctx, &dir).expect("first search runs");
+    let mut other = quick_config();
+    other.seed = 9999;
+    search::run(&other, &ctx, &dir).expect("second search runs over the same directory");
+
+    let manifest = SearchManifest::load(&dir).expect("manifest loads");
+    assert_eq!(manifest.seed, 9999);
+    let expected: Vec<String> = std::iter::once(search::MANIFEST_FILE.to_string())
+        .chain(
+            manifest
+                .members
+                .iter()
+                .flat_map(|m| [m.spec_file.clone(), m.result_file.clone()]),
+        )
+        .collect();
+    let mut on_disk: Vec<String> = archive_bytes(&dir).into_keys().collect();
+    let mut expected_sorted = expected;
+    expected_sorted.sort();
+    on_disk.sort();
+    assert_eq!(
+        on_disk, expected_sorted,
+        "directory contents must equal the manifest exactly"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn archived_specs_replay_byte_identically_through_the_streaming_pipeline() {
+    let ctx = ExperimentContext::new(true);
+    let dir = temp_dir("replay");
+    search::run(&quick_config(), &ctx, &dir).expect("search runs");
+
+    let manifest = SearchManifest::load(&dir).expect("manifest loads");
+    assert_eq!(manifest.schema, MANIFEST_SCHEMA);
+    assert!(
+        manifest.quick,
+        "quick-mode flag must be recorded for replays"
+    );
+    assert!(manifest.members.len() <= manifest.capacity);
+    assert!(!manifest.members.is_empty());
+
+    // The archived front is mutually nondominated and listed in Pareto
+    // Strength order.
+    let fitnesses: Vec<_> = manifest.members.iter().map(|m| m.fitness).collect();
+    for (i, a) in fitnesses.iter().enumerate() {
+        for (j, b) in fitnesses.iter().enumerate() {
+            assert!(
+                i == j || !a.dominates(b),
+                "archive member {i} dominates member {j}"
+            );
+        }
+    }
+    let ranked = search::rank_by_strength(&fitnesses);
+    assert_eq!(
+        ranked,
+        (0..fitnesses.len()).collect::<Vec<_>>(),
+        "members are not in Pareto Strength order"
+    );
+
+    // Every member replays through run+merge to its stored result bytes.
+    for member in &manifest.members {
+        let spec = ScenarioSpec::load(&dir.join(&member.spec_file)).expect("archived spec loads");
+        spec.lower().expect("archived spec lowers");
+        let run_dir = temp_dir(&format!("replay_{}", member.id));
+        let report = stream::run(&spec, &ctx, &run_dir, &StreamOptions::default())
+            .expect("replay run completes");
+        assert!(report.finished);
+        let merged = stream::merge(&run_dir).expect("replay merges");
+        let replay_path = run_dir.join("result.json");
+        merged.save(&replay_path).expect("replay result saves");
+        assert_eq!(
+            fs::read(&replay_path).expect("replay bytes"),
+            fs::read(dir.join(&member.result_file)).expect("stored bytes"),
+            "replay of {} diverged from its archived result",
+            member.id
+        );
+        fs::remove_dir_all(&run_dir).ok();
+    }
+    fs::remove_dir_all(&dir).ok();
+}
